@@ -1,0 +1,192 @@
+(* evac: command-line driver for the EVA compiler.
+
+   evac info PROGRAM.eva
+   evac compile PROGRAM.eva -o OUT.eva [--policy eva|lazy] [--waterline K] [--optimize]
+   evac validate PROGRAM.eva [--transformed]
+   evac estimate PROGRAM.eva [--log-n K] [--magnitude M]
+   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--optimize]
+*)
+
+open Cmdliner
+
+module Ir = Eva_core.Ir
+module Serialize = Eva_core.Serialize
+module Compile = Eva_core.Compile
+module Params = Eva_core.Params
+module Analysis = Eva_core.Analysis
+module Validate = Eva_core.Validate
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+
+let load path =
+  try Serialize.of_file path
+  with e -> (
+    match Serialize.describe_error e with
+    | Some msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1
+    | None -> raise e)
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match s with
+        | "eva" -> Ok Eva_core.Passes.Eva
+        | "lazy" -> Ok Eva_core.Passes.Lazy_insertion
+        | _ -> Error (`Msg "policy must be 'eva' or 'lazy'")),
+      fun fmt p ->
+        Format.pp_print_string fmt (match p with Eva_core.Passes.Eva -> "eva" | Eva_core.Passes.Lazy_insertion -> "lazy") )
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"EVA program file")
+
+(* --- info ----------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let p = load path in
+    Printf.printf "program %S: vec_size %d, %d nodes\n" p.Ir.prog_name p.Ir.vec_size (Ir.node_count p);
+    Printf.printf "multiplicative depth: %d\n" (Analysis.multiplicative_depth p);
+    Printf.printf "inputs:\n";
+    List.iter
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Input (t, name) ->
+            Printf.printf "  %s : %s, scale 2^%d\n" name
+              (match t with Ir.Cipher -> "cipher" | Ir.Vector -> "vector" | Ir.Scalar -> "scalar")
+              n.Ir.decl_scale
+        | _ -> ())
+      (Ir.inputs p);
+    Printf.printf "outputs:\n";
+    List.iter
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Output name -> Printf.printf "  %s : desired scale 2^%d\n" name n.Ir.decl_scale
+        | _ -> ())
+      (Ir.outputs p);
+    let rot = Analysis.rotation_steps p in
+    Printf.printf "rotation steps: [%s]\n" (String.concat "; " (List.map string_of_int rot))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe an EVA program") Term.(const run $ file_arg)
+
+(* --- compile --------------------------------------------------------- *)
+
+let optimize_flag =
+  Arg.(value & flag & info [ "optimize" ] ~doc:"Run CSE, constant folding and strength reduction first")
+
+let compile_cmd =
+  let run path out policy waterline optimize =
+    let p = load path in
+    match Compile.run ?waterline ~policy ~optimize p with
+    | c ->
+        Format.printf "%a@." Params.pp c.Compile.params;
+        (match out with
+        | Some out ->
+            Serialize.to_file out c.Compile.program;
+            Printf.printf "wrote %s (%d nodes)\n" out (Ir.node_count c.Compile.program)
+        | None -> ())
+    | exception Validate.Validation_error msg ->
+        Printf.eprintf "validation error: %s\n" msg;
+        exit 1
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the transformed program") in
+  let policy = Arg.(value & opt policy_conv Eva_core.Passes.Eva & info [ "policy" ] ~doc:"Insertion policy: eva or lazy") in
+  let waterline = Arg.(value & opt (some int) None & info [ "waterline" ] ~docv:"K" ~doc:"Override the waterline (log2)") in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an input program: insert FHE instructions, select parameters")
+    Term.(const run $ file_arg $ out $ policy $ waterline $ optimize_flag)
+
+(* --- validate --------------------------------------------------------- *)
+
+let validate_cmd =
+  let run path transformed =
+    let p = load path in
+    match if transformed then Validate.check_transformed p else Validate.check_input_program p with
+    | () -> print_endline "valid"
+    | exception Validate.Validation_error msg ->
+        Printf.eprintf "invalid: %s\n" msg;
+        exit 1
+    | exception Analysis.Analysis_error msg ->
+        Printf.eprintf "invalid: %s\n" msg;
+        exit 1
+  in
+  let transformed =
+    Arg.(value & flag & info [ "transformed" ] ~doc:"Check the constraints of a transformed program instead")
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate an EVA program") Term.(const run $ file_arg $ transformed)
+
+(* --- run -------------------------------------------------------------- *)
+
+let random_bindings p seed =
+  let st = Random.State.make [| seed |] in
+  List.filter_map
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Input (Ir.Scalar, name) -> Some (name, Reference.Scal (Random.State.float st 2.0 -. 1.0))
+      | Ir.Input (_, name) ->
+          Some (name, Reference.Vec (Array.init p.Ir.vec_size (fun _ -> Random.State.float st 2.0 -. 1.0)))
+      | _ -> None)
+    (Ir.inputs p)
+
+let estimate_cmd =
+  let run path log_n magnitude =
+    let p = load path in
+    let c = Compile.run p in
+    let log_n = Option.value log_n ~default:c.Compile.params.Params.log_n in
+    Printf.printf "predicted output error at N = 2^%d (input magnitude %.2f):\n" log_n magnitude;
+    List.iter
+      (fun (name, e) ->
+        Printf.printf "  %-16s |value| <= %-10.3g error ~ %.3g\n" name e.Eva_core.Noise.magnitude
+          e.Eva_core.Noise.abs_error)
+      (Eva_core.Noise.estimate ~input_magnitude:magnitude ~log_n c)
+  in
+  let log_n = Arg.(value & opt (some int) None & info [ "log-n" ] ~docv:"K" ~doc:"Assume degree 2^K") in
+  let magnitude =
+    Arg.(value & opt float 1.0 & info [ "magnitude" ] ~docv:"M" ~doc:"Bound on |input values|")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Predict output error statically (no execution)")
+    Term.(const run $ file_arg $ log_n $ magnitude)
+
+let run_cmd =
+  let run path seed log_n reference workers optimize =
+    let p = load path in
+    let bindings = random_bindings p seed in
+    let show outputs =
+      List.iter
+        (fun (name, v) ->
+          let k = min 8 (Array.length v) in
+          Printf.printf "%s = [%s%s]\n" name
+            (String.concat "; " (List.init k (fun i -> Printf.sprintf "%.6f" v.(i))))
+            (if Array.length v > k then "; ..." else ""))
+        outputs
+    in
+    if reference then show (Reference.execute p bindings)
+    else begin
+      let c = Compile.run ~optimize p in
+      Format.printf "%a@." Params.pp c.Compile.params;
+      let outputs =
+        if workers > 1 then
+          Eva_schedule.Parallel.execute ~seed ~ignore_security:(log_n <> None) ?log_n ~workers c bindings
+        else begin
+          let r = Executor.execute ~seed ~ignore_security:(log_n <> None) ?log_n c bindings in
+          r.Executor.outputs
+        end
+      in
+      show outputs;
+      let expect = Reference.execute p bindings in
+      Printf.printf "max |encrypted - reference| = %.3e\n" (Executor.max_abs_error outputs expect)
+    end
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for inputs and keys") in
+  let log_n =
+    Arg.(value & opt (some int) None & info [ "log-n" ] ~docv:"K" ~doc:"Execute at degree 2^K (insecure; for testing)")
+  in
+  let reference = Arg.(value & flag & info [ "reference" ] ~doc:"Run the id-scheme reference semantics only") in
+  let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Worker domains for parallel execution") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
+    Term.(const run $ file_arg $ seed $ log_n $ reference $ workers $ optimize_flag)
+
+let () =
+  let doc = "EVA: encrypted vector arithmetic compiler" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "evac" ~version:"1.0.0" ~doc) [ info_cmd; compile_cmd; validate_cmd; estimate_cmd; run_cmd ]))

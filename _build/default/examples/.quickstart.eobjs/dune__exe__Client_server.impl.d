@@ -1,0 +1,1 @@
+examples/client_server.ml: Array Buffer Eva_ckks Eva_core Float List Printf Random String

@@ -1,0 +1,1 @@
+examples/client_server.mli:

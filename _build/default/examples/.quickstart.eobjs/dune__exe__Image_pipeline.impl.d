@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Eva_core Eva_image List Printf

@@ -1,0 +1,1 @@
+examples/lenet_demo.ml: Array Eva_core Eva_tensor List Printf Random Unix

@@ -1,0 +1,1 @@
+examples/lenet_demo.mli:

@@ -1,0 +1,1 @@
+examples/path_length_demo.ml: Array Eva_apps Eva_core Float List Printf Random

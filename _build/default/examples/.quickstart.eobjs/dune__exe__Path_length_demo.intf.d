@@ -1,0 +1,1 @@
+examples/path_length_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eva_core Float Format List Printf

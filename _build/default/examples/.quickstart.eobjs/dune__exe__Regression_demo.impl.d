@@ -1,0 +1,1 @@
+examples/regression_demo.ml: Eva_apps Eva_core List Printf Random Unix

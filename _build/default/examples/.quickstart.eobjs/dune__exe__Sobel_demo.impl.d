@@ -1,0 +1,1 @@
+examples/sobel_demo.ml: Array Eva_apps Eva_core List Printf Unix

@@ -1,0 +1,1 @@
+examples/sobel_demo.mli:

@@ -1,0 +1,37 @@
+(* Quickstart: write an EVA program with the builder, compile it, run it
+   under RNS-CKKS, and check the result against the reference semantics.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module B = Eva_core.Builder
+module Compile = Eva_core.Compile
+module Params = Eva_core.Params
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+
+let () =
+  (* A program computing 0.5*x^2 + x over encrypted vectors of 1024
+     fixed-point values at scale 2^30. *)
+  let b = B.create ~name:"quickstart" ~vec_size:1024 () in
+  let x = B.input b ~scale:30 "x" in
+  let half = B.const_scalar b ~scale:30 0.5 in
+  let open B.Infix in
+  B.output b "y" ~scale:30 ((x * x * half) + x);
+  let program = B.program b in
+
+  (* Compile: inserts RESCALE/MODSWITCH/RELINEARIZE, validates all
+     constraints, and selects encryption parameters. *)
+  let compiled = Compile.run program in
+  Format.printf "Selected encryption parameters:@.%a@.@." Params.pp compiled.Compile.params;
+
+  (* Execute end to end: keygen, encrypt, evaluate, decrypt. *)
+  let inputs = [ ("x", Reference.Vec (Array.init 1024 (fun i -> Float.sin (float_of_int i)))) ] in
+  let result = Executor.execute compiled inputs in
+  let expected = Reference.execute program inputs in
+  let err = Executor.max_abs_error result.Executor.outputs expected in
+  let y = List.assoc "y" result.Executor.outputs in
+  Printf.printf "y[0..4] = %.6f %.6f %.6f %.6f %.6f\n" y.(0) y.(1) y.(2) y.(3) y.(4);
+  Printf.printf "max |encrypted - reference| = %.2e\n" err;
+  Printf.printf "timings: context %.2fs, encrypt %.3fs, execute %.3fs, decrypt %.3fs\n"
+    result.Executor.timings.Executor.context_seconds result.Executor.timings.Executor.encrypt_seconds
+    result.Executor.timings.Executor.execute_seconds result.Executor.timings.Executor.decrypt_seconds

@@ -1,0 +1,25 @@
+(* Statistical machine learning on encrypted data: linear, polynomial and
+   multivariate regression predictions (Section 8.3 of the paper).
+
+   Run with: dune exec examples/regression_demo.exe *)
+
+module Apps = Eva_apps.Apps
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+
+let run app =
+  let program = app.Apps.build () in
+  let compiled, compile_s = Compile.run_timed program in
+  let inputs = app.Apps.gen_inputs (Random.State.make [| 2026 |]) in
+  let t0 = Unix.gettimeofday () in
+  let result = Executor.execute compiled inputs in
+  let exec_s = Unix.gettimeofday () -. t0 in
+  let expected = Reference.execute program inputs in
+  Printf.printf "%-28s vec=%-5d compile %.3fs, run %.2fs, max error %.2e\n" app.Apps.app_name app.Apps.vec_size
+    compile_s exec_s
+    (Executor.max_abs_error result.Executor.outputs expected)
+
+let () =
+  print_endline "regression on encrypted inputs (prediction with plaintext models):";
+  List.iter run [ Apps.linear_regression; Apps.polynomial_regression; Apps.multivariate_regression ]

@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Array Eva_core List Option Printf Random

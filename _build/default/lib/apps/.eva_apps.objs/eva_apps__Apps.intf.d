@@ -1,0 +1,1 @@
+lib/apps/apps.mli: Eva_core Random

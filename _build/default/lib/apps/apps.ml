@@ -1,0 +1,198 @@
+module B = Eva_core.Builder
+module Reference = Eva_core.Reference
+
+type app = {
+  app_name : string;
+  vec_size : int;
+  loc : int;
+  build : unit -> Eva_core.Ir.program;
+  gen_inputs : Random.State.t -> (string * Eva_core.Reference.binding) list;
+}
+
+let sqrt_coeffs = [ 0.0; 2.214; -1.098; 0.173 ]
+
+let rand_vec st n lo hi = Reference.Vec (Array.init n (fun _ -> lo +. Random.State.float st (hi -. lo)))
+
+(* Positions of a zero-sum random walk (a closed loop): subtracting the
+   mean step keeps every segment, including the wrap-around, a typical
+   step. *)
+let closed_walk st n =
+  let steps = Array.init n (fun _ -> Random.State.float st 0.58 -. 0.29) in
+  let mean = Array.fold_left ( +. ) 0.0 steps /. float_of_int n in
+  let pos = ref 0.0 in
+  Reference.Vec
+    (Array.init n (fun i ->
+         let p = !pos in
+         pos := !pos +. steps.(i) -. mean;
+         p))
+
+(* --- 3-dimensional path length -------------------------------------- *)
+
+let path_length_3d =
+  let vec_size = 4096 in
+  let build () =
+    let b = B.create ~name:"path-length-3d" ~vec_size () in
+    let scale = 30 in
+    let x = B.input b ~scale "x" in
+    let y = B.input b ~scale "y" in
+    let z = B.input b ~scale "z" in
+    let open B.Infix in
+    (* Segment deltas between consecutive samples; the path is a closed
+       loop, so the rotation wrap-around is the closing segment. *)
+    let dx = (x << 1) - x in
+    let dy = (y << 1) - y in
+    let dz = (z << 1) - z in
+    let d2 = (dx * dx) + (dy * dy) + (dz * dz) in
+    (* sqrt via the cubic approximation, then the total in every slot. *)
+    let seg = B.polynomial b ~scale:15 sqrt_coeffs d2 in
+    let total = B.sum_slots b ~span:vec_size seg in
+    B.output b "length" ~scale total;
+    B.program b
+  in
+  let gen_inputs st =
+    (* A closed random walk whose squared segment lengths sit around
+       0.25, where the cubic approximation of sqrt is accurate. *)
+    [ ("x", closed_walk st vec_size); ("y", closed_walk st vec_size); ("z", closed_walk st vec_size) ]
+  in
+  { app_name = "3-dimensional Path Length"; vec_size; loc = 15; build; gen_inputs }
+
+(* --- linear regression ----------------------------------------------- *)
+
+let linear_regression =
+  let vec_size = 2048 in
+  let build () =
+    let b = B.create ~name:"linear-regression" ~vec_size () in
+    let x = B.input b ~scale:30 "x" in
+    let w = B.vector_input b ~scale:15 "w" in
+    let bias = B.scalar_input b ~scale:10 "b" in
+    let open B.Infix in
+    B.output b "prediction" ~scale:30 ((x * w) + bias);
+    B.program b
+  in
+  let gen_inputs st =
+    [ ("x", rand_vec st 2048 (-1.0) 1.0); ("w", rand_vec st 2048 (-1.0) 1.0); ("b", Reference.Scal 0.5) ]
+  in
+  { app_name = "Linear Regression"; vec_size; loc = 7; build; gen_inputs }
+
+(* --- polynomial regression ------------------------------------------- *)
+
+let polynomial_regression =
+  let vec_size = 4096 in
+  let build () =
+    let b = B.create ~name:"polynomial-regression" ~vec_size () in
+    let x = B.input b ~scale:30 "x" in
+    let c0 = B.scalar_input b ~scale:10 "c0" in
+    let c1 = B.vector_input b ~scale:15 "c1" in
+    let c2 = B.vector_input b ~scale:15 "c2" in
+    let c3 = B.vector_input b ~scale:15 "c3" in
+    let open B.Infix in
+    let x2 = x * x in
+    let x3 = x2 * x in
+    B.output b "prediction" ~scale:30 ((x * c1) + (x2 * c2) + (x3 * c3) + c0);
+    B.program b
+  in
+  let gen_inputs st =
+    [
+      ("x", rand_vec st 4096 (-1.0) 1.0);
+      ("c0", Reference.Scal 0.25);
+      ("c1", rand_vec st 4096 (-1.0) 1.0);
+      ("c2", rand_vec st 4096 (-1.0) 1.0);
+      ("c3", rand_vec st 4096 (-1.0) 1.0);
+    ]
+  in
+  { app_name = "Polynomial Regression"; vec_size; loc = 11; build; gen_inputs }
+
+(* --- multivariate regression ----------------------------------------- *)
+
+let multivariate_regression =
+  let vec_size = 2048 in
+  let features = 4 in
+  let build () =
+    let b = B.create ~name:"multivariate-regression" ~vec_size () in
+    let xs = List.init features (fun k -> B.input b ~scale:30 (Printf.sprintf "x%d" k)) in
+    let ws = List.init features (fun k -> B.vector_input b ~scale:15 (Printf.sprintf "w%d" k)) in
+    let bias = B.scalar_input b ~scale:10 "b" in
+    let open B.Infix in
+    let terms = List.map2 (fun x w -> x * w) xs ws in
+    B.output b "prediction" ~scale:30 (List.fold_left ( + ) bias terms);
+    B.program b
+  in
+  let gen_inputs st =
+    ("b", Reference.Scal 0.1)
+    :: List.concat
+         (List.init features (fun k ->
+              [ (Printf.sprintf "x%d" k, rand_vec st 2048 (-1.0) 1.0); (Printf.sprintf "w%d" k, rand_vec st 2048 (-1.0) 1.0) ]))
+  in
+  { app_name = "Multivariate Regression"; vec_size; loc = 10; build; gen_inputs }
+
+(* --- Sobel filter (Figure 6 of the paper) ----------------------------- *)
+
+let sobel_dim = 64
+
+let sobel =
+  let vec_size = sobel_dim * sobel_dim in
+  let build () =
+    let b = B.create ~name:"sobel" ~vec_size () in
+    let scale = 30 in
+    let image = B.input b ~scale "image" in
+    let f = [| [| -1.0; 0.0; 1.0 |]; [| -2.0; 0.0; 2.0 |]; [| -1.0; 0.0; 1.0 |] |] in
+    let ix = ref None and iy = ref None in
+    let accumulate acc t = acc := Some (match !acc with None -> t | Some a -> B.add a t) in
+    for i = 0 to 2 do
+      for j = 0 to 2 do
+        let rot = B.rotate_left image ((i * sobel_dim) + j) in
+        accumulate ix (B.mul rot (B.const_scalar b ~scale:15 f.(i).(j)));
+        accumulate iy (B.mul rot (B.const_scalar b ~scale:15 f.(j).(i)))
+      done
+    done;
+    let ix = Option.get !ix and iy = Option.get !iy in
+    let d = B.polynomial b ~scale:15 sqrt_coeffs (B.add (B.mul ix ix) (B.mul iy iy)) in
+    B.output b "edges" ~scale d;
+    B.program b
+  in
+  let gen_inputs st = [ ("image", rand_vec st vec_size 0.0 0.25) ] in
+  { app_name = "Sobel Filter Detection"; vec_size; loc = 22; build; gen_inputs }
+
+(* --- Harris corner detection ------------------------------------------ *)
+
+let harris =
+  let dim = 64 in
+  let vec_size = dim * dim in
+  let build () =
+    let b = B.create ~name:"harris" ~vec_size () in
+    let scale = 30 in
+    let image = B.input b ~scale "image" in
+    let fold3x3 f =
+      let acc = ref None in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          match f i j with
+          | None -> ()
+          | Some t -> acc := Some (match !acc with None -> t | Some a -> B.add a t)
+        done
+      done;
+      Option.get !acc
+    in
+    let sx = [| [| -1.0; 0.0; 1.0 |]; [| -2.0; 0.0; 2.0 |]; [| -1.0; 0.0; 1.0 |] |] in
+    let gradient f =
+      fold3x3 (fun i j ->
+          if f i j = 0.0 then None
+          else Some (B.mul (B.rotate_left image ((i * dim) + j)) (B.const_scalar b ~scale:15 (f i j))))
+    in
+    let ix = gradient (fun i j -> sx.(i).(j)) in
+    let iy = gradient (fun i j -> sx.(j).(i)) in
+    let ixx = B.mul ix ix and iyy = B.mul iy iy and ixy = B.mul ix iy in
+    (* Structure tensor: sums over a 3x3 window. *)
+    let window v = fold3x3 (fun i j -> Some (B.rotate_left v ((i * dim) + j))) in
+    let sxx = window ixx and syy = window iyy and sxy = window ixy in
+    (* Corner response: det(M) - k trace(M)^2 with k = 0.04. *)
+    let open B.Infix in
+    let trace = sxx + syy in
+    let response = (sxx * syy) - (sxy * sxy) - (trace * trace * B.const_scalar b ~scale:15 0.04) in
+    B.output b "corners" ~scale response;
+    B.program b
+  in
+  let gen_inputs st = [ ("image", rand_vec st vec_size 0.0 0.5) ] in
+  { app_name = "Harris Corner Detection"; vec_size; loc = 31; build; gen_inputs }
+
+let all = [ path_length_3d; linear_regression; polynomial_regression; multivariate_regression; sobel; harris ]

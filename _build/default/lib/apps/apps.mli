@@ -1,0 +1,30 @@
+(** The six applications of the paper's Section 8.3 (Table 8), written
+    against the builder frontend exactly as the PyEVA versions are:
+    3-dimensional path length, linear / polynomial / multivariate
+    regression, Sobel filter detection and Harris corner detection.
+
+    Each application packages its program, a seeded input generator and
+    the vector size the paper uses, so tests and benchmarks can run any
+    of them uniformly. *)
+
+type app = {
+  app_name : string;
+  vec_size : int;
+  loc : int;  (** frontend lines of code, as Table 8 reports *)
+  build : unit -> Eva_core.Ir.program;
+  gen_inputs : Random.State.t -> (string * Eva_core.Reference.binding) list;
+}
+
+(** Degree-3 polynomial approximation of sqrt used by the paper's Sobel
+    example: [sqrt x ~ 2.214 x - 1.098 x^2 + 0.173 x^3]. *)
+val sqrt_coeffs : float list
+
+val path_length_3d : app
+val linear_regression : app
+val polynomial_regression : app
+val multivariate_regression : app
+val sobel : app
+val harris : app
+
+(** All six, in Table 8's order. *)
+val all : app list

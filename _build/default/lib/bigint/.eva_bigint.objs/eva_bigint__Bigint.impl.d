@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Buffer Float Format Int64 List Printf

@@ -1,0 +1,1 @@
+lib/bigint/bigint.mli: Format

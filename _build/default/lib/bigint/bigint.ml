@@ -1,0 +1,260 @@
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+(* Sign-magnitude: [sign] is -1, 0 or 1; [mag] is little-endian base-2^30
+   with no leading zero limb. [sign = 0] iff [mag] is empty. *)
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int k =
+  if k = 0 then zero
+  else if k = min_int then
+    (* abs min_int overflows: 2^62 is limb 2^2 at index 2. *)
+    { sign = -1; mag = [| 0; 0; 1 lsl (62 - (2 * base_bits)) |] }
+  else begin
+    let sign = if k > 0 then 1 else -1 in
+    let rec limbs acc k =
+      if k = 0 then List.rev acc
+      else limbs ((k land base_mask) :: acc) (k lsr base_bits)
+    in
+    normalize sign (Array.of_list (limbs [] (abs k)))
+  end
+
+let one = of_int 1
+let is_zero t = t.sign = 0
+let sign t = t.sign
+
+let num_bits t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else begin
+    let top = t.mag.(n - 1) in
+    let bits = ref 0 in
+    let v = ref top in
+    while !v > 0 do
+      incr bits;
+      v := !v lsr 1
+    done;
+    ((n - 1) * base_bits) + !bits
+  end
+
+(* Magnitude comparison: -1, 0, 1. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign = 0 then 0
+  else a.sign * cmp_mag a.mag b.mag
+
+let equal a b = compare a b = 0
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = !carry + (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - !borrow - (if i < lb then b.(i) else 0) in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.mag.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.mag.(j)) + !carry in
+          r.(i + j) <- s land base_mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land base_mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize (a.sign * b.sign) r
+  end
+
+let mul_int t k = mul t (of_int k)
+
+let shift_left t k =
+  if t.sign = 0 || k = 0 then t
+  else begin
+    if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length t.mag in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = t.mag.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land base_mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    normalize t.sign r
+  end
+
+(* Floor shift of the magnitude. *)
+let shift_right_mag t k =
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length t.mag in
+    if limb_shift >= la then zero
+    else begin
+      let lr = la - limb_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = t.mag.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (t.mag.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land base_mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize t.sign r
+    end
+  end
+
+let shift_right_round t k =
+  if k = 0 then t
+  else begin
+    if k < 0 then invalid_arg "Bigint.shift_right_round: negative shift";
+    let half = shift_left one (k - 1) in
+    let biased = if t.sign >= 0 then add t half else sub t half in
+    (* [biased] has the same sign as [t] (or is zero); floor the magnitude. *)
+    shift_right_mag biased k
+  end
+
+let rem_int t m =
+  if m <= 0 || m >= 1 lsl 31 then invalid_arg "Bigint.rem_int: modulus out of range";
+  let r = ref 0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    r := (((!r lsl base_bits) lor t.mag.(i)) mod m)
+  done;
+  if t.sign < 0 && !r <> 0 then m - !r else !r
+
+let to_float t =
+  let n = Array.length t.mag in
+  if n = 0 then 0.0
+  else begin
+    (* The top three limbs carry >= 90 significant bits, beyond double
+       precision; lower limbs cannot affect the rounded result. *)
+    let acc = ref 0.0 in
+    let lo = max 0 (n - 3) in
+    for i = n - 1 downto lo do
+      acc := (!acc *. float_of_int base) +. float_of_int t.mag.(i)
+    done;
+    let v = ldexp !acc (lo * base_bits) in
+    if t.sign < 0 then -.v else v
+  end
+
+let to_int_exn t =
+  if num_bits t > 62 then invalid_arg "Bigint.to_int_exn: does not fit";
+  let v = ref 0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v lsl base_bits) lor t.mag.(i)
+  done;
+  if t.sign < 0 then - !v else !v
+
+let of_float_scaled x ~log2_scale =
+  if not (Float.is_finite x) then invalid_arg "Bigint.of_float_scaled: not finite";
+  if x = 0.0 then zero
+  else begin
+    let mant, e = Float.frexp x in
+    let m53 = Int64.to_int (Int64.of_float (Float.ldexp mant 53)) in
+    let shift = e - 53 + log2_scale in
+    let m = of_int m53 in
+    if shift >= 0 then shift_left m shift else shift_right_round m (-shift)
+  end
+
+(* Division of the magnitude by a small positive integer, for printing. *)
+let divmod_small t d =
+  let la = Array.length t.mag in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor t.mag.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize t.sign q, !r)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 1000000000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go (abs t);
+    (if t.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,62 @@
+(** Minimal arbitrary-precision signed integers.
+
+    This module provides exactly the operations the CKKS substrate needs:
+    construction from machine integers and scaled floats, ring operations,
+    shifts, reduction modulo a machine-word prime, and conversion back to
+    floating point. It deliberately omits general division; CRT
+    reconstruction uses Garner's mixed-radix algorithm, which never divides
+    by a big integer.
+
+    Representation: sign-magnitude with base-2^30 limbs stored little-endian
+    in an [int array]. All limb products fit comfortably in OCaml's 63-bit
+    native integers. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+
+(** [of_float_scaled x ~log2_scale] is [round(x * 2^log2_scale)] computed
+    exactly from the binary representation of [x]. Raises [Invalid_argument]
+    if [x] is not finite. *)
+val of_float_scaled : float -> log2_scale:int -> t
+
+(** [to_float t] is the nearest double to [t]; returns [infinity] (with the
+    appropriate sign) when the value exceeds the double range. *)
+val to_float : t -> float
+
+(** [to_int_exn t] raises [Invalid_argument] when [t] does not fit in a
+    native [int]. *)
+val to_int_exn : t -> int
+
+val is_zero : t -> bool
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [mul_int t k] multiplies by a machine integer (any magnitude). *)
+val mul_int : t -> int -> t
+
+val shift_left : t -> int -> t
+
+(** [shift_right_round t k] is [round(t / 2^k)], rounding half away from
+    zero. *)
+val shift_right_round : t -> int -> t
+
+(** [rem_int t m] is the least non-negative residue of [t] modulo [m].
+    Requires [0 < m < 2^31]. *)
+val rem_int : t -> int -> int
+
+(** Number of significant bits of the magnitude; [num_bits zero = 0]. *)
+val num_bits : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ckks/context.ml: Array Complex Embedding Eva_bigint Eva_poly Eva_rns Float Hashtbl List Printf Security

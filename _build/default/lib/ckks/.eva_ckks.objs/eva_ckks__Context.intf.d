@@ -1,0 +1,1 @@
+lib/ckks/context.mli: Complex Embedding Eva_poly Eva_rns

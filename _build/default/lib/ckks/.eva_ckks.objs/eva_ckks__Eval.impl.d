@@ -1,0 +1,1 @@
+lib/ckks/eval.ml: Array Context Eva_poly Float Keys Printf

@@ -1,0 +1,1 @@
+lib/ckks/eval.mli: Complex Context Eva_poly Keys Random

@@ -1,0 +1,1 @@
+lib/ckks/keys.ml: Array Context Eva_poly Eva_rns Hashtbl List

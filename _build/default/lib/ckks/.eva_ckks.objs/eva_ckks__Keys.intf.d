@@ -1,0 +1,1 @@
+lib/ckks/keys.mli: Context Eva_poly Hashtbl Random

@@ -1,0 +1,1 @@
+lib/ckks/security.ml: List Printf

@@ -1,0 +1,1 @@
+lib/ckks/wire.ml: Array Buffer Context Eva_poly Eval Hashtbl Keys List Printf String

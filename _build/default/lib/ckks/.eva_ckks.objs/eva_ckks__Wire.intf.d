@@ -1,0 +1,1 @@
+lib/ckks/wire.mli: Buffer Context Eval Keys

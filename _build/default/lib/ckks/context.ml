@@ -1,0 +1,160 @@
+module Bigint = Eva_bigint.Bigint
+module Ntt = Eva_rns.Ntt
+module Primes = Eva_rns.Primes
+module Crt = Eva_rns.Crt
+module Rns_poly = Eva_poly.Rns_poly
+
+type element = { bits : int; prime_lo : int; prime_count : int (* 1 or 2 *) }
+
+type t = {
+  n : int;
+  slots : int;
+  elements : element array; (* chain order: last = dropped first *)
+  data_tables : Ntt.table array;
+  special_tables : Ntt.table array;
+  embedding : Embedding.t;
+  element_values : float array;
+  data_bit_list : int list;
+}
+
+(* An element of more than 30 bits is realized as two primes; each half
+   must itself be NTT-friendly-sized, so small halves are raised to the
+   minimum (slightly overshooting the requested bits, like SEAL's prime
+   lookup does when a window is exhausted). *)
+let split_bits ~min_b bits =
+  if bits <= 30 then [ max min_b bits ]
+  else [ max min_b ((bits + 1) / 2); max min_b (bits / 2) ]
+
+let make ?(ignore_security = false) ~n ~data_bits ~special_bits () =
+  if n < 2 || n land (n - 1) <> 0 then invalid_arg "Context.make: degree must be a power of two";
+  let two_n = 2 * n in
+  let min_b = Primes.min_bits ~two_n in
+  let check_bits b =
+    if b > 60 then invalid_arg (Printf.sprintf "Context.make: element of %d bits exceeds 60" b)
+  in
+  List.iter check_bits data_bits;
+  List.iter check_bits special_bits;
+  let total = List.fold_left ( + ) 0 (data_bits @ special_bits) in
+  if not ignore_security then begin
+    let bound = Security.max_log_q ~level:Security.Bits128 ~n in
+    if total > bound then
+      invalid_arg
+        (Printf.sprintf "Context.make: log Q = %d exceeds the 128-bit security bound %d for N = %d" total bound n)
+  end;
+  let seen = Hashtbl.create 32 in
+  let gen_element bits =
+    (* If the requested window holds no fresh NTT-friendly prime (it can
+       be only a couple of candidates wide for sizes near log2(2N)), fall
+       back to slightly larger primes; scale bookkeeping uses exact prime
+       values, so only log Q drifts by a bit or two. *)
+    let rec gen_at pb =
+      if pb > 30 then raise Not_found
+      else
+        match Primes.gen ~bits:pb ~two_n ~avoid:(Hashtbl.mem seen) with
+        | p -> p
+        | exception Not_found -> gen_at (pb + 1)
+    in
+    List.map
+      (fun pb ->
+        let p = gen_at pb in
+        Hashtbl.replace seen p ();
+        p)
+      (split_bits ~min_b bits)
+  in
+  let data_primes = List.map gen_element data_bits in
+  let special_primes = List.map gen_element special_bits in
+  let mk_tables primes = Array.of_list (List.map (fun p -> Ntt.make ~n p) (List.concat primes)) in
+  let elements =
+    let idx = ref 0 in
+    Array.of_list
+      (List.map2
+         (fun bits primes ->
+           let lo = !idx in
+           idx := !idx + List.length primes;
+           { bits; prime_lo = lo; prime_count = List.length primes })
+         data_bits data_primes)
+  in
+  let element_values =
+    Array.of_list (List.map (fun ps -> List.fold_left (fun acc p -> acc *. float_of_int p) 1.0 ps) data_primes)
+  in
+  {
+    n;
+    slots = n / 2;
+    elements;
+    data_tables = mk_tables data_primes;
+    special_tables = mk_tables special_primes;
+    embedding = Embedding.make ~slots:(n / 2);
+    element_values;
+    data_bit_list = data_bits;
+  }
+
+let degree t = t.n
+let slots t = t.slots
+let chain_length t = Array.length t.elements
+let element_value t i = t.element_values.(i)
+let data_bits t = t.data_bit_list
+
+let total_log_q t =
+  let log_p =
+    Array.fold_left (fun acc tb -> acc +. Float.log2 (float_of_int (Ntt.modulus tb))) 0.0 t.special_tables
+  in
+  Array.fold_left (fun acc v -> acc +. Float.log2 v) log_p t.element_values
+
+let prime_count_for_level t level =
+  if level < 1 || level > Array.length t.elements then invalid_arg "Context.prime_count_for_level: bad level";
+  let e = t.elements.(level - 1) in
+  e.prime_lo + e.prime_count
+
+let element_prime_ranges t = Array.map (fun e -> (e.prime_lo, e.prime_count)) t.elements
+
+let tables_for_level t level = Array.sub t.data_tables 0 (prime_count_for_level t level)
+let ks_tables t level = Array.append (tables_for_level t level) t.special_tables
+let full_tables t = Array.append t.data_tables t.special_tables
+let num_special_primes t = Array.length t.special_tables
+let num_data_primes t = Array.length t.data_tables
+let embedding t = t.embedding
+
+let galois_elt_rotate t steps =
+  let two_n = 2 * t.n in
+  let steps = ((steps mod t.slots) + t.slots) mod t.slots in
+  let g = ref 1 in
+  for _ = 1 to steps do
+    g := !g * 5 mod two_n
+  done;
+  !g
+
+let galois_elt_conjugate t = (2 * t.n) - 1
+
+let encode_complex t ~level ~scale values =
+  let len = Array.length values in
+  if len = 0 || t.slots mod len <> 0 then
+    invalid_arg (Printf.sprintf "Context.encode: input size %d does not divide slot count %d" len t.slots);
+  if not (Float.is_finite scale && scale > 0.0) then invalid_arg "Context.encode: bad scale";
+  let z = Array.init t.slots (fun i -> values.(i mod len)) in
+  Embedding.embed_inverse t.embedding z;
+  let coeffs = Array.make t.n Bigint.zero in
+  for i = 0 to t.slots - 1 do
+    coeffs.(i) <- Bigint.of_float_scaled (z.(i).Complex.re *. scale) ~log2_scale:0;
+    coeffs.(i + t.slots) <- Bigint.of_float_scaled (z.(i).Complex.im *. scale) ~log2_scale:0
+  done;
+  let poly = Rns_poly.of_bigint_coeffs ~tables:(tables_for_level t level) coeffs in
+  Rns_poly.to_ntt poly;
+  poly
+
+let encode t ~level ~scale values =
+  encode_complex t ~level ~scale (Array.map (fun re -> { Complex.re; im = 0.0 }) values)
+
+let decode_complex t ~scale poly =
+  let coeffs = Rns_poly.to_bigint_coeffs poly in
+  let inv_scale = 1.0 /. scale in
+  let z =
+    Array.init t.slots (fun i ->
+        {
+          Complex.re = Bigint.to_float coeffs.(i) *. inv_scale;
+          im = Bigint.to_float coeffs.(i + t.slots) *. inv_scale;
+        })
+  in
+  Embedding.embed_forward t.embedding z;
+  z
+
+let decode t ~scale poly = Array.map (fun c -> c.Complex.re) (decode_complex t ~scale poly)

@@ -1,0 +1,149 @@
+module Rns_poly = Eva_poly.Rns_poly
+
+exception Level_mismatch of string
+exception Scale_mismatch of string
+exception Size_error of string
+exception Missing_galois_key of int
+
+type ciphertext = { polys : Rns_poly.t array; level : int; scale : float }
+type plaintext = { poly : Rns_poly.t; pt_level : int; pt_scale : float }
+
+let size ct = Array.length ct.polys
+
+let scales_match a b =
+  let m = Float.max (Float.abs a) (Float.abs b) in
+  m = 0.0 || Float.abs (a -. b) /. m < 1e-9
+
+let check_levels op a b = if a <> b then raise (Level_mismatch op)
+
+let check_scales op a b =
+  if not (scales_match a b) then
+    raise (Scale_mismatch (Printf.sprintf "%s: scales 2^%.3f vs 2^%.3f" op (Float.log2 a) (Float.log2 b)))
+
+let encode ctx ~level ~scale values = { poly = Context.encode ctx ~level ~scale values; pt_level = level; pt_scale = scale }
+
+let encrypt ctx ks rng pt =
+  let tables = Context.tables_for_level ctx pt.pt_level in
+  let pk_b_full, pk_a_full = Keys.public_parts ks.Keys.public in
+  (* Restrict the public key to the plaintext's level. *)
+  let m = Array.length tables in
+  let restrict p = Rns_poly.of_ntt_rows ~tables (Array.sub (Rns_poly.rows p) 0 m) in
+  let pk_b = restrict pk_b_full and pk_a = restrict pk_a_full in
+  let u = Rns_poly.sample_ternary rng ~tables in
+  let e0 = Rns_poly.sample_error rng ~tables in
+  let e1 = Rns_poly.sample_error rng ~tables in
+  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul pk_b u) e0) pt.poly in
+  let c1 = Rns_poly.add (Rns_poly.mul pk_a u) e1 in
+  { polys = [| c0; c1 |]; level = pt.pt_level; scale = pt.pt_scale }
+
+let decrypt_poly ctx secret ct =
+  let s = Keys.secret_at_level ctx secret ~level:ct.level in
+  (* m = c0 + c1 s + c2 s^2 + ... *)
+  let acc = ref ct.polys.(Array.length ct.polys - 1) in
+  for i = Array.length ct.polys - 2 downto 0 do
+    acc := Rns_poly.add (Rns_poly.mul !acc s) ct.polys.(i)
+  done;
+  !acc
+
+let decrypt ctx ks ct = Context.decode ctx ~scale:ct.scale (decrypt_poly ctx ks ct)
+let decrypt_complex ctx ks ct = Context.decode_complex ctx ~scale:ct.scale (decrypt_poly ctx ks ct)
+
+let encode_complex ctx ~level ~scale values =
+  { poly = Context.encode_complex ctx ~level ~scale values; pt_level = level; pt_scale = scale }
+
+let negate ct = { ct with polys = Array.map Rns_poly.neg ct.polys }
+
+let add a b =
+  check_scales "add" a.scale b.scale;
+  check_levels "add" a.level b.level;
+  let ka = size a and kb = size b in
+  let polys =
+    Array.init (max ka kb) (fun i ->
+        if i < ka && i < kb then Rns_poly.add a.polys.(i) b.polys.(i)
+        else if i < ka then a.polys.(i)
+        else b.polys.(i))
+  in
+  { a with polys }
+
+let sub a b =
+  check_scales "sub" a.scale b.scale;
+  check_levels "sub" a.level b.level;
+  let ka = size a and kb = size b in
+  let polys =
+    Array.init (max ka kb) (fun i ->
+        if i < ka && i < kb then Rns_poly.sub a.polys.(i) b.polys.(i)
+        else if i < ka then a.polys.(i)
+        else Rns_poly.neg b.polys.(i))
+  in
+  { a with polys }
+
+let check_plain op ct pt =
+  check_levels op ct.level pt.pt_level;
+  ignore op
+
+let add_plain ct pt =
+  check_plain "add_plain" ct pt;
+  check_scales "add_plain" ct.scale pt.pt_scale;
+  let polys = Array.copy ct.polys in
+  polys.(0) <- Rns_poly.add polys.(0) pt.poly;
+  { ct with polys }
+
+let sub_plain ct pt =
+  check_plain "sub_plain" ct pt;
+  check_scales "sub_plain" ct.scale pt.pt_scale;
+  let polys = Array.copy ct.polys in
+  polys.(0) <- Rns_poly.sub polys.(0) pt.poly;
+  { ct with polys }
+
+let multiply a b =
+  check_levels "multiply" a.level b.level;
+  let ka = size a and kb = size b in
+  let k = ka + kb - 1 in
+  let polys =
+    Array.init k (fun _ -> Rns_poly.zero ~tables:(Rns_poly.tables a.polys.(0)))
+  in
+  for i = 0 to ka - 1 do
+    for j = 0 to kb - 1 do
+      Rns_poly.mul_acc polys.(i + j) a.polys.(i) b.polys.(j)
+    done
+  done;
+  { polys; level = a.level; scale = a.scale *. b.scale }
+
+let multiply_plain ct pt =
+  check_plain "multiply_plain" ct pt;
+  { ct with polys = Array.map (fun p -> Rns_poly.mul p pt.poly) ct.polys; scale = ct.scale *. pt.pt_scale }
+
+let relinearize ctx ks ct =
+  if size ct <> 3 then raise (Size_error (Printf.sprintf "relinearize: size %d, need 3" (size ct)));
+  let d0, d1 = Keys.switch ctx ks.Keys.relin ~level:ct.level ct.polys.(2) in
+  { ct with polys = [| Rns_poly.add ct.polys.(0) d0; Rns_poly.add ct.polys.(1) d1 |] }
+
+let rescale ctx ct =
+  if ct.level <= 1 then raise (Level_mismatch "rescale: already at the last element");
+  let e = ct.level - 1 in
+  let ev = Context.element_value ctx e in
+  (* An element spans one or two machine primes; one NTT round trip
+     covers both divisions. *)
+  let pc = Context.prime_count_for_level ctx ct.level - Context.prime_count_for_level ctx e in
+  { polys = Array.map (fun p -> Rns_poly.rescale_many p pc) ct.polys; level = e; scale = ct.scale /. ev }
+
+let mod_switch ctx ct =
+  if ct.level <= 1 then raise (Level_mismatch "mod_switch: already at the last element");
+  let e = ct.level - 1 in
+  let pc = Context.prime_count_for_level ctx ct.level - Context.prime_count_for_level ctx e in
+  { ct with polys = Array.map (fun p -> Rns_poly.drop_many p pc) ct.polys; level = e }
+
+let apply_galois ctx ks ct g =
+  if size ct <> 2 then raise (Size_error "galois: size-2 ciphertext required");
+  let key = match Keys.find_galois ks g with Some k -> k | None -> raise (Missing_galois_key g) in
+  let c0g = Rns_poly.galois ct.polys.(0) g in
+  (* Key switching consumes coefficients; skip the NTT round trip. *)
+  let c1g = Rns_poly.galois_to_coeff ct.polys.(1) g in
+  let d0, d1 = Keys.switch ctx key ~level:ct.level c1g in
+  { ct with polys = [| Rns_poly.add c0g d0; d1 |] }
+
+let rotate ctx ks ct steps =
+  let steps = ((steps mod Context.slots ctx) + Context.slots ctx) mod Context.slots ctx in
+  if steps = 0 then ct else apply_galois ctx ks ct (Context.galois_elt_rotate ctx steps)
+
+let conjugate ctx ks ct = apply_galois ctx ks ct (Context.galois_elt_conjugate ctx)

@@ -1,0 +1,147 @@
+module Ntt = Eva_rns.Ntt
+module Modarith = Eva_rns.Modarith
+module Rns_poly = Eva_poly.Rns_poly
+
+(* Secret key as raw NTT rows over the full chain (data then special). *)
+type secret = { s_rows : int array array }
+
+type public_key = { pk_b : Rns_poly.t; pk_a : Rns_poly.t }
+
+(* One digit per data modulus element; rows span the full chain. *)
+type switch_key = { kb : int array array array; ka : int array array array }
+
+type keyset = { public : public_key; relin : switch_key; galois : (int, switch_key) Hashtbl.t }
+
+let full_poly ctx rows = Rns_poly.of_ntt_rows ~tables:(Context.full_tables ctx) rows
+
+let sample_full ctx rng sampler = sampler rng ~tables:(Context.full_tables ctx)
+
+(* [generate_switch_key ctx rng s s_prime]: digit e's key encrypts
+   [P * W_e * s'] where W_e is the CRT basis element of modulus element e,
+   so P*W_e = P (mod q) for the element's own primes and 0 elsewhere. *)
+let generate_switch_key ctx rng s s_prime =
+  let full = Context.full_tables ctx in
+  let nd = Context.num_data_primes ctx in
+  let ns = Context.num_special_primes ctx in
+  let p_mod q =
+    let r = ref 1 in
+    for j = 0 to ns - 1 do
+      r := Modarith.mul !r (Ntt.modulus full.(nd + j) mod q) q
+    done;
+    !r
+  in
+  let ranges = Context.element_prime_ranges ctx in
+  let ne = Array.length ranges in
+  let kb = Array.make ne [||] and ka = Array.make ne [||] in
+  for e = 0 to ne - 1 do
+    let lo, count = ranges.(e) in
+    let a = Rns_poly.sample_uniform rng ~tables:full in
+    let err = Rns_poly.sample_error rng ~tables:full in
+    (* b = -(a*s) - err + (P mod q_i) * s' on the element's rows. *)
+    let b = Rns_poly.neg (Rns_poly.add (Rns_poly.mul a s) err) in
+    let b_rows = Rns_poly.rows b and s'_rows = Rns_poly.rows s_prime in
+    for i = lo to lo + count - 1 do
+      let qi = Ntt.modulus full.(i) in
+      let factor = p_mod qi in
+      let row = b_rows.(i) and srow = s'_rows.(i) in
+      for j = 0 to Array.length row - 1 do
+        row.(j) <- Modarith.add row.(j) (Modarith.mul factor srow.(j) qi) qi
+      done
+    done;
+    kb.(e) <- b_rows;
+    ka.(e) <- Rns_poly.rows a
+  done;
+  { kb; ka }
+
+let secret_at_level ctx secret ~level =
+  let tables = Context.tables_for_level ctx level in
+  let m = Array.length tables in
+  Rns_poly.of_ntt_rows ~tables (Array.sub secret.s_rows 0 m)
+
+let public_parts pk = (pk.pk_b, pk.pk_a)
+
+let generate ctx rng ~galois_elts =
+  let s = sample_full ctx rng Rns_poly.sample_ternary in
+  let secret = { s_rows = Rns_poly.rows s } in
+  (* Public key over the data chain only (fresh ciphertexts never carry
+     the special element). *)
+  let data_level = Context.chain_length ctx in
+  let data_tables = Context.tables_for_level ctx data_level in
+  let s_data = secret_at_level ctx secret ~level:data_level in
+  let a = Rns_poly.sample_uniform rng ~tables:data_tables in
+  let e = Rns_poly.sample_error rng ~tables:data_tables in
+  let pk_b = Rns_poly.neg (Rns_poly.add (Rns_poly.mul a s_data) e) in
+  let public = { pk_b; pk_a = a } in
+  let s_sq = Rns_poly.mul (full_poly ctx secret.s_rows) (full_poly ctx secret.s_rows) in
+  let relin = generate_switch_key ctx rng (full_poly ctx secret.s_rows) s_sq in
+  let galois = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      if not (Hashtbl.mem galois g) then begin
+        let s_g = Rns_poly.galois (full_poly ctx secret.s_rows) g in
+        Hashtbl.replace galois g (generate_switch_key ctx rng (full_poly ctx secret.s_rows) s_g)
+      end)
+    galois_elts;
+  (secret, { public; relin; galois })
+
+let add_galois ctx rng secret ks g =
+  let s = full_poly ctx secret.s_rows in
+  Hashtbl.replace ks.galois g (generate_switch_key ctx rng s (Rns_poly.galois s g))
+
+let find_galois ks g = Hashtbl.find_opt ks.galois g
+
+let switch_key_rows k = (k.kb, k.ka)
+let switch_key_of_rows ~kb ~ka = { kb; ka }
+let public_of_parts ~b ~a = { pk_b = b; pk_a = a }
+
+(* The integer value of a digit (the residues of one modulus element),
+   via Garner within the pair: D = ra + qa * ((rb - ra) / qa mod qb),
+   which fits a native int (below 2^61). Exact — no approximate base
+   extension needed. For one-prime elements D is the residue itself. *)
+let digit_values ~full ~lo ~count rows n =
+  if count = 1 then rows.(lo)
+  else begin
+    let qa = Ntt.modulus full.(lo) and qb = Ntt.modulus full.(lo + 1) in
+    let inv_qa = Modarith.inv (qa mod qb) qb in
+    let ra = rows.(lo) and rb = rows.(lo + 1) in
+    Array.init n (fun k ->
+        let t = Modarith.mul (Modarith.sub (rb.(k) mod qb) (ra.(k) mod qb) qb) inv_qa qb in
+        ra.(k) + (qa * t))
+  end
+
+let switch ctx key ~level c =
+  let level_tables = Context.tables_for_level ctx level in
+  let m = Array.length level_tables in
+  let target = Context.ks_tables ctx level in
+  let tm = Array.length target in
+  let nd = Context.num_data_primes ctx in
+  let full = Context.full_tables ctx in
+  let pick_rows rows = Array.init tm (fun j -> if j < m then rows.(j) else rows.(nd + (j - m))) in
+  let acc0 = Rns_poly.zero ~tables:target in
+  let acc1 = Rns_poly.zero ~tables:target in
+  let w = if Rns_poly.is_ntt c then Rns_poly.copy c else c in
+  Rns_poly.to_coeff w;
+  let w_rows = Rns_poly.rows w in
+  let n = Rns_poly.degree c in
+  let ranges = Context.element_prime_ranges ctx in
+  Array.iteri
+    (fun e (lo, count) ->
+      if lo + count <= m then begin
+        let d = digit_values ~full ~lo ~count w_rows n in
+        let digit_rows =
+          Array.init tm (fun j ->
+              let p = Ntt.modulus target.(j) in
+              if j >= lo && j < lo + count then Array.copy w_rows.(j)
+              else Array.init n (fun k -> d.(k) mod p))
+        in
+        let digit = Rns_poly.of_coeff_residues ~tables:target digit_rows in
+        Rns_poly.to_ntt digit;
+        let kb = Rns_poly.of_ntt_rows ~tables:target (pick_rows key.kb.(e)) in
+        let ka = Rns_poly.of_ntt_rows ~tables:target (pick_rows key.ka.(e)) in
+        Rns_poly.mul_acc acc0 digit kb;
+        Rns_poly.mul_acc acc1 digit ka
+      end)
+    ranges;
+  (* Divide by the special modulus P with rounding. *)
+  let ns = Context.num_special_primes ctx in
+  (Rns_poly.rescale_many acc0 ns, Rns_poly.rescale_many acc1 ns)

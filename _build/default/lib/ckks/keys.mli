@@ -1,0 +1,55 @@
+(** Key generation and hybrid key switching.
+
+    Key switching follows SEAL's RNS design: the polynomial to switch is
+    decomposed into one digit per modulus element of the current chain;
+    each digit multiplies a key encrypting [P * W_e * s'] under [s],
+    where [P] is the special modulus and [W_e] the CRT interpolation
+    basis element; the accumulated pair is finally divided by [P]. Keys
+    are generated once over the full chain and restricted row-wise at
+    lower levels.
+
+    The secret key is deliberately a separate value from the evaluation
+    {!keyset} (public, relinearization and Galois keys): the keyset is
+    what a client ships to an evaluating server, the secret never leaves
+    the client (see {!Wire}). *)
+
+type secret
+type public_key
+type switch_key
+
+type keyset = {
+  public : public_key;
+  relin : switch_key;
+  galois : (int, switch_key) Hashtbl.t;
+}
+
+(** [generate ctx rng ~galois_elts] makes a fresh secret and its
+    evaluation keys, with Galois keys for each requested element. *)
+val generate : Context.t -> Random.State.t -> galois_elts:int list -> secret * keyset
+
+(** Generate (or replace) the Galois key for element [g]; requires the
+    secret, so only the key owner can extend a keyset. *)
+val add_galois : Context.t -> Random.State.t -> secret -> keyset -> int -> unit
+
+val find_galois : keyset -> int -> switch_key option
+
+(** Secret key restricted to the first [level] elements, NTT form. *)
+val secret_at_level : Context.t -> secret -> level:int -> Eva_poly.Rns_poly.t
+
+(** Public key components (over the full data chain, NTT form). *)
+val public_parts : public_key -> Eva_poly.Rns_poly.t * Eva_poly.Rns_poly.t
+
+(** [switch ctx key ~level c] returns [(d0, d1)] over the first [level]
+    elements with [d0 + d1*s ~ c*s'] where [s'] is the key's source
+    secret. [c] may be in either form (coefficient form avoids one NTT
+    round trip; [c] is not modified either way). *)
+val switch : Context.t -> switch_key -> level:int -> Eva_poly.Rns_poly.t -> Eva_poly.Rns_poly.t * Eva_poly.Rns_poly.t
+
+(** {2 Raw access for the wire format} *)
+
+(** Per-digit (b, a) rows over the full chain, NTT form. Shared, not
+    copied. *)
+val switch_key_rows : switch_key -> int array array array * int array array array
+
+val switch_key_of_rows : kb:int array array array -> ka:int array array array -> switch_key
+val public_of_parts : b:Eva_poly.Rns_poly.t -> a:Eva_poly.Rns_poly.t -> public_key

@@ -1,0 +1,21 @@
+type level = Bits128 | Bits192 | Bits256
+
+(* HE Standard (HomomorphicEncryption.org, 2018), ternary secret tables,
+   extended to N = 65536 as in SEAL's HE-standard extrapolation. *)
+let table_128 = [ (1024, 27); (2048, 54); (4096, 109); (8192, 218); (16384, 438); (32768, 881); (65536, 1772) ]
+let table_192 = [ (1024, 19); (2048, 37); (4096, 75); (8192, 152); (16384, 305); (32768, 611); (65536, 1228) ]
+let table_256 = [ (1024, 14); (2048, 29); (4096, 58); (8192, 118); (16384, 237); (32768, 476); (65536, 956) ]
+
+let table = function Bits128 -> table_128 | Bits192 -> table_192 | Bits256 -> table_256
+
+let max_log_q ~level ~n =
+  match List.assoc_opt n (table level) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Security.max_log_q: unsupported degree %d" n)
+
+let min_degree ~level ~log_q =
+  let rec go = function
+    | [] -> failwith (Printf.sprintf "Security.min_degree: log Q = %d exceeds every standard degree" log_q)
+    | (n, b) :: rest -> if log_q <= b then n else go rest
+  in
+  go (table level)

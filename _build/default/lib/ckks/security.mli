@@ -1,0 +1,19 @@
+(** Security bounds from the Homomorphic Encryption Standard (2018).
+
+    For a fixed polynomial modulus degree N, the standard upper-bounds the
+    total coefficient modulus bit count log2 Q that keeps the scheme at a
+    given security level. SEAL validates encryption parameters against the
+    same table; EVA's parameter selection doubles N until the selected
+    modulus fits. *)
+
+type level = Bits128 | Bits192 | Bits256
+
+(** [max_log_q ~level ~n] is the largest permitted total modulus bit count
+    for degree [n] (a power of two between 1024 and 65536); raises
+    [Invalid_argument] for other degrees. *)
+val max_log_q : level:level -> n:int -> int
+
+(** [min_degree ~level ~log_q] is the smallest standard degree whose bound
+    admits [log_q] total bits. Raises [Failure] if even N = 65536 cannot
+    accommodate it. *)
+val min_degree : level:level -> log_q:int -> int

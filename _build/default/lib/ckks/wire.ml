@@ -1,0 +1,149 @@
+module Rns_poly = Eva_poly.Rns_poly
+
+(* ------------------------------------------------------------------ *)
+(* A tiny whitespace-separated token reader                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_token s ~pos =
+  let n = String.length s in
+  let i = ref !pos in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+    incr i
+  done;
+  if !i >= n then failwith "Wire: unexpected end of input";
+  let start = !i in
+  while !i < n && not (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+    incr i
+  done;
+  pos := !i;
+  String.sub s start (!i - start)
+
+let read_int s ~pos =
+  let t = read_token s ~pos in
+  match int_of_string_opt t with Some v -> v | None -> failwith (Printf.sprintf "Wire: expected integer, got %S" t)
+
+let read_float s ~pos =
+  let t = read_token s ~pos in
+  match float_of_string_opt t with Some v -> v | None -> failwith (Printf.sprintf "Wire: expected float, got %S" t)
+
+let expect s ~pos tag =
+  let t = read_token s ~pos in
+  if t <> tag then failwith (Printf.sprintf "Wire: expected %S, got %S" tag t)
+
+let write_int_array buf a =
+  Printf.bprintf buf "%d\n" (Array.length a);
+  Array.iteri
+    (fun i v ->
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf (if (i + 1) mod 32 = 0 then '\n' else ' '))
+    a;
+  Buffer.add_char buf '\n'
+
+let read_int_array s ~pos =
+  let n = read_int s ~pos in
+  Array.init n (fun _ -> read_int s ~pos)
+
+let write_rows buf rows =
+  Printf.bprintf buf "%d\n" (Array.length rows);
+  Array.iter (write_int_array buf) rows
+
+let read_rows s ~pos =
+  let n = read_int s ~pos in
+  Array.init n (fun _ -> read_int_array s ~pos)
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_context buf ctx =
+  Printf.bprintf buf "context %d\n" (Context.degree ctx);
+  let bits = Context.data_bits ctx in
+  Printf.bprintf buf "%d %s\n" (List.length bits) (String.concat " " (List.map string_of_int bits));
+  (* The special chain is regenerated from its bit count (one element of
+     s_f = 60 in this library). *)
+  Printf.bprintf buf "%d\n" 60
+
+let read_context ?(ignore_security = false) s ~pos =
+  expect s ~pos "context";
+  let n = read_int s ~pos in
+  let k = read_int s ~pos in
+  let data_bits = List.init k (fun _ -> read_int s ~pos) in
+  let special = read_int s ~pos in
+  Context.make ~ignore_security ~n ~data_bits ~special_bits:[ special ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Ciphertexts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_ciphertext buf ct =
+  Printf.bprintf buf "ciphertext %d %h\n" ct.Eval.level ct.Eval.scale;
+  Printf.bprintf buf "%d\n" (Array.length ct.Eval.polys);
+  Array.iter
+    (fun p ->
+      let p = Rns_poly.copy p in
+      Rns_poly.to_ntt p;
+      write_rows buf (Rns_poly.rows p))
+    ct.Eval.polys
+
+let read_ciphertext ctx s ~pos =
+  expect s ~pos "ciphertext";
+  let level = read_int s ~pos in
+  let scale = read_float s ~pos in
+  let count = read_int s ~pos in
+  let tables = Context.tables_for_level ctx level in
+  let polys =
+    Array.init count (fun _ ->
+        let rows = read_rows s ~pos in
+        if Array.length rows <> Array.length tables then failwith "Wire: ciphertext/context prime mismatch";
+        Rns_poly.of_ntt_rows ~tables rows)
+  in
+  { Eval.polys; level; scale }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation keys                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_switch_key buf k =
+  let kb, ka = Keys.switch_key_rows k in
+  Printf.bprintf buf "%d\n" (Array.length kb);
+  Array.iter (write_rows buf) kb;
+  Array.iter (write_rows buf) ka
+
+let read_switch_key s ~pos =
+  let digits = read_int s ~pos in
+  let kb = Array.init digits (fun _ -> read_rows s ~pos) in
+  let ka = Array.init digits (fun _ -> read_rows s ~pos) in
+  Keys.switch_key_of_rows ~kb ~ka
+
+let write_eval_keys buf ks =
+  Buffer.add_string buf "evalkeys\n";
+  let b, a = Keys.public_parts ks.Keys.public in
+  write_rows buf (Rns_poly.rows b);
+  write_rows buf (Rns_poly.rows a);
+  write_switch_key buf ks.Keys.relin;
+  let galois = Hashtbl.fold (fun g k acc -> (g, k) :: acc) ks.Keys.galois [] in
+  Printf.bprintf buf "%d\n" (List.length galois);
+  List.iter
+    (fun (g, k) ->
+      Printf.bprintf buf "%d\n" g;
+      write_switch_key buf k)
+    (List.sort compare galois)
+
+let read_eval_keys ctx s ~pos =
+  expect s ~pos "evalkeys";
+  let data_tables = Context.tables_for_level ctx (Context.chain_length ctx) in
+  let b = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos) in
+  let a = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos) in
+  let relin = read_switch_key s ~pos in
+  let n_galois = read_int s ~pos in
+  let galois = Hashtbl.create (max 1 n_galois) in
+  for _ = 1 to n_galois do
+    let g = read_int s ~pos in
+    Hashtbl.replace galois g (read_switch_key s ~pos)
+  done;
+  { Keys.public = Keys.public_of_parts ~b ~a; relin; galois }
+
+let to_string write v =
+  let buf = Buffer.create 4096 in
+  write buf v;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Wire format for scheme objects: contexts, ciphertexts and evaluation
+    keys as portable text.
+
+    This is what an actual FHE deployment exchanges: the client sends the
+    context parameters, the evaluation keys (relinearization and Galois —
+    {e never} the secret key) and its ciphertexts; the server evaluates
+    and returns result ciphertexts. Prime generation is deterministic
+    given the parameters, so both sides reconstruct identical NTT tables
+    from the compact description.
+
+    The format is whitespace-separated decimal text — simple, portable,
+    diffable; ciphertexts at demo sizes are a few hundred kilobytes. *)
+
+(** Context parameters sufficient to rebuild an identical context. *)
+val write_context : Buffer.t -> Context.t -> unit
+
+val read_context : ?ignore_security:bool -> string -> pos:int ref -> Context.t
+
+val write_ciphertext : Buffer.t -> Eval.ciphertext -> unit
+
+(** Reading validates the component count against the context. *)
+val read_ciphertext : Context.t -> string -> pos:int ref -> Eval.ciphertext
+
+(** Evaluation keys only: relinearization and Galois keys. The secret key
+    never leaves the client. *)
+val write_eval_keys : Buffer.t -> Keys.keyset -> unit
+
+(** Rebuild a keyset usable for evaluation (but not decryption — the
+    secret key has its own side of the wire and stays with the client). *)
+val read_eval_keys : Context.t -> string -> pos:int ref -> Keys.keyset
+
+(** Round-trip helpers used by tests. *)
+val to_string : (Buffer.t -> 'a -> unit) -> 'a -> string

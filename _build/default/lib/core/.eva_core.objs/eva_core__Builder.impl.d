@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Ir List Printf

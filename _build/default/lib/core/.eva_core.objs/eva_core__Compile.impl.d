@@ -1,0 +1,1 @@
+lib/core/compile.ml: Ir Optimize Params Passes Unix Validate

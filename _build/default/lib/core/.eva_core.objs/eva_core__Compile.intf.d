@@ -1,0 +1,1 @@
+lib/core/compile.mli: Ir Params Passes

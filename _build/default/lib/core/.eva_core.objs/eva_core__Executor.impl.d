@@ -1,0 +1,1 @@
+lib/core/executor.ml: Analysis Array Compile Eva_ckks Float Hashtbl Ir List Mutex Option Params Printf Random Reference Unix

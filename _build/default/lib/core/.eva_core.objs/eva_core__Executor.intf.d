@@ -1,0 +1,1 @@
+lib/core/executor.mli: Compile Eva_ckks Ir Reference

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ir.mli: Format

@@ -1,0 +1,1 @@
+lib/core/noise.ml: Analysis Array Compile Float Hashtbl Ir List

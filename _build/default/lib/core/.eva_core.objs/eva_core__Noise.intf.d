@@ -1,0 +1,1 @@
+lib/core/noise.mli: Compile

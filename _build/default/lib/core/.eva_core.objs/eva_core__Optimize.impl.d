@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Analysis Array Hashtbl Ir List Option Reference Rewrite

@@ -1,0 +1,1 @@
+lib/core/optimize.mli: Ir

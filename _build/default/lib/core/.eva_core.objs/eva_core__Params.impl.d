@@ -1,0 +1,1 @@
+lib/core/params.ml: Analysis Eva_ckks Eva_rns Format Hashtbl Ir List Passes String

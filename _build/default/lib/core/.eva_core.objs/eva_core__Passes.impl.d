@@ -1,0 +1,1 @@
+lib/core/passes.ml: Analysis Array Fun Hashtbl Ir List Rewrite

@@ -1,0 +1,1 @@
+lib/core/passes.mli: Ir

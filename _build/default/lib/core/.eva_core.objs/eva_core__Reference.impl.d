@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Hashtbl Ir List Printf

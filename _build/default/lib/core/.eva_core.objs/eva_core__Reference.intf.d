@@ -1,0 +1,1 @@
+lib/core/reference.mli: Ir

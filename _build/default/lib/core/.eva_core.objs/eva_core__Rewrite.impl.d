@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Ir List

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Fun Hashtbl Ir List Printf String

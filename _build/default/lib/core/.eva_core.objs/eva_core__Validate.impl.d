@@ -1,0 +1,1 @@
+lib/core/validate.ml: Analysis Array Format Hashtbl Ir List Passes

@@ -1,0 +1,24 @@
+(** The compiler driver (Algorithm 1).
+
+    Takes a frontend input program, transforms it (inserting RESCALE,
+    MODSWITCH, RELINEARIZE and scale-matching nodes), validates every
+    constraint, and selects encryption parameters and rotation steps.
+    The input program is left untouched; the result holds a transformed
+    copy. *)
+
+type compiled = {
+  program : Ir.program;  (** transformed and validated *)
+  params : Params.t;
+  policy : Passes.policy;
+  s_f : int;
+}
+
+(** Raises {!Validate.Validation_error} (compiler bug or ill-formed
+    input), {!Analysis.Analysis_error}, or {!Params.Selection_error}.
+    [optimize] runs the semantics-preserving cleanup passes of
+    {!Optimize} before the FHE-specific transformations (default off to
+    keep compiled graphs predictable for inspection). *)
+val run : ?s_f:int -> ?waterline:int -> ?policy:Passes.policy -> ?optimize:bool -> Ir.program -> compiled
+
+(** Compilation time of [run], in seconds, alongside the result. *)
+val run_timed : ?s_f:int -> ?waterline:int -> ?policy:Passes.policy -> ?optimize:bool -> Ir.program -> compiled * float

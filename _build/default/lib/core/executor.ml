@@ -1,0 +1,274 @@
+module Ctx = Eva_ckks.Context
+module Keys = Eva_ckks.Keys
+module Eval = Eva_ckks.Eval
+
+type timings = {
+  context_seconds : float;
+  encrypt_seconds : float;
+  execute_seconds : float;
+  decrypt_seconds : float;
+  per_node : (int * Ir.op * float) list;
+}
+
+type result = { outputs : (string * float array) list; timings : timings }
+
+exception Missing_input of string
+
+type value = Ct of Eval.ciphertext | Plain of float array
+
+type engine = {
+  ctx : Ctx.t;
+  secret : Keys.secret;
+  keyset : Keys.keyset;
+  rng : Random.State.t;
+  vec_size : int;
+  node_scales : (int, int) Hashtbl.t;
+  pt_cache : (int * int * float, Eval.plaintext) Hashtbl.t;
+  pt_lock : Mutex.t;
+  inputs : (int * value) list;
+  context_seconds : float;
+  encrypt_seconds : float;
+}
+
+let now = Unix.gettimeofday
+
+let plain_of_binding vs = function
+  | Reference.Vec v -> Reference.tile vs v
+  | Reference.Scal s -> Array.make vs s
+
+let prepare ?(seed = 1) ?(ignore_security = false) ?log_n compiled bindings =
+  let p = compiled.Compile.program in
+  let vs = p.Ir.vec_size in
+  let params = compiled.Compile.params in
+  let log_n = Option.value log_n ~default:params.Params.log_n in
+  let rng = Random.State.make [| seed |] in
+  let t0 = now () in
+  let ctx =
+    Ctx.make ~ignore_security ~n:(1 lsl log_n) ~data_bits:params.Params.context_data_bits
+      ~special_bits:params.Params.special_bits ()
+  in
+  let slots = Ctx.slots ctx in
+  if slots < vs then invalid_arg "Executor: degree too small for the program vector size";
+  (* Ciphertexts are periodic in vec_size (inputs replicate), so any
+     rotation step congruent mod vec_size acts identically; keys are
+     generated for the same left-normalized steps the evaluator uses. *)
+  let galois_elts =
+    List.map
+      (fun step -> Ctx.galois_elt_rotate ctx (((step mod vs) + vs) mod vs))
+      params.Params.rotations
+  in
+  let secret, keyset = Keys.generate ctx rng ~galois_elts in
+  let context_seconds = now () -. t0 in
+  let top_level = Ctx.chain_length ctx in
+  let binding name =
+    match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
+  in
+  let t1 = now () in
+  let inputs =
+    List.filter_map
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Input (Ir.Cipher, name) ->
+            let v = plain_of_binding vs (binding name) in
+            let pt = Eval.encode ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) v in
+            Some (n.Ir.id, Ct (Eval.encrypt ctx keyset rng pt))
+        | Ir.Input (_, name) -> Some (n.Ir.id, Plain (plain_of_binding vs (binding name)))
+        | _ -> None)
+      (List.rev p.Ir.all_nodes)
+  in
+  let encrypt_seconds = now () -. t1 in
+  {
+    ctx;
+    secret;
+    keyset;
+    rng;
+    vec_size = vs;
+    node_scales = Analysis.scales p;
+    pt_cache = Hashtbl.create 32;
+    pt_lock = Mutex.create ();
+    inputs;
+    context_seconds;
+    encrypt_seconds;
+  }
+
+let input_values e = e.inputs
+let engine_context_seconds e = e.context_seconds
+let engine_encrypt_seconds e = e.encrypt_seconds
+
+let rebind e compiled bindings =
+  let p = compiled.Compile.program in
+  let vs = p.Ir.vec_size in
+  let top_level = Ctx.chain_length e.ctx in
+  let binding name =
+    match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
+  in
+  let t0 = now () in
+  let inputs =
+    List.filter_map
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Input (Ir.Cipher, name) ->
+            let v = plain_of_binding vs (binding name) in
+            let pt = Eval.encode e.ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) v in
+            Some (n.Ir.id, Ct (Eval.encrypt e.ctx e.keyset e.rng pt))
+        | Ir.Input (_, name) -> Some (n.Ir.id, Plain (plain_of_binding vs (binding name)))
+        | _ -> None)
+      (List.rev p.Ir.all_nodes)
+  in
+  { e with inputs; encrypt_seconds = now () -. t0; pt_cache = Hashtbl.create 32 }
+
+(* Encode a plaintext operand, caching by (node, level, scale). The plain
+   value is snapshotted into [plain_values] the first time. *)
+let encode_cached e n plain ~level ~scale =
+  Mutex.lock e.pt_lock;
+  let pt =
+    match Hashtbl.find_opt e.pt_cache (n.Ir.id, level, scale) with
+    | Some pt -> pt
+    | None ->
+        let pt = Eval.encode e.ctx ~level ~scale plain in
+        Hashtbl.replace e.pt_cache (n.Ir.id, level, scale) pt;
+        pt
+  in
+  Mutex.unlock e.pt_lock;
+  pt
+
+let scale_of e n = Float.ldexp 1.0 (Hashtbl.find e.node_scales n.Ir.id)
+
+let eval_node e n parents =
+  let vs = e.vec_size in
+  let plain2 f a b = Array.init vs (fun i -> f a.(i) b.(i)) in
+  let rotate_ct ct k =
+    let k = ((k mod vs) + vs) mod vs in
+    Eval.rotate e.ctx e.keyset ct k
+  in
+  match (n.Ir.op, parents) with
+  | Ir.Input _, _ -> invalid_arg "Executor.eval_node: inputs are prepared, not evaluated"
+  | Ir.Constant (Ir.Const_vector v), _ -> Plain (Reference.tile vs v)
+  | Ir.Constant (Ir.Const_scalar s), _ -> Plain (Array.make vs s)
+  | Ir.Negate, [ Ct a ] -> Ct (Eval.negate a)
+  | Ir.Negate, [ Plain a ] -> Plain (Array.map (fun x -> -.x) a)
+  | Ir.Add, [ Ct a; Ct b ] -> Ct (Eval.add a b)
+  | Ir.Add, [ Ct a; Plain p ] -> Ct (Eval.add_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:a.Eval.scale))
+  | Ir.Add, [ Plain p; Ct b ] -> Ct (Eval.add_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:b.Eval.scale))
+  | Ir.Add, [ Plain a; Plain b ] -> Plain (plain2 ( +. ) a b)
+  | Ir.Sub, [ Ct a; Ct b ] -> Ct (Eval.sub a b)
+  | Ir.Sub, [ Ct a; Plain p ] -> Ct (Eval.sub_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:a.Eval.scale))
+  | Ir.Sub, [ Plain p; Ct b ] ->
+      Ct (Eval.negate (Eval.sub_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:b.Eval.scale)))
+  | Ir.Sub, [ Plain a; Plain b ] -> Plain (plain2 ( -. ) a b)
+  | Ir.Multiply, [ Ct a; Ct b ] -> Ct (Eval.multiply a b)
+  | Ir.Multiply, [ Ct a; Plain p ] ->
+      Ct (Eval.multiply_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:(scale_of e n.Ir.parms.(1))))
+  | Ir.Multiply, [ Plain p; Ct b ] ->
+      Ct (Eval.multiply_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:(scale_of e n.Ir.parms.(0))))
+  | Ir.Multiply, [ Plain a; Plain b ] -> Plain (plain2 ( *. ) a b)
+  | Ir.Rotate_left k, [ Ct a ] -> Ct (rotate_ct a k)
+  | Ir.Rotate_left k, [ Plain a ] -> Plain (Array.init vs (fun i -> a.((((i + k) mod vs) + vs) mod vs)))
+  | Ir.Rotate_right k, [ Ct a ] -> Ct (rotate_ct a (-k))
+  | Ir.Rotate_right k, [ Plain a ] -> Plain (Array.init vs (fun i -> a.((((i - k) mod vs) + vs) mod vs)))
+  | Ir.Relinearize, [ Ct a ] -> Ct (Eval.relinearize e.ctx e.keyset a)
+  | Ir.Mod_switch, [ Ct a ] -> Ct (Eval.mod_switch e.ctx a)
+  | Ir.Rescale k, [ Ct a ] ->
+      let elem = a.Eval.level - 1 in
+      let bits = Float.log2 (Ctx.element_value e.ctx elem) in
+      if Float.abs (bits -. float_of_int k) > 1.0 then
+        failwith (Printf.sprintf "Executor: rescale by 2^%d but next element has %.2f bits" k bits);
+      (* Paper footnote 1: the message is divided by the exact prime
+         product but the tracked scale by 2^k, so paths reconciled by
+         MODSWITCH (which leaves scales untouched) still match. The
+         residual distortion is part of the CKKS approximation. *)
+      let ct' = Eval.rescale e.ctx a in
+      Ct { ct' with Eval.scale = a.Eval.scale /. Float.ldexp 1.0 k }
+  | (Ir.Relinearize | Ir.Mod_switch | Ir.Rescale _), [ Plain a ] -> Plain a
+  | Ir.Output _, [ v ] -> v
+  | _ -> failwith (Printf.sprintf "Executor: bad operands for %s" (Ir.op_name n.Ir.op))
+
+let read_output e = function
+  | Plain a -> a
+  | Ct ct -> Array.sub (Eval.decrypt e.ctx e.secret ct) 0 e.vec_size
+
+let run_on e compiled =
+  let p = compiled.Compile.program in
+  let t0 = now () in
+  let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (id, v) -> Hashtbl.replace values id v) e.inputs;
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace remaining n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
+  let release parent =
+    let r = Hashtbl.find remaining parent.Ir.id - 1 in
+    Hashtbl.replace remaining parent.Ir.id r;
+    if r = 0 then Hashtbl.remove values parent.Ir.id
+  in
+  let outputs = ref [] in
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Input _ -> ()
+      | _ ->
+          let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
+          let v = eval_node e n parents in
+          (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
+          Hashtbl.replace values n.Ir.id v;
+          Array.iter release n.Ir.parms)
+    (Ir.topological p);
+  let elapsed = now () -. t0 in
+  (List.rev_map (fun (name, v) -> (name, read_output e v)) !outputs, elapsed)
+
+let execute ?seed ?ignore_security ?log_n compiled bindings =
+  let p = compiled.Compile.program in
+  let e = prepare ?seed ?ignore_security ?log_n compiled bindings in
+  let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (id, v) -> Hashtbl.replace values id v) e.inputs;
+  (* Remaining-use counts drive buffer release (memory reuse). *)
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace remaining n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
+  let release parent =
+    let r = Hashtbl.find remaining parent.Ir.id - 1 in
+    Hashtbl.replace remaining parent.Ir.id r;
+    if r = 0 then Hashtbl.remove values parent.Ir.id
+  in
+  let outputs = ref [] in
+  let per_node = ref [] in
+  let t0 = now () in
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Input _ -> ()
+      | _ ->
+          let tn = now () in
+          let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
+          let v = eval_node e n parents in
+          (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
+          Hashtbl.replace values n.Ir.id v;
+          Array.iter release n.Ir.parms;
+          per_node := (n.Ir.id, n.Ir.op, now () -. tn) :: !per_node)
+    (Ir.topological p);
+  let execute_seconds = now () -. t0 in
+  let t1 = now () in
+  let decrypted = List.rev_map (fun (name, v) -> (name, read_output e v)) !outputs in
+  let decrypt_seconds = now () -. t1 in
+  {
+    outputs = decrypted;
+    timings =
+      {
+        context_seconds = e.context_seconds;
+        encrypt_seconds = e.encrypt_seconds;
+        execute_seconds;
+        decrypt_seconds;
+        per_node = List.rev !per_node;
+      };
+  }
+
+let max_abs_error a b =
+  List.fold_left
+    (fun acc (name, va) ->
+      match List.assoc_opt name b with
+      | None -> acc
+      | Some vb ->
+          let len = min (Array.length va) (Array.length vb) in
+          let m = ref acc in
+          for i = 0 to len - 1 do
+            m := Float.max !m (Float.abs (va.(i) -. vb.(i)))
+          done;
+          !m)
+    0.0 a

@@ -1,0 +1,76 @@
+(** Execution of compiled EVA programs on the RNS-CKKS scheme.
+
+    The executor builds the encryption context from the compiler-selected
+    parameters, generates keys (including one Galois key per selected
+    rotation step), encrypts the Cipher inputs, evaluates the graph, and
+    decrypts the outputs. Plaintext operands are encoded on demand: at
+    their declared power-of-two scale for MULTIPLY, and at the exact
+    runtime scale of the cipher operand for ADD/SUB (as SEAL programs do),
+    so scale bookkeeping never drifts.
+
+    Ciphertext buffers are released as soon as their last consumer has
+    run, reproducing the memory-reuse behaviour of the paper's executor
+    (Section 6.1). Per-node wall-clock timings are recorded for the
+    scheduling model. *)
+
+type timings = {
+  context_seconds : float;  (** context + key generation *)
+  encrypt_seconds : float;
+  execute_seconds : float;
+  decrypt_seconds : float;
+  per_node : (int * Ir.op * float) list;  (** node id, opcode, seconds *)
+}
+
+type result = { outputs : (string * float array) list; timings : timings }
+
+exception Missing_input of string
+
+(** A runtime value: an encrypted vector or a plaintext vector of
+    [vec_size] floats (scalars are broadcast at binding time). *)
+type value = Ct of Eva_ckks.Eval.ciphertext | Plain of float array
+
+(** A prepared engine: context, keys (one Galois key per selected
+    rotation), and encrypted inputs. *)
+type engine
+
+(** [prepare c bindings] builds the context and keys and encrypts the
+    Cipher inputs. See {!execute} for [seed], [ignore_security],
+    [log_n]. *)
+val prepare :
+  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> Compile.compiled ->
+  (string * Reference.binding) list -> engine
+
+(** Initial values for input nodes (id-indexed). *)
+val input_values : engine -> (int * value) list
+
+(** [rebind e c bindings] re-encrypts fresh inputs reusing the engine's
+    context and keys (amortizes key generation across many runs). *)
+val rebind : engine -> Compile.compiled -> (string * Reference.binding) list -> engine
+
+(** Run a compiled program on a prepared engine (single-threaded),
+    returning decrypted outputs and the execute wall time. *)
+val run_on : engine -> Compile.compiled -> (string * float array) list * float
+
+(** [eval_node e n parents] computes one instruction from its parameter
+    values. Thread-safe once all keys are pregenerated (they are, by
+    {!prepare}); the plaintext-encoding cache is internally locked. *)
+val eval_node : engine -> Ir.node -> value list -> value
+
+val engine_context_seconds : engine -> float
+val engine_encrypt_seconds : engine -> float
+
+(** Decrypt (or pass through) an output value. *)
+val read_output : engine -> value -> float array
+
+(** [execute c bindings] runs a compiled program end to end. [seed]
+    controls all randomness (key generation and encryption). [log_n]
+    overrides the selected degree — benchmarks use it to execute
+    compiled programs at reduced (insecure) sizes; the modulus chain is
+    kept as selected. *)
+val execute :
+  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> Compile.compiled ->
+  (string * Reference.binding) list -> result
+
+(** Outputs of {!execute} paired with the reference semantics of the
+    same source program, for accuracy measurements. *)
+val max_abs_error : (string * float array) list -> (string * float array) list -> float

@@ -1,0 +1,33 @@
+(** Static error estimation for compiled programs.
+
+    CKKS is approximate: encoding quantization, encryption noise,
+    rescaling rounding and key switching all perturb the message. This
+    pass propagates a per-node error estimate (standard deviation of the
+    decoded slot values) together with a message-magnitude bound through
+    the graph, predicting each output's absolute error without running
+    the scheme. The paper lists this kind of error-rate analysis (as in
+    ALCHEMY) as orthogonal work that can be incorporated into EVA; here
+    it is.
+
+    The model is a first-moment heuristic — each instruction's
+    contribution uses the standard CKKS noise expressions with
+    conservative (sum rather than root-sum-square) combination — and is
+    validated against measured executor error to within two orders of
+    magnitude, which is what it is for: catching scales that are too
+    small for a given computation before paying for an execution. *)
+
+type estimate = {
+  abs_error : float;  (** predicted standard deviation of output error *)
+  magnitude : float;  (** bound on |output value| under the input bounds *)
+}
+
+(** [estimate c ~log_n] predicts every output's error when executed at
+    degree [2^log_n]. [input_magnitude] bounds |input values| (default
+    1.0). *)
+val estimate : ?input_magnitude:float -> log_n:int -> Compile.compiled -> (string * estimate) list
+
+(** [check c ~log_n ~tolerance] is the list of outputs whose predicted
+    error exceeds [tolerance] (empty = the program is expected to be
+    accurate enough). *)
+val check :
+  ?input_magnitude:float -> log_n:int -> tolerance:float -> Compile.compiled -> (string * estimate) list

@@ -1,0 +1,229 @@
+let default_s_f = 60
+
+let waterline p =
+  List.fold_left
+    (fun acc n -> match n.Ir.op with Ir.Input _ | Ir.Constant _ -> max acc n.Ir.decl_scale | _ -> acc)
+    0 p.Ir.all_nodes
+
+(* Incremental type tracking: inserted FHE-specific nodes inherit their
+   parent's type, so a table seeded from the pre-pass graph stays valid as
+   long as new nodes are registered. *)
+let make_type_state p =
+  let ty = Analysis.types p in
+  let is_cipher n =
+    match Hashtbl.find_opt ty n.Ir.id with
+    | Some t -> t = Ir.Cipher
+    | None -> failwith "Passes: unregistered node in type state"
+  in
+  let register n t = Hashtbl.replace ty n.Ir.id t in
+  (is_cipher, register)
+
+let make_scale_state () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let get n =
+    match Hashtbl.find_opt tbl n.Ir.id with
+    | Some s -> s
+    | None -> failwith "Passes: unregistered node in scale state"
+  in
+  let set n s = Hashtbl.replace tbl n.Ir.id s in
+  (get, set)
+
+let rescale_insertion p ~divisor_for =
+  let is_cipher, register_type = make_type_state p in
+  let get_scale, set_scale = make_scale_state () in
+  Rewrite.forward p (fun n ->
+      let s = Analysis.scale_formula ~is_cipher ~get:get_scale n in
+      set_scale n s;
+      match n.Ir.op with
+      | Ir.Multiply when is_cipher n -> begin
+          match divisor_for ~result_scale:s ~parm_scales:(Array.map get_scale n.Ir.parms) with
+          | None -> false
+          | Some d ->
+              let ns = Ir.insert_between p n (Ir.Rescale d) [] in
+              register_type ns Ir.Cipher;
+              set_scale ns (s - d);
+              true
+        end
+      | _ -> false)
+
+let waterline_rescale ?(s_f = default_s_f) ?waterline:sw_opt p =
+  let sw = match sw_opt with Some sw -> sw | None -> waterline p in
+  rescale_insertion p ~divisor_for:(fun ~result_scale ~parm_scales:_ ->
+      if result_scale - s_f >= sw then Some s_f else None)
+
+let always_rescale p =
+  rescale_insertion p ~divisor_for:(fun ~result_scale:_ ~parm_scales ->
+      Some (Array.fold_left min max_int parm_scales))
+
+(* Levels here are rescale-chain lengths only; value conformance is left to
+   the validator. *)
+let make_level_state () =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let get n =
+    match Hashtbl.find_opt tbl n.Ir.id with
+    | Some l -> l
+    | None -> failwith "Passes: unregistered node in level state"
+  in
+  let set n l = Hashtbl.replace tbl n.Ir.id l in
+  (get, set)
+
+let lazy_modswitch p =
+  let is_cipher, register_type = make_type_state p in
+  let get_level, set_level = make_level_state () in
+  Rewrite.forward p (fun n ->
+      let level_of m = if is_cipher m then get_level m else 0 in
+      let base_level =
+        match n.Ir.op with
+        | Ir.Input _ | Ir.Constant _ -> 0
+        | Ir.Rescale _ | Ir.Mod_switch -> get_level n.Ir.parms.(0) + 1
+        | _ ->
+            Array.fold_left
+              (fun acc parent -> if is_cipher parent then max acc (get_level parent) else acc)
+              0 n.Ir.parms
+      in
+      let changed = ref false in
+      (match n.Ir.op with
+      | Ir.Add | Ir.Sub | Ir.Multiply ->
+          let target =
+            Array.fold_left
+              (fun acc parent -> if is_cipher parent then max acc (level_of parent) else acc)
+              0 n.Ir.parms
+          in
+          Array.iteri
+            (fun i parent ->
+              if is_cipher parent && level_of parent < target then begin
+                let m = ref parent in
+                for _ = 1 to target - level_of parent do
+                  let ms = Ir.add_node p Ir.Mod_switch [ !m ] in
+                  register_type ms Ir.Cipher;
+                  set_level ms (get_level !m + 1);
+                  m := ms
+                done;
+                Ir.set_parm n i !m;
+                changed := true
+              end)
+            n.Ir.parms
+      | _ -> ());
+      set_level n base_level;
+      !changed)
+
+let eager_modswitch p =
+  let is_cipher, register_type = make_type_state p in
+  let rl : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rlevel n =
+    match Hashtbl.find_opt rl n.Ir.id with Some v -> v | None -> failwith "Passes.eager_modswitch: missing rlevel"
+  in
+  let changed = ref false in
+  let equalize_children n self =
+    (* Gather (child, slot, edge rlevel) for every cipher use of n. *)
+    let edges =
+      List.concat_map
+        (fun c ->
+          if is_cipher c then
+            Array.to_list
+              (Array.of_list
+                 (List.filter_map
+                    (fun i -> if n == c.Ir.parms.(i) then Some (c, i, rlevel c) else None)
+                    (List.init (Array.length c.Ir.parms) Fun.id)))
+          else [])
+        n.Ir.uses
+    in
+    match edges with
+    | [] -> 0 + self
+    | _ ->
+        let max_v = List.fold_left (fun acc (_, _, v) -> max acc v) 0 edges in
+        let min_v = List.fold_left (fun acc (_, _, v) -> min acc v) max_int edges in
+        if min_v < max_v then begin
+          (* One shared ladder: child at rlevel v attaches after
+             (max_v - v) MODSWITCH nodes. *)
+          let ladder = Array.make (max_v - min_v + 1) n in
+          for d = 1 to max_v - min_v do
+            let ms = Ir.add_node p Ir.Mod_switch [ ladder.(d - 1) ] in
+            register_type ms Ir.Cipher;
+            Hashtbl.replace rl ms.Ir.id (max_v - d + 1);
+            ladder.(d) <- ms
+          done;
+          List.iter (fun (c, i, v) -> if v < max_v then Ir.set_parm c i ladder.(max_v - v)) edges;
+          changed := true
+        end;
+        max_v + self
+  in
+  List.iter
+    (fun n ->
+      if is_cipher n then begin
+        let self = match n.Ir.op with Ir.Rescale _ | Ir.Mod_switch -> 1 | _ -> 0 in
+        let v = match n.Ir.op with Ir.Output _ -> 0 | _ -> equalize_children n self in
+        Hashtbl.replace rl n.Ir.id v
+      end)
+    (Ir.reverse_topological p);
+  (* Pad shallow roots so all fresh ciphertexts share the modulus chain. *)
+  let roots = List.filter (fun n -> match n.Ir.op with Ir.Input (Ir.Cipher, _) -> true | _ -> false) p.Ir.all_nodes in
+  let max_root = List.fold_left (fun acc r -> max acc (rlevel r)) 0 roots in
+  List.iter
+    (fun r ->
+      let deficit = max_root - rlevel r in
+      if deficit > 0 then begin
+        let m = ref r in
+        for _ = 1 to deficit do
+          let ms = Ir.insert_between p !m Ir.Mod_switch [] in
+          register_type ms Ir.Cipher;
+          m := ms
+        done;
+        changed := true
+      end)
+    roots;
+  !changed
+
+let match_scale p =
+  let is_cipher, register_type = make_type_state p in
+  let get_scale, set_scale = make_scale_state () in
+  Rewrite.forward p (fun n ->
+      let changed = ref false in
+      (match n.Ir.op with
+      | Ir.Add | Ir.Sub ->
+          let a = n.Ir.parms.(0) and b = n.Ir.parms.(1) in
+          if is_cipher a && is_cipher b then begin
+            let sa = get_scale a and sb = get_scale b in
+            if sa <> sb then begin
+              let lo_idx = if sa < sb then 0 else 1 in
+              let lo = n.Ir.parms.(lo_idx) in
+              let diff = abs (sa - sb) in
+              let one = Ir.add_node ~decl_scale:diff p (Ir.Constant (Ir.Const_scalar 1.0)) [] in
+              register_type one Ir.Scalar;
+              set_scale one diff;
+              let nt = Ir.add_node p Ir.Multiply [ lo; one ] in
+              register_type nt Ir.Cipher;
+              set_scale nt (get_scale lo + diff);
+              Ir.set_parm n lo_idx nt;
+              changed := true
+            end
+          end
+      | _ -> ());
+      set_scale n (Analysis.scale_formula ~is_cipher ~get:get_scale n);
+      !changed)
+
+let relinearize p =
+  let is_cipher, register_type = make_type_state p in
+  Rewrite.forward p (fun n ->
+      match n.Ir.op with
+      | Ir.Multiply when is_cipher n.Ir.parms.(0) && is_cipher n.Ir.parms.(1) -> begin
+          (* Idempotence: skip if already immediately relinearized. *)
+          match n.Ir.uses with
+          | [ { Ir.op = Ir.Relinearize; _ } ] -> false
+          | _ ->
+              let nl = Ir.insert_between p n Ir.Relinearize [] in
+              register_type nl Ir.Cipher;
+              true
+        end
+      | _ -> false)
+
+type policy = Eva | Lazy_insertion
+
+let transform ?(s_f = default_s_f) ?waterline ?(policy = Eva) p =
+  (* Dead subgraphs must not influence waterline or root padding. *)
+  Ir.prune p;
+  ignore (waterline_rescale ~s_f ?waterline p);
+  (match policy with Eva -> ignore (eager_modswitch p) | Lazy_insertion -> ignore (lazy_modswitch p));
+  ignore (match_scale p);
+  ignore (relinearize p);
+  Ir.prune p

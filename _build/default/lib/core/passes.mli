@@ -1,0 +1,55 @@
+(** EVA's transformation passes: the graph rewrite rules of Figure 4.
+
+    The production pipeline ({!transform} with the default policy) runs
+    WATERLINE-RESCALE, EAGER-MODSWITCH, MATCH-SCALE, RELINEARIZE in that
+    order. ALWAYS-RESCALE and LAZY-MODSWITCH are the naive alternatives
+    the paper defines for exposition; they back the CHET-style baseline
+    and the ablation benchmarks. *)
+
+(** Maximum rescale divisor, log2 (Constraint 4). SEAL allows 60. *)
+val default_s_f : int
+
+(** The waterline s_w: maximum declared scale over all constants and
+    inputs (Section 5.3). *)
+val waterline : Ir.program -> int
+
+(** Insert [RESCALE s_f] after each Cipher MULTIPLY whose result scale
+    stays at or above the waterline after rescaling. [waterline]
+    overrides the computed s_w (the paper's Figure 2(d) walkthrough
+    assumes s_w = 2^30 with a 2^60 input present). *)
+val waterline_rescale : ?s_f:int -> ?waterline:int -> Ir.program -> bool
+
+(** Insert a RESCALE by the minimum operand scale after every Cipher
+    MULTIPLY (the paper's naive ALWAYS-RESCALE). *)
+val always_rescale : Ir.program -> bool
+
+(** Insert MODSWITCH nodes immediately before each binary instruction
+    whose cipher operands' levels differ (LAZY-MODSWITCH). *)
+val lazy_modswitch : Ir.program -> bool
+
+(** Insert shared MODSWITCH ladders at the earliest feasible edges so
+    that all uses of every node sit at conforming transpose levels, and
+    pad shallow roots (EAGER-MODSWITCH, backward pass). *)
+val eager_modswitch : Ir.program -> bool
+
+(** Equalize ADD/SUB cipher operand scales by multiplying the
+    smaller-scale operand with a constant 1 at the difference scale
+    (MATCH-SCALE); plaintext operands are re-encoded by the executor and
+    need no rewrite. *)
+val match_scale : Ir.program -> bool
+
+(** Insert RELINEARIZE after every Cipher x Cipher MULTIPLY
+    (Constraint 3). *)
+val relinearize : Ir.program -> bool
+
+type policy =
+  | Eva  (** waterline + eager: the paper's optimizing pipeline *)
+  | Lazy_insertion
+      (** waterline + lazy modswitch: the eager-vs-lazy ablation.
+          (ALWAYS-RESCALE with per-multiply divisors is exposed above for
+          the Figure 2 walkthrough, but cannot be made conforming by
+          level-matching alone — the paper omits the multi-pass modswitch
+          rule it would need, and so do we.) *)
+
+(** Run the full transformation step of Algorithm 1 under [policy]. *)
+val transform : ?s_f:int -> ?waterline:int -> ?policy:policy -> Ir.program -> unit

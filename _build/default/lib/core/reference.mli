@@ -1,0 +1,20 @@
+(** Reference semantics: the paper's dummy [id] encryption scheme.
+
+    Every value is a plain vector of [vec_size] floats; encryption is the
+    identity, so each opcode is its own homomorphic counterpart and
+    RESCALE/MODSWITCH/RELINEARIZE are value-level no-ops. The CKKS
+    executor must agree with this module up to approximation error — that
+    property is the core correctness test of the whole system. *)
+
+type binding = Vec of float array | Scal of float
+
+exception Missing_input of string
+
+(** [tile vec_size v] repeats [v] to length [vec_size] (Section 3 of the
+    paper); the length of [v] must divide [vec_size]. *)
+val tile : int -> float array -> float array
+
+(** [execute p bindings] returns the output values by name, in program
+    order. Vector bindings shorter than [vec_size] are tiled (their
+    length must divide it). *)
+val execute : Ir.program -> (string * binding) list -> (string * float array) list

@@ -1,0 +1,361 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let float_repr f =
+  (* Shortest representation that round-trips. *)
+  let s = Printf.sprintf "%.17g" f in
+  let shorter = Printf.sprintf "%.12g" f in
+  if float_of_string shorter = f then shorter else s
+
+let write_node buf names n =
+  let name id = Hashtbl.find names id in
+  let parm i = name n.Ir.parms.(i).Ir.id in
+  match n.Ir.op with
+  | Ir.Input (t, nm) ->
+      Printf.bprintf buf "  %s = input %s %S scale %d\n" (name n.Ir.id)
+        (match t with Ir.Cipher -> "cipher" | Ir.Vector -> "vector" | Ir.Scalar -> "scalar")
+        nm n.Ir.decl_scale
+  | Ir.Constant (Ir.Const_vector v) ->
+      Printf.bprintf buf "  %s = constant vector [%s] scale %d\n" (name n.Ir.id)
+        (String.concat ", " (Array.to_list (Array.map float_repr v)))
+        n.Ir.decl_scale
+  | Ir.Constant (Ir.Const_scalar s) ->
+      Printf.bprintf buf "  %s = constant scalar %s scale %d\n" (name n.Ir.id) (float_repr s) n.Ir.decl_scale
+  | Ir.Output nm -> Printf.bprintf buf "  output %S %s scale %d\n" nm (parm 0) n.Ir.decl_scale
+  | Ir.Negate -> Printf.bprintf buf "  %s = negate %s\n" (name n.Ir.id) (parm 0)
+  | Ir.Add -> Printf.bprintf buf "  %s = add %s %s\n" (name n.Ir.id) (parm 0) (parm 1)
+  | Ir.Sub -> Printf.bprintf buf "  %s = sub %s %s\n" (name n.Ir.id) (parm 0) (parm 1)
+  | Ir.Multiply -> Printf.bprintf buf "  %s = multiply %s %s\n" (name n.Ir.id) (parm 0) (parm 1)
+  | Ir.Rotate_left k -> Printf.bprintf buf "  %s = rotate_left %s %d\n" (name n.Ir.id) (parm 0) k
+  | Ir.Rotate_right k -> Printf.bprintf buf "  %s = rotate_right %s %d\n" (name n.Ir.id) (parm 0) k
+  | Ir.Relinearize -> Printf.bprintf buf "  %s = relinearize %s\n" (name n.Ir.id) (parm 0)
+  | Ir.Mod_switch -> Printf.bprintf buf "  %s = modswitch %s\n" (name n.Ir.id) (parm 0)
+  | Ir.Rescale k -> Printf.bprintf buf "  %s = rescale %s %d\n" (name n.Ir.id) (parm 0) k
+
+let to_string p =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "program %S vec_size %d {\n" p.Ir.prog_name p.Ir.vec_size;
+  let names = Hashtbl.create 64 in
+  let counter = ref 0 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace names n.Ir.id (Printf.sprintf "n%d" !counter);
+      incr counter;
+      write_node buf names n)
+    (Ir.topological p);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string p))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | String of string
+  | Number of float
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Equals
+  | Eof
+
+type lexer = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let lex_error lx message = raise (Parse_error { line = lx.line; col = lx.col; message })
+
+let advance lx =
+  if lx.pos < String.length lx.src then begin
+    (if lx.src.[lx.pos] = '\n' then begin
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     end
+     else lx.col <- lx.col + 1);
+    lx.pos <- lx.pos + 1
+  end
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance lx;
+      skip_ws lx
+  | Some '#' ->
+      (* Comments run to end of line. *)
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let is_ident_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+let is_number_char = function '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+
+let next_token lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> Eof
+  | Some '{' ->
+      advance lx;
+      Lbrace
+  | Some '}' ->
+      advance lx;
+      Rbrace
+  | Some '[' ->
+      advance lx;
+      Lbracket
+  | Some ']' ->
+      advance lx;
+      Rbracket
+  | Some ',' ->
+      advance lx;
+      Comma
+  | Some '=' ->
+      advance lx;
+      Equals
+  | Some '"' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek lx with
+        | None -> lex_error lx "unterminated string literal"
+        | Some '"' -> advance lx
+        | Some '\\' ->
+            advance lx;
+            (match peek lx with
+            | Some c ->
+                Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+                advance lx
+            | None -> lex_error lx "unterminated escape");
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+      in
+      go ();
+      String (Buffer.contents buf)
+  | Some c when is_ident_char c && not ('0' <= c && c <= '9') ->
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek lx with
+        | Some c when is_ident_char c ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      Ident (Buffer.contents buf)
+  | Some c when c = '-' || ('0' <= c && c <= '9') ->
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf c;
+      advance lx;
+      let rec go () =
+        match peek lx with
+        | Some c when is_number_char c ->
+            (* '-'/'+' only continue a number right after an exponent. *)
+            if (c = '-' || c = '+') && not (match Buffer.nth buf (Buffer.length buf - 1) with 'e' | 'E' -> true | _ -> false)
+            then ()
+            else begin
+              Buffer.add_char buf c;
+              advance lx;
+              go ()
+            end
+        | _ -> ()
+      in
+      go ();
+      let s = Buffer.contents buf in
+      (match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Number f
+          | None -> lex_error lx (Printf.sprintf "malformed number %S" s)))
+  | Some c -> lex_error lx (Printf.sprintf "unexpected character %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let parse_error st message = raise (Parse_error { line = st.lx.line; col = st.lx.col; message })
+let advance_tok st = st.tok <- next_token st.lx
+
+let expect_ident st =
+  match st.tok with
+  | Ident s ->
+      advance_tok st;
+      s
+  | _ -> parse_error st "expected identifier"
+
+let expect_keyword st kw =
+  match st.tok with
+  | Ident s when s = kw -> advance_tok st
+  | _ -> parse_error st (Printf.sprintf "expected %S" kw)
+
+let expect_string st =
+  match st.tok with
+  | String s ->
+      advance_tok st;
+      s
+  | _ -> parse_error st "expected string literal"
+
+let expect_int st =
+  match st.tok with
+  | Int i ->
+      advance_tok st;
+      i
+  | _ -> parse_error st "expected integer"
+
+let expect_number st =
+  match st.tok with
+  | Int i ->
+      advance_tok st;
+      float_of_int i
+  | Number f ->
+      advance_tok st;
+      f
+  | _ -> parse_error st "expected number"
+
+let expect st tok msg = if st.tok = tok then advance_tok st else parse_error st msg
+
+let parse_scale st =
+  expect_keyword st "scale";
+  expect_int st
+
+let parse_vector st =
+  expect st Lbracket "expected '['";
+  let vals = ref [] in
+  (if st.tok <> Rbracket then begin
+     vals := [ expect_number st ];
+     let rec go () =
+       match st.tok with
+       | Comma ->
+           advance_tok st;
+           vals := expect_number st :: !vals;
+           go ()
+       | _ -> ()
+     in
+     go ()
+   end);
+  expect st Rbracket "expected ']' or ','";
+  Array.of_list (List.rev !vals)
+
+let lookup st env name =
+  match Hashtbl.find_opt env name with
+  | Some n -> n
+  | None -> parse_error st (Printf.sprintf "unknown node %S" name)
+
+let parse_statement st p env =
+  match st.tok with
+  | Ident "output" ->
+      advance_tok st;
+      let out_name = expect_string st in
+      let src = lookup st env (expect_ident st) in
+      let scale = parse_scale st in
+      ignore (Ir.add_node ~decl_scale:scale p (Ir.Output out_name) [ src ])
+  | Ident _ ->
+      let lhs = expect_ident st in
+      if Hashtbl.mem env lhs then parse_error st (Printf.sprintf "node %S defined twice" lhs);
+      expect st Equals "expected '='";
+      let opname = expect_ident st in
+      let node =
+        match opname with
+        | "input" ->
+            let t =
+              match expect_ident st with
+              | "cipher" -> Ir.Cipher
+              | "vector" -> Ir.Vector
+              | "scalar" -> Ir.Scalar
+              | other -> parse_error st (Printf.sprintf "unknown input type %S" other)
+            in
+            let nm = expect_string st in
+            let scale = parse_scale st in
+            Ir.add_node ~decl_scale:scale p (Ir.Input (t, nm)) []
+        | "constant" -> begin
+            match expect_ident st with
+            | "vector" ->
+                let v = parse_vector st in
+                let scale = parse_scale st in
+                Ir.add_node ~decl_scale:scale p (Ir.Constant (Ir.Const_vector v)) []
+            | "scalar" ->
+                let v = expect_number st in
+                let scale = parse_scale st in
+                Ir.add_node ~decl_scale:scale p (Ir.Constant (Ir.Const_scalar v)) []
+            | other -> parse_error st (Printf.sprintf "unknown constant kind %S" other)
+          end
+        | "negate" -> Ir.add_node p Ir.Negate [ lookup st env (expect_ident st) ]
+        | "relinearize" -> Ir.add_node p Ir.Relinearize [ lookup st env (expect_ident st) ]
+        | "modswitch" -> Ir.add_node p Ir.Mod_switch [ lookup st env (expect_ident st) ]
+        | "add" | "sub" | "multiply" ->
+            let a = lookup st env (expect_ident st) in
+            let b = lookup st env (expect_ident st) in
+            let op = match opname with "add" -> Ir.Add | "sub" -> Ir.Sub | _ -> Ir.Multiply in
+            Ir.add_node p op [ a; b ]
+        | "rotate_left" | "rotate_right" | "rescale" ->
+            let a = lookup st env (expect_ident st) in
+            let k = expect_int st in
+            let op =
+              match opname with
+              | "rotate_left" -> Ir.Rotate_left k
+              | "rotate_right" -> Ir.Rotate_right k
+              | _ -> Ir.Rescale k
+            in
+            Ir.add_node p op [ a ]
+        | other -> parse_error st (Printf.sprintf "unknown opcode %S" other)
+      in
+      Hashtbl.replace env lhs node
+  | _ -> parse_error st "expected a statement"
+
+let of_string src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let st = { lx; tok = Eof } in
+  advance_tok st;
+  expect_keyword st "program";
+  let name = expect_string st in
+  expect_keyword st "vec_size";
+  let vec_size = expect_int st in
+  let p =
+    try Ir.create_program ~name ~vec_size ()
+    with Invalid_argument msg -> parse_error st msg
+  in
+  expect st Lbrace "expected '{'";
+  let env = Hashtbl.create 64 in
+  let rec stmts () =
+    if st.tok <> Rbrace then begin
+      parse_statement st p env;
+      stmts ()
+    end
+  in
+  stmts ();
+  expect st Rbrace "expected '}'";
+  (match st.tok with Eof -> () | _ -> parse_error st "trailing input after program");
+  p
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let describe_error = function
+  | Parse_error { line; col; message } -> Some (Printf.sprintf "parse error at line %d, column %d: %s" line col message)
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Textual serialization of EVA programs.
+
+    The paper serializes programs with Protocol Buffers (Figure 1); this
+    library uses an equivalent line-oriented text format so that programs
+    remain a language ("input format, intermediate representation, and
+    executable format") without a protobuf dependency:
+
+    {v
+    program "sobel" vec_size 4096 {
+      n0 = input cipher "image" scale 25
+      n1 = constant vector [-1, 0, 1] scale 15
+      n2 = constant scalar 2.214 scale 10
+      n3 = multiply n0 n1
+      n4 = rotate_left n0 65
+      n5 = rescale n3 60
+      n6 = modswitch n5
+      n7 = relinearize n3
+      n8 = add n5 n6
+      output "d" n8 scale 30
+    }
+    v}
+
+    Scales are written in log2, matching the in-memory representation.
+    [of_string (to_string p)] reproduces [p] up to node identity. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val to_string : Ir.program -> string
+val of_string : string -> Ir.program
+
+val to_file : string -> Ir.program -> unit
+val of_file : string -> Ir.program
+
+(** Human-readable position header for a {!Parse_error}. *)
+val describe_error : exn -> string option

@@ -1,0 +1,93 @@
+exception Validation_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Validation_error s)) fmt
+
+let arity = function
+  | Ir.Constant _ | Ir.Input _ -> 0
+  | Ir.Negate | Ir.Relinearize | Ir.Mod_switch | Ir.Rescale _ | Ir.Output _ | Ir.Rotate_left _ | Ir.Rotate_right _
+    -> 1
+  | Ir.Add | Ir.Sub | Ir.Multiply -> 2
+
+let check_well_formed p =
+  List.iter
+    (fun n ->
+      let expect = arity n.Ir.op in
+      if Array.length n.Ir.parms <> expect then
+        fail "node %d (%s): expected %d parameters, got %d" n.Ir.id (Ir.op_name n.Ir.op) expect
+          (Array.length n.Ir.parms);
+      match n.Ir.op with
+      | Ir.Constant (Ir.Const_vector v) ->
+          let len = Array.length v in
+          if len = 0 || p.Ir.vec_size mod len <> 0 then
+            fail "node %d: constant vector size %d does not divide vec_size %d" n.Ir.id len p.Ir.vec_size
+      | Ir.Output _ ->
+          if n.Ir.uses <> [] then fail "node %d: output nodes must be leaves" n.Ir.id
+      | _ -> ())
+    p.Ir.all_nodes;
+  if Ir.outputs p = [] then fail "program has no outputs";
+  (* Type sanity: table construction raises on Cipher constants. *)
+  ignore (Analysis.types p)
+
+let check_input_program p =
+  check_well_formed p;
+  List.iter
+    (fun n ->
+      if Ir.is_fhe_specific n.Ir.op then
+        fail "node %d: %s is not allowed in input programs" n.Ir.id (Ir.op_name n.Ir.op))
+    p.Ir.all_nodes
+
+let check_transformed ?(s_f = Passes.default_s_f) p =
+  check_well_formed p;
+  let ty = Analysis.types p in
+  let is_cipher n = Hashtbl.find ty n.Ir.id = Ir.Cipher in
+  (* Constraint 1: chain computation raises on non-conforming or unequal
+     operand chains. *)
+  let chains =
+    try Analysis.chains p with Analysis.Analysis_error msg -> fail "constraint 1 violated: %s" msg
+  in
+  ignore chains;
+  (* Constraint 2: ADD/SUB cipher operands at equal scale. *)
+  let scales = Analysis.scales p in
+  let scale n = Hashtbl.find scales n.Ir.id in
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Add | Ir.Sub ->
+          let a = n.Ir.parms.(0) and b = n.Ir.parms.(1) in
+          if is_cipher a && is_cipher b && scale a <> scale b then
+            fail "constraint 2 violated: node %d (%s) operands at scales 2^%d and 2^%d" n.Ir.id
+              (Ir.op_name n.Ir.op) (scale a) (scale b)
+      | _ -> ())
+    p.Ir.all_nodes;
+  (* Constraint 3: MULTIPLY operands have exactly 2 polynomials. *)
+  let np = Analysis.num_polys p in
+  let polys n = Hashtbl.find np n.Ir.id in
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Multiply ->
+          Array.iter
+            (fun parent ->
+              if is_cipher parent && polys parent <> 2 then
+                fail "constraint 3 violated: node %d multiplies a ciphertext with %d polynomials" n.Ir.id
+                  (polys parent))
+            n.Ir.parms
+      | Ir.Relinearize ->
+          if polys n.Ir.parms.(0) <> 3 then
+            fail "node %d: relinearize expects a 3-polynomial ciphertext, got %d" n.Ir.id (polys n.Ir.parms.(0))
+      | _ -> ())
+    p.Ir.all_nodes;
+  (* Constraint 4: rescale divisors bounded by s_f. *)
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Rescale k ->
+          if k > s_f then fail "constraint 4 violated: node %d rescales by 2^%d > 2^%d" n.Ir.id k s_f;
+          if k <= 0 then fail "node %d: rescale by 2^%d" n.Ir.id k
+      | _ -> ())
+    p.Ir.all_nodes;
+  (* Scales must stay positive (message would be destroyed otherwise). *)
+  Hashtbl.iter
+    (fun id s ->
+      if s < 0 then fail "node %d: negative scale 2^%d" id s)
+    scales

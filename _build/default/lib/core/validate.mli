@@ -1,0 +1,21 @@
+(** Validation passes (Section 6.2): prove at compile time that no
+    FHE-library runtime exception can fire.
+
+    Four constraints from Section 4.2 are checked:
+    1. equal coefficient moduli (conforming, equal rescale chains) for the
+       cipher operands of ADD/SUB/MULTIPLY;
+    2. equal scales for the cipher operands of ADD/SUB;
+    3. every MULTIPLY operand has exactly 2 polynomials;
+    4. every RESCALE divisor is at most 2^s_f.
+
+    In addition the input-program well-formedness rules of Section 3 are
+    enforced (arities, no Cipher constants, no FHE-specific instructions
+    reachable in input programs, vector sizes). *)
+
+exception Validation_error of string
+
+(** Check a frontend-produced input program (no FHE-specific ops). *)
+val check_input_program : Ir.program -> unit
+
+(** Check a transformed program against Constraints 1-4. *)
+val check_transformed : ?s_f:int -> Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/image/image_dsl.ml: Array Eva_core

@@ -1,0 +1,1 @@
+lib/image/image_dsl.mli: Eva_core

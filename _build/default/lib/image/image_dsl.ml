@@ -1,0 +1,86 @@
+module B = Eva_core.Builder
+
+type t = { b : B.t; dim : int; cipher_scale : int; weight_scale : int }
+type image = { expr : B.expr }
+
+let create ?(name = "image-pipeline") ?(cipher_scale = 30) ?(weight_scale = 15) ~dim () =
+  if dim < 2 || dim land (dim - 1) <> 0 then invalid_arg "Image_dsl.create: dim must be a power of two";
+  { b = B.create ~name ~vec_size:(dim * dim) (); dim; cipher_scale; weight_scale }
+
+let dim t = t.dim
+let input t name = { expr = B.input t.b ~scale:t.cipher_scale name }
+
+let stencil t k img =
+  let ks = Array.length k in
+  if ks land 1 = 0 || Array.exists (fun row -> Array.length row <> ks) k then
+    invalid_arg "Image_dsl.stencil: odd square stencil required";
+  let half = ks / 2 in
+  let d = t.dim in
+  let acc = ref None in
+  for di = -half to half do
+    for dj = -half to half do
+      let w = k.(di + half).(dj + half) in
+      if w <> 0.0 then begin
+        (* Weight with zero-padding folded in: slots whose source pixel
+           falls outside the image get weight 0. *)
+        let mask =
+          Array.init (d * d) (fun idx ->
+              let i = idx / d and j = idx mod d in
+              if i + di >= 0 && i + di < d && j + dj >= 0 && j + dj < d then w else 0.0)
+        in
+        let term = B.mul (B.rotate_left img.expr ((di * d) + dj)) (B.const_vector t.b ~scale:t.weight_scale mask) in
+        acc := Some (match !acc with None -> term | Some a -> B.add a term)
+      end
+    done
+  done;
+  match !acc with None -> invalid_arg "Image_dsl.stencil: all-zero stencil" | Some e -> { expr = e }
+
+let sobel_x t = stencil t [| [| -1.0; 0.0; 1.0 |]; [| -2.0; 0.0; 2.0 |]; [| -1.0; 0.0; 1.0 |] |]
+let sobel_y t = stencil t [| [| -1.0; -2.0; -1.0 |]; [| 0.0; 0.0; 0.0 |]; [| 1.0; 2.0; 1.0 |] |]
+
+let gaussian3 t =
+  stencil t
+    [|
+      [| 0.0625; 0.125; 0.0625 |];
+      [| 0.125; 0.25; 0.125 |];
+      [| 0.0625; 0.125; 0.0625 |];
+    |]
+
+let laplacian t = stencil t [| [| 0.0; 1.0; 0.0 |]; [| 1.0; -4.0; 1.0 |]; [| 0.0; 1.0; 0.0 |] |]
+
+let box3 t =
+  let w = 1.0 /. 9.0 in
+  stencil t (Array.make_matrix 3 3 w)
+
+let map_poly t coeffs img = { expr = B.polynomial t.b ~scale:t.weight_scale coeffs img.expr }
+
+(* The paper's cubic approximation of sqrt (Figure 6). *)
+let sqrt_coeffs = [ 0.0; 2.214; -1.098; 0.173 ]
+
+let magnitude t gx gy = map_poly t sqrt_coeffs { expr = B.add (B.mul gx.expr gx.expr) (B.mul gy.expr gy.expr) }
+
+let add a b = { expr = B.add a.expr b.expr }
+let sub a b = { expr = B.sub a.expr b.expr }
+let mul a b = { expr = B.mul a.expr b.expr }
+let scale_by t f img = { expr = B.mul img.expr (B.const_scalar t.b ~scale:t.weight_scale f) }
+let output t name img = B.output t.b name ~scale:t.cipher_scale img.expr
+let program t = B.program t.b
+
+let binding t name pixels =
+  if Array.length pixels <> t.dim * t.dim then invalid_arg "Image_dsl.binding: wrong pixel count";
+  (name, Eva_core.Reference.Vec pixels)
+
+let stencil_reference ~dim k pixels =
+  let ks = Array.length k in
+  let half = ks / 2 in
+  Array.init (dim * dim) (fun idx ->
+      let i = idx / dim and j = idx mod dim in
+      let acc = ref 0.0 in
+      for di = -half to half do
+        for dj = -half to half do
+          let si = i + di and sj = j + dj in
+          if si >= 0 && si < dim && sj >= 0 && sj < dim then
+            acc := !acc +. (k.(di + half).(dj + half) *. pixels.((si * dim) + sj))
+        done
+      done;
+      !acc)

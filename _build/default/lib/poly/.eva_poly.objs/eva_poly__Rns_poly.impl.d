@@ -1,0 +1,1 @@
+lib/poly/rns_poly.ml: Array Eva_bigint Eva_rns Random

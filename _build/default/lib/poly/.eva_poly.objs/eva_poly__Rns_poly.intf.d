@@ -1,0 +1,1 @@
+lib/poly/rns_poly.mli: Eva_bigint Eva_rns Random

@@ -1,0 +1,268 @@
+module Bigint = Eva_bigint.Bigint
+module Modarith = Eva_rns.Modarith
+module Ntt = Eva_rns.Ntt
+module Crt = Eva_rns.Crt
+
+exception Modulus_mismatch of string
+
+type t = {
+  tables : Ntt.table array;
+  rows : int array array; (* rows.(i) is the residue vector mod primes.(i) *)
+  mutable ntt : bool;
+}
+
+let degree t = Ntt.size t.tables.(0)
+let num_primes t = Array.length t.tables
+let primes t = Array.map Ntt.modulus t.tables
+let tables t = t.tables
+let is_ntt t = t.ntt
+
+let zero ~tables =
+  let n = Ntt.size tables.(0) in
+  { tables; rows = Array.init (Array.length tables) (fun _ -> Array.make n 0); ntt = true }
+
+let of_coeff_residues ~tables rows =
+  if Array.length rows <> Array.length tables then invalid_arg "Rns_poly.of_coeff_residues: arity";
+  { tables; rows; ntt = false }
+
+let of_bigint_coeffs ~tables coeffs =
+  let n = Ntt.size tables.(0) in
+  if Array.length coeffs <> n then invalid_arg "Rns_poly.of_bigint_coeffs: wrong degree";
+  let rows =
+    Array.map
+      (fun tb ->
+        let p = Ntt.modulus tb in
+        Array.map (fun c -> Bigint.rem_int c p) coeffs)
+      tables
+  in
+  { tables; rows; ntt = false }
+
+let of_ntt_rows ~tables rows =
+  if Array.length rows <> Array.length tables then invalid_arg "Rns_poly.of_ntt_rows: arity";
+  { tables; rows; ntt = true }
+
+let rows t = t.rows
+let copy t = { t with rows = Array.map Array.copy t.rows }
+
+let coeff_row t i =
+  if t.ntt then invalid_arg "Rns_poly.coeff_row: polynomial is in NTT form";
+  t.rows.(i)
+
+let to_ntt t =
+  if not t.ntt then begin
+    Array.iteri (fun i row -> Ntt.forward t.tables.(i) row) t.rows;
+    t.ntt <- true
+  end
+
+let to_coeff t =
+  if t.ntt then begin
+    Array.iteri (fun i row -> Ntt.inverse t.tables.(i) row) t.rows;
+    t.ntt <- false
+  end
+
+let same_modulus a b =
+  Array.length a.tables = Array.length b.tables
+  && Array.for_all2 (fun x y -> Ntt.modulus x = Ntt.modulus y) a.tables b.tables
+
+let check_compat op a b =
+  if not (same_modulus a b) then raise (Modulus_mismatch op);
+  if a.ntt <> b.ntt then invalid_arg (op ^ ": operands in different forms")
+
+let map2 op f a b =
+  check_compat op a b;
+  let rows =
+    Array.mapi
+      (fun i ra ->
+        let p = Ntt.modulus a.tables.(i) in
+        let rb = b.rows.(i) in
+        Array.mapi (fun j x -> f x (Array.unsafe_get rb j) p) ra)
+      a.rows
+  in
+  { tables = a.tables; rows; ntt = a.ntt }
+
+let add a b = map2 "add" Modarith.add a b
+let sub a b = map2 "sub" Modarith.sub a b
+
+let neg a =
+  let rows =
+    Array.mapi
+      (fun i ra ->
+        let p = Ntt.modulus a.tables.(i) in
+        Array.map (fun x -> Modarith.neg x p) ra)
+      a.rows
+  in
+  { a with rows }
+
+let mul a b =
+  if not (a.ntt && b.ntt) then invalid_arg "Rns_poly.mul: operands must be in NTT form";
+  map2 "mul" (fun x y p -> x * y mod p) a b
+
+let iter2_inplace op f a b =
+  check_compat op a b;
+  Array.iteri
+    (fun i ra ->
+      let p = Ntt.modulus a.tables.(i) in
+      let rb = b.rows.(i) in
+      let n = Array.length ra in
+      for j = 0 to n - 1 do
+        Array.unsafe_set ra j (f (Array.unsafe_get ra j) (Array.unsafe_get rb j) p)
+      done)
+    a.rows
+
+let add_inplace a b = iter2_inplace "add_inplace" Modarith.add a b
+let sub_inplace a b = iter2_inplace "sub_inplace" Modarith.sub a b
+
+let mul_acc acc a b =
+  if not (acc.ntt && a.ntt && b.ntt) then invalid_arg "Rns_poly.mul_acc: NTT form required";
+  check_compat "mul_acc" a b;
+  check_compat "mul_acc" acc a;
+  Array.iteri
+    (fun i racc ->
+      let p = Ntt.modulus acc.tables.(i) in
+      let ra = a.rows.(i) and rb = b.rows.(i) in
+      let n = Array.length racc in
+      for j = 0 to n - 1 do
+        let prod = Array.unsafe_get ra j * Array.unsafe_get rb j mod p in
+        Array.unsafe_set racc j (Modarith.add (Array.unsafe_get racc j) prod p)
+      done)
+    acc.rows
+
+let mul_scalar_int t k =
+  let rows =
+    Array.mapi
+      (fun i row ->
+        let p = Ntt.modulus t.tables.(i) in
+        let kr = Modarith.reduce k p in
+        Array.map (fun x -> x * kr mod p) row)
+      t.rows
+  in
+  { t with rows }
+
+let drop_last t =
+  let k = num_primes t in
+  if k <= 1 then invalid_arg "Rns_poly.drop_last: last prime";
+  { t with tables = Array.sub t.tables 0 (k - 1); rows = Array.sub t.rows 0 (k - 1) }
+
+let drop_many t count =
+  let k = num_primes t in
+  if count < 0 || count >= k then invalid_arg "Rns_poly.drop_many: bad count";
+  { t with tables = Array.sub t.tables 0 (k - count); rows = Array.sub t.rows 0 (k - count) }
+
+(* Divide the coefficient-form rows by the last prime with centered
+   rounding; mutates [rows] in place and returns one fewer row. *)
+let rescale_rows_once tables rows =
+  let k = Array.length rows in
+  let p_last = Ntt.modulus tables.(k - 1) in
+  let last = rows.(k - 1) in
+  let half = p_last / 2 in
+  let n = Array.length last in
+  for i = 0 to k - 2 do
+    let p = Ntt.modulus tables.(i) in
+    let inv_last = Modarith.inv (p_last mod p) p in
+    let row = rows.(i) in
+    for j = 0 to n - 1 do
+      (* Centered remainder keeps the rounding error at most 1/2. *)
+      let c_last = Array.unsafe_get last j in
+      let centered = if c_last > half then c_last - p_last else c_last in
+      let diff = Modarith.sub (Array.unsafe_get row j) (Modarith.reduce centered p) p in
+      Array.unsafe_set row j (diff * inv_last mod p)
+    done
+  done;
+  Array.sub rows 0 (k - 1)
+
+let rescale_many t count =
+  let k = num_primes t in
+  if count < 1 || count >= k then invalid_arg "Rns_poly.rescale_many: bad count";
+  let was_ntt = t.ntt in
+  let w = copy t in
+  to_coeff w;
+  let rows = ref w.rows in
+  for step = 0 to count - 1 do
+    rows := rescale_rows_once (Array.sub w.tables 0 (k - step)) !rows
+  done;
+  let r = { tables = Array.sub w.tables 0 (k - count); rows = !rows; ntt = false } in
+  if was_ntt then to_ntt r;
+  r
+
+let rescale_last t = rescale_many t 1
+
+let galois_rows t g =
+  let n = degree t in
+  let two_n = 2 * n in
+  if g land 1 = 0 then invalid_arg "Rns_poly.galois: even exponent";
+  let w = copy t in
+  to_coeff w;
+  Array.mapi
+    (fun i row ->
+      let p = Ntt.modulus w.tables.(i) in
+      let out = Array.make n 0 in
+      for j = 0 to n - 1 do
+        if row.(j) <> 0 then begin
+          let e = j * g mod two_n in
+          if e < n then out.(e) <- Modarith.add out.(e) row.(j) p
+          else out.(e - n) <- Modarith.sub out.(e - n) row.(j) p
+        end
+      done;
+      out)
+    w.rows
+
+let galois t g =
+  if t.ntt then begin
+    (* Evaluation-domain fast path: a pure slot permutation, no NTT round
+       trip (validated against the coefficient path by property test). *)
+    let perm = Ntt.galois_permutation t.tables.(0) g in
+    let rows = Array.map (fun row -> Array.map (fun j -> row.(j)) perm) t.rows in
+    { tables = t.tables; rows; ntt = true }
+  end
+  else { tables = t.tables; rows = galois_rows t g; ntt = false }
+
+let galois_to_coeff t g = { tables = t.tables; rows = galois_rows t g; ntt = false }
+
+let sample_uniform st ~tables =
+  let n = Ntt.size tables.(0) in
+  let rows =
+    Array.map
+      (fun tb ->
+        let p = Ntt.modulus tb in
+        Array.init n (fun _ -> Random.State.int st p))
+      tables
+  in
+  (* Uniform per-prime residues are exactly uniform mod the product (CRT). *)
+  { tables; rows; ntt = true }
+
+let of_small_coeffs ~tables small =
+  let rows =
+    Array.map
+      (fun tb ->
+        let p = Ntt.modulus tb in
+        Array.map (fun c -> Modarith.reduce c p) small)
+      tables
+  in
+  let t = { tables; rows; ntt = false } in
+  to_ntt t;
+  t
+
+let sample_ternary st ~tables =
+  let n = Ntt.size tables.(0) in
+  of_small_coeffs ~tables (Array.init n (fun _ -> Random.State.int st 3 - 1))
+
+let sample_error st ~tables =
+  let n = Ntt.size tables.(0) in
+  (* Centered binomial with 21 coin pairs: variance 10.5, sigma ~ 3.24. *)
+  let cbd () =
+    let s = ref 0 in
+    for _ = 1 to 21 do
+      s := !s + Random.State.int st 2 - Random.State.int st 2
+    done;
+    !s
+  in
+  of_small_coeffs ~tables (Array.init n (fun _ -> cbd ()))
+
+let to_bigint_coeffs t =
+  let w = copy t in
+  to_coeff w;
+  let crt = Crt.make (Array.to_list (primes t)) in
+  let n = degree t in
+  Array.init n (fun j ->
+      let residues = Array.init (num_primes t) (fun i -> w.rows.(i).(j)) in
+      Crt.reconstruct_centered crt residues)

@@ -1,0 +1,98 @@
+(** Polynomials in Z_q[X]/(X^N + 1) in double-CRT (RNS x NTT) form.
+
+    The coefficient modulus q is a product of distinct NTT-friendly primes
+    below 2^31. A polynomial stores one residue vector per prime and a flag
+    saying whether the vectors are in coefficient or evaluation (NTT) form.
+    Binary operations require both operands to share the same prime chain
+    (compared structurally), mirroring the "same coefficient modulus"
+    constraint of RNS-CKKS that the EVA compiler must satisfy. *)
+
+type t
+
+exception Modulus_mismatch of string
+
+(** [zero ~tables] in evaluation form. *)
+val zero : tables:Eva_rns.Ntt.table array -> t
+
+(** [of_coeff_residues ~tables rows] takes ownership of [rows] (one
+    residue array per prime, coefficient form). *)
+val of_coeff_residues : tables:Eva_rns.Ntt.table array -> int array array -> t
+
+(** [of_bigint_coeffs ~tables c] reduces each signed big-integer coefficient
+    into every prime's residue field (coefficient form). *)
+val of_bigint_coeffs : tables:Eva_rns.Ntt.table array -> Eva_bigint.Bigint.t array -> t
+
+(** [of_ntt_rows ~tables rows] wraps residue rows already in evaluation
+    form; the rows are shared, not copied (used for key-switching keys whose
+    rows live outside any one prime chain). *)
+val of_ntt_rows : tables:Eva_rns.Ntt.table array -> int array array -> t
+
+(** Raw residue rows (shared). *)
+val rows : t -> int array array
+
+val degree : t -> int
+val num_primes : t -> int
+val primes : t -> int array
+val tables : t -> Eva_rns.Ntt.table array
+val is_ntt : t -> bool
+val copy : t -> t
+
+(** Residue row for prime index [i]; coefficient form required. *)
+val coeff_row : t -> int -> int array
+
+val to_ntt : t -> unit
+val to_coeff : t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** Pointwise product; both operands must be in NTT form. *)
+val mul : t -> t -> t
+
+val add_inplace : t -> t -> unit
+val sub_inplace : t -> t -> unit
+
+(** [mul_acc acc a b] adds [a * b] into [acc] (all NTT form). *)
+val mul_acc : t -> t -> t -> unit
+
+(** [mul_scalar_int t k] multiplies by an integer scalar (residue-wise). *)
+val mul_scalar_int : t -> int -> t
+
+(** Drop the last prime without scaling (MODSWITCH). Any form. *)
+val drop_last : t -> t
+
+(** [drop_many t k] drops the last [k] primes without scaling. *)
+val drop_many : t -> int -> t
+
+(** [rescale_last t] divides by the last prime with rounding and drops it
+    (RESCALE). Returns the result in the form [t] was in. *)
+val rescale_last : t -> t
+
+(** [rescale_many t k] divides by each of the last [k] primes in turn
+    (with rounding), in a single NTT round trip. *)
+val rescale_many : t -> int -> t
+
+(** [galois t g] applies the automorphism X -> X^g for odd [g]. *)
+val galois : t -> int -> t
+
+(** Like {!galois} but the result is left in coefficient form (saves the
+    NTT round trip when the consumer needs coefficients, as key switching
+    does). *)
+val galois_to_coeff : t -> int -> t
+
+(** Uniform sample over the full modulus, evaluation form. *)
+val sample_uniform : Random.State.t -> tables:Eva_rns.Ntt.table array -> t
+
+(** Ternary secret in {-1,0,1}^N, returned in evaluation form. *)
+val sample_ternary : Random.State.t -> tables:Eva_rns.Ntt.table array -> t
+
+(** Centered-binomial error (sigma ~ 3.2), returned in evaluation form. *)
+val sample_error : Random.State.t -> tables:Eva_rns.Ntt.table array -> t
+
+(** Centered coefficients reconstructed over the full modulus;
+    [t] may be in either form (it is restored before returning). *)
+val to_bigint_coeffs : t -> Eva_bigint.Bigint.t array
+
+(** Structural equality of prime chains. *)
+val same_modulus : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/rns/crt.ml: Array Eva_bigint Modarith

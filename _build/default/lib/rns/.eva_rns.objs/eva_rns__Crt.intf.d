@@ -1,0 +1,1 @@
+lib/rns/crt.mli: Eva_bigint

@@ -1,0 +1,1 @@
+lib/rns/ntt.ml: Array Modarith Primes

@@ -1,0 +1,1 @@
+lib/rns/primes.mli:

@@ -1,0 +1,58 @@
+module Bigint = Eva_bigint.Bigint
+
+type t = {
+  primes : int array;
+  (* inv.(i).(j) for j < i: inverse of primes.(j) modulo primes.(i). *)
+  inv : int array array;
+  modulus : Bigint.t;
+  (* partial.(i) = product of primes.(0..i-1) as a big integer. *)
+  partial : Bigint.t array;
+}
+
+let make prime_list =
+  let primes = Array.of_list prime_list in
+  let k = Array.length primes in
+  let inv =
+    Array.init k (fun i -> Array.init i (fun j -> Modarith.inv (primes.(j) mod primes.(i)) primes.(i)))
+  in
+  let partial = Array.make (k + 1) Bigint.one in
+  for i = 0 to k - 1 do
+    partial.(i + 1) <- Bigint.mul_int partial.(i) primes.(i)
+  done;
+  { primes; inv; modulus = partial.(k); partial = Array.sub partial 0 k }
+
+let primes t = t.primes
+let modulus t = t.modulus
+
+let reconstruct t residues =
+  let k = Array.length t.primes in
+  if Array.length residues <> k then invalid_arg "Crt.reconstruct: arity mismatch";
+  (* Garner: digits v.(i) with x = v0 + p0*(v1 + p1*(v2 + ...)). *)
+  let v = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let pi = t.primes.(i) in
+    (* temp = (residues.(i) - (v0 + p0*(v1 + ...))) * inv(prod_{j<i} pj) mod pi *)
+    let acc = ref 0 in
+    for j = i - 1 downto 0 do
+      acc := Modarith.add (Modarith.mul !acc (t.primes.(j) mod pi) pi) (v.(j) mod pi) pi
+    done;
+    let diff = Modarith.sub (residues.(i) mod pi) !acc pi in
+    let inv_prod = ref 1 in
+    for j = 0 to i - 1 do
+      inv_prod := Modarith.mul !inv_prod t.inv.(i).(j) pi
+    done;
+    v.(i) <- Modarith.mul diff !inv_prod pi
+  done;
+  let x = ref Bigint.zero in
+  for i = k - 1 downto 0 do
+    x := Bigint.add (Bigint.mul_int !x t.primes.(i)) (Bigint.of_int v.(i))
+  done;
+  !x
+
+let reconstruct_centered t residues =
+  let x = reconstruct t residues in
+  let half = Bigint.shift_right_round t.modulus 1 in
+  if Bigint.compare x half > 0 then Bigint.sub x t.modulus else x
+
+let residues t x =
+  Array.map (fun p -> Bigint.rem_int x p) t.primes

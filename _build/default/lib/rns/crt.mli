@@ -1,0 +1,26 @@
+(** Chinese-remainder reconstruction for RNS residue systems.
+
+    Reconstruction uses Garner's mixed-radix algorithm so no big-integer
+    division is ever required; see {!Eva_bigint.Bigint}. *)
+
+type t
+
+(** [make primes] precomputes Garner coefficients for pairwise-distinct
+    primes (each below 2^31). *)
+val make : int list -> t
+
+val primes : t -> int array
+
+(** Product of all primes. *)
+val modulus : t -> Eva_bigint.Bigint.t
+
+(** [reconstruct t residues] is the unique [x] with [0 <= x < modulus t]
+    and [x = residues.(i) (mod primes.(i))]. *)
+val reconstruct : t -> int array -> Eva_bigint.Bigint.t
+
+(** Like {!reconstruct} but centered: the result lies in
+    [(-modulus/2, modulus/2]]. *)
+val reconstruct_centered : t -> int array -> Eva_bigint.Bigint.t
+
+(** [residues t x] reduces a big integer into the residue system. *)
+val residues : t -> Eva_bigint.Bigint.t -> int array

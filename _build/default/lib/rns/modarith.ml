@@ -1,0 +1,80 @@
+let add a b m =
+  let s = a + b in
+  if s >= m then s - m else s
+
+let sub a b m =
+  let s = a - b in
+  if s < 0 then s + m else s
+
+let neg a m = if a = 0 then 0 else m - a
+let mul a b m = a * b mod m
+
+(* Barrett-style reduction via a floating-point reciprocal: for
+   0 <= a, b < m < 2^31 the quotient estimate is off by at most 2, fixed
+   with conditional adjustments. Division is far slower than this on
+   current hardware; the NTT and pointwise kernels use it. *)
+let mul_fast a b ~m ~inv_m =
+  let x = a * b in
+  let q = int_of_float (float_of_int a *. float_of_int b *. inv_m) in
+  let r = x - (q * m) in
+  let r = if r < 0 then r + m else r in
+  let r = if r < 0 then r + m else r in
+  if r >= m then (if r - m >= m then r - m - m else r - m) else r
+
+let inv_float m = 1.0 /. float_of_int m
+
+let pow a e m =
+  let rec go acc a e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc a m else acc in
+      go acc (mul a a m) (e lsr 1)
+    end
+  in
+  go 1 (a mod m) e
+
+let inv a m =
+  let a = a mod m in
+  if a = 0 then invalid_arg "Modarith.inv: zero";
+  (* m is prime: Fermat. *)
+  pow a (m - 2) m
+
+let reduce k m =
+  let r = k mod m in
+  if r < 0 then r + m else r
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    (* These witnesses are exact for n < 3,215,031,751 > 2^31. *)
+    let witnesses = [ 2; 3; 5; 7 ] in
+    let composite a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (pow a !d n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let found = ref false in
+          (try
+             for _ = 1 to !r - 1 do
+               x := mul !x !x n;
+               if !x = n - 1 then begin
+                 found := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          not !found
+        end
+      end
+    in
+    not (List.exists composite witnesses)
+  end

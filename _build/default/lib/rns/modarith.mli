@@ -1,0 +1,37 @@
+(** Modular arithmetic on machine integers.
+
+    All moduli handled by the RNS substrate are primes below 2^31, so every
+    product of two residues fits in OCaml's 63-bit native [int] and no
+    double-width emulation is needed. *)
+
+(** [add a b m] for [0 <= a, b < m]. *)
+val add : int -> int -> int -> int
+
+(** [sub a b m] for [0 <= a, b < m]. *)
+val sub : int -> int -> int -> int
+
+val neg : int -> int -> int
+
+(** [mul a b m] for [0 <= a, b < m < 2^31]. *)
+val mul : int -> int -> int -> int
+
+(** [mul_fast a b ~m ~inv_m] equals [mul a b m] given
+    [inv_m = inv_float m]; it replaces hardware division with a
+    floating-point reciprocal plus correction and is what the NTT and
+    pointwise kernels use. *)
+val mul_fast : int -> int -> m:int -> inv_m:float -> int
+
+val inv_float : int -> float
+
+(** [pow a e m] for [e >= 0]. *)
+val pow : int -> int -> int -> int
+
+(** [inv a m] is the inverse of [a] modulo prime [m].
+    Raises [Invalid_argument] if [a = 0 mod m]. *)
+val inv : int -> int -> int
+
+(** Deterministic Miller-Rabin, exact for all inputs below 2^31. *)
+val is_prime : int -> bool
+
+(** [reduce k m] is the least non-negative residue of any [int] [k]. *)
+val reduce : int -> int -> int

@@ -1,0 +1,111 @@
+type table = {
+  p : int;
+  n : int;
+  psi_rev : int array; (* psi^bitrev(i), i < n *)
+  psi_inv_rev : int array;
+  n_inv : int;
+}
+
+let modulus t = t.p
+let size t = t.n
+
+let bit_reverse ~bits i =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+let make ~n p =
+  if n land (n - 1) <> 0 || n < 2 then invalid_arg "Ntt.make: n must be a power of two";
+  let bits =
+    let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  let psi = Primes.primitive_root ~two_n:(2 * n) p in
+  let psi_inv = Modarith.inv psi p in
+  let pow_table root =
+    let t = Array.make n 1 in
+    for i = 1 to n - 1 do
+      t.(i) <- Modarith.mul t.(i - 1) root p
+    done;
+    let r = Array.make n 0 in
+    for i = 0 to n - 1 do
+      r.(i) <- t.(bit_reverse ~bits i)
+    done;
+    r
+  in
+  { p; n; psi_rev = pow_table psi; psi_inv_rev = pow_table psi_inv; n_inv = Modarith.inv n p }
+
+(* The CT/GS butterfly arrangement above evaluates the polynomial at
+   psi^(2*bitrev(j)+1) in output slot j. The automorphism X -> X^g maps
+   the evaluation at zeta to the evaluation at zeta^g, which is another
+   point of the same set; the permutation below sends each output slot to
+   the slot holding its g-th power's evaluation. *)
+let galois_permutation t g =
+  let n = t.n in
+  let two_n = 2 * n in
+  if g land 1 = 0 then invalid_arg "Ntt.galois_permutation: even exponent";
+  let bits =
+    let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  (* exponent -> slot index *)
+  let slot_of_exp = Array.make two_n (-1) in
+  for j = 0 to n - 1 do
+    slot_of_exp.((2 * bit_reverse ~bits j) + 1) <- j
+  done;
+  Array.init n (fun j ->
+      let e = (2 * bit_reverse ~bits j) + 1 in
+      let e' = e * g mod two_n in
+      slot_of_exp.(e'))
+
+(* Cooley-Tukey, decimation in time, with merged psi powers. *)
+let forward t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  let tt = ref n and m = ref 1 in
+  while !m < n do
+    tt := !tt / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !tt in
+      let s = Array.unsafe_get t.psi_rev (!m + i) in
+      for j = j1 to j1 + !tt - 1 do
+        let u = Array.unsafe_get a j in
+        let v = Array.unsafe_get a (j + !tt) * s mod p in
+        let x = u + v in
+        Array.unsafe_set a j (if x >= p then x - p else x);
+        let y = u - v in
+        Array.unsafe_set a (j + !tt) (if y < 0 then y + p else y)
+      done
+    done;
+    m := !m * 2
+  done
+
+(* Gentleman-Sande, decimation in frequency. *)
+let inverse t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  let tt = ref 1 and m = ref n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m / 2 in
+    for i = 0 to h - 1 do
+      let s = Array.unsafe_get t.psi_inv_rev (h + i) in
+      for j = !j1 to !j1 + !tt - 1 do
+        let u = Array.unsafe_get a j in
+        let v = Array.unsafe_get a (j + !tt) in
+        let x = u + v in
+        Array.unsafe_set a j (if x >= p then x - p else x);
+        let d = u - v in
+        let d = if d < 0 then d + p else d in
+        Array.unsafe_set a (j + !tt) (d * s mod p)
+      done;
+      j1 := !j1 + (2 * !tt)
+    done;
+    tt := !tt * 2;
+    m := h
+  done;
+  for j = 0 to n - 1 do
+    a.(j) <- Modarith.mul a.(j) t.n_inv p
+  done

@@ -1,0 +1,31 @@
+(** Negacyclic number-theoretic transform over Z_p.
+
+    Forward/inverse transforms realize evaluation/interpolation for the ring
+    Z_p[X]/(X^N + 1), so that polynomial multiplication becomes pointwise
+    multiplication of transformed coefficient vectors. Powers of a
+    primitive 2N-th root of unity are folded into the butterflies
+    (Longa-Naehrig), so no separate pre/post twisting is needed. *)
+
+type table
+
+(** [make ~n p] precomputes twiddle factors for size [n] (a power of two)
+    modulo prime [p = 1 (mod 2n)]. *)
+val make : n:int -> int -> table
+
+val modulus : table -> int
+val size : table -> int
+
+(** In-place forward transform of a length-[n] coefficient vector. *)
+val forward : table -> int array -> unit
+
+(** In-place inverse transform. [inverse t (forward t a)] restores [a]. *)
+val inverse : table -> int array -> unit
+
+(** [galois_permutation t g] is the slot permutation realizing the ring
+    automorphism X -> X^g (odd [g]) directly in the evaluation domain:
+    if [b] is the forward transform of [a], then the transform of
+    [galois(a)] at index [j] is [b.(perm.(j))]. Evaluation points of this
+    transform's output ordering are characterized empirically and
+    verified by differential tests against the coefficient-domain
+    automorphism. *)
+val galois_permutation : table -> int -> int array

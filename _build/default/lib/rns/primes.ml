@@ -1,0 +1,38 @@
+let min_bits ~two_n =
+  let rec log2 k = if k <= 1 then 0 else 1 + log2 (k / 2) in
+  log2 two_n + 1
+
+let gen ~bits ~two_n ~avoid =
+  if bits < 2 || bits > 30 then invalid_arg "Primes.gen: bits out of [2,30]";
+  let hi = 1 lsl bits in
+  (* Largest candidate = 1 (mod two_n) strictly below 2^bits. *)
+  let start = ((hi - 2) / two_n * two_n) + 1 in
+  let rec go c =
+    if c < (1 lsl (bits - 1)) then raise Not_found
+    else if (not (avoid c)) && Modarith.is_prime c then c
+    else go (c - two_n)
+  in
+  go start
+
+let gen_chain ~bit_sizes ~two_n =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun bits ->
+      let p = gen ~bits ~two_n ~avoid:(Hashtbl.mem seen) in
+      Hashtbl.replace seen p ();
+      p)
+    bit_sizes
+
+let primitive_root ~two_n p =
+  if (p - 1) mod two_n <> 0 then invalid_arg "Primes.primitive_root: p <> 1 mod 2N";
+  let exponent = (p - 1) / two_n in
+  (* A deterministic scan is fine: candidates are dense. [r] is a primitive
+     two_n-th root iff r^(two_n/2) = -1. *)
+  let rec go g =
+    if g >= p then invalid_arg "Primes.primitive_root: none found"
+    else begin
+      let r = Modarith.pow g exponent p in
+      if Modarith.pow r (two_n / 2) p = p - 1 then r else go (g + 1)
+    end
+  in
+  go 2

@@ -1,0 +1,24 @@
+(** Generation of NTT-friendly primes.
+
+    The polynomial ring Z_q[X]/(X^N + 1) admits a negacyclic NTT modulo a
+    prime [p] exactly when [p = 1 (mod 2N)]. This module finds such primes
+    of requested bit sizes, mirroring how Microsoft SEAL builds coefficient
+    moduli from a vector of bit sizes. *)
+
+(** [gen ~bits ~two_n ~avoid] is the largest prime [p < 2^bits] with
+    [p = 1 (mod two_n)] and [p] not in [avoid]. Raises [Not_found] if no
+    such prime exists (e.g. [bits] too small for [two_n]).
+    Requires [2 <= bits <= 30]. *)
+val gen : bits:int -> two_n:int -> avoid:(int -> bool) -> int
+
+(** [gen_chain ~bit_sizes ~two_n] generates one distinct prime per entry of
+    [bit_sizes], in order. *)
+val gen_chain : bit_sizes:int list -> two_n:int -> int list
+
+(** [primitive_root ~two_n p] is a primitive [two_n]-th root of unity modulo
+    [p]. Requires [p = 1 (mod two_n)] and [two_n] a power of two. *)
+val primitive_root : two_n:int -> int -> int
+
+(** Smallest bit size for which an NTT-friendly prime modulo [2N] can
+    exist: [log2 (2N) + 1]. *)
+val min_bits : two_n:int -> int

@@ -1,0 +1,1 @@
+lib/schedule/cost.ml: Array Eva_ckks Eva_core Float Hashtbl List Option Random Sys Unix

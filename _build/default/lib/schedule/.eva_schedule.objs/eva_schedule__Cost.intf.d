@@ -1,0 +1,1 @@
+lib/schedule/cost.mli: Eva_core Hashtbl

@@ -1,0 +1,1 @@
+lib/schedule/makespan.ml: Array Eva_core Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/schedule/makespan.mli: Eva_core

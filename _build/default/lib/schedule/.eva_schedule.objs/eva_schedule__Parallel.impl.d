@@ -1,0 +1,1 @@
+lib/schedule/parallel.ml: Array Condition Domain Eva_core Hashtbl List Mutex Queue

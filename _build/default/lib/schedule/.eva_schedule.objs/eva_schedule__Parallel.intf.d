@@ -1,0 +1,1 @@
+lib/schedule/parallel.mli: Eva_core

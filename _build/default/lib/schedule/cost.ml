@@ -1,0 +1,106 @@
+module Ir = Eva_core.Ir
+module Analysis = Eva_core.Analysis
+module Compile = Eva_core.Compile
+module Params = Eva_core.Params
+
+type coefficients = { c_linear : float; c_mul : float; c_ntt : float; c_encode : float }
+
+(* Measured on one x86-64 core with this repository's scheme. *)
+let default_coefficients = { c_linear = 2.2e-9; c_mul = 2.8e-9; c_ntt = 1.6e-9; c_encode = 2.5e-8 }
+
+let calibrate ?(log_n = 12) () =
+  let module Ctx = Eva_ckks.Context in
+  let module Keys = Eva_ckks.Keys in
+  let module Eval = Eva_ckks.Eval in
+  let n = 1 lsl log_n in
+  let ctx = Ctx.make ~ignore_security:true ~n ~data_bits:[ 60; 60; 60 ] ~special_bits:[ 60 ] () in
+  let rng = Random.State.make [| 99 |] in
+  let secret, ks = Keys.generate ctx rng ~galois_elts:[] in
+  ignore secret;
+  let v = Array.init (n / 2) (fun i -> Float.sin (float_of_int i)) in
+  let scale = Float.ldexp 1.0 40 in
+  let pt = Eval.encode ctx ~level:3 ~scale v in
+  let ct = Eval.encrypt ctx ks rng pt in
+  let time f =
+    let reps = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let m = 6 (* machine primes at level 3: three 60-bit elements *) in
+  let fn = float_of_int n and fm = float_of_int m in
+  let flog = float_of_int log_n in
+  let t_add = time (fun () -> Eval.add ct ct) in
+  let t_mul = time (fun () -> Eval.multiply ct ct) in
+  let t_relin =
+    let prod = Eval.multiply ct ct in
+    time (fun () -> Eval.relinearize ctx ks prod)
+  in
+  let t_encode = time (fun () -> Eval.encode ctx ~level:3 ~scale v) in
+  let c_linear = t_add /. (2.0 *. fm *. fn) in
+  let c_mul = t_mul /. (3.0 *. fm *. fn) in
+  (* Key switching: m digits, each transformed over (m + s) primes. *)
+  let c_ntt = t_relin /. (fm *. (fm +. 2.0) *. fn *. flog) in
+  let c_encode = t_encode /. fn in
+  { c_linear; c_mul; c_ntt; c_encode }
+
+let node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n =
+  let fn = float_of_int (1 lsl log_n) in
+  let flog = float_of_int log_n in
+  let m = float_of_int (primes_of_level (level_of n)) in
+  let s = float_of_int special_primes in
+  match n.Ir.op with
+  | Ir.Input _ | Ir.Constant _ | Ir.Output _ -> 0.0
+  | Ir.Negate -> coeffs.c_linear *. 2.0 *. m *. fn
+  | Ir.Add | Ir.Sub -> coeffs.c_linear *. 2.0 *. m *. fn
+  | Ir.Multiply ->
+      (* Pointwise products over up to 3 result components, plus operand
+         encoding when one side is plaintext (amortized, kept simple). *)
+      (coeffs.c_mul *. 3.0 *. m *. fn) +. (coeffs.c_encode *. fn)
+  | Ir.Rescale _ ->
+      (* One inverse + forward NTT per remaining prime. *)
+      coeffs.c_ntt *. 2.0 *. m *. fn *. flog
+  | Ir.Mod_switch -> coeffs.c_linear *. m *. fn
+  | Ir.Relinearize | Ir.Rotate_left _ | Ir.Rotate_right _ ->
+      (* Hybrid key switching: m digits x (m + s) target primes. *)
+      coeffs.c_ntt *. m *. (m +. s) *. fn *. flog
+
+let program_costs ?log_n coeffs compiled =
+  let p = compiled.Compile.program in
+  let params = compiled.Compile.params in
+  let log_n = Option.value log_n ~default:params.Params.log_n in
+  let chain = Array.of_list params.Params.context_data_bits in
+  let total_elements = Array.length chain in
+  let primes_per_element = Array.map (fun bits -> if bits <= 30 then 1 else 2) chain in
+  let primes_of_level level =
+    let level = max 1 (min level total_elements) in
+    let acc = ref 0 in
+    for i = 0 to level - 1 do
+      acc := !acc + primes_per_element.(i)
+    done;
+    !acc
+  in
+  let special_primes =
+    List.fold_left (fun acc b -> acc + if b <= 30 then 1 else 2) 0 params.Params.special_bits
+  in
+  let chains = Analysis.chains p in
+  let ty = Analysis.types p in
+  let level_of n =
+    match Hashtbl.find_opt chains n.Ir.id with
+    | Some c -> total_elements - List.length c
+    | None -> total_elements
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let cost =
+        if Hashtbl.find ty n.Ir.id <> Ir.Cipher then
+          (* Plaintext arithmetic is vector work at vec_size. *)
+          coeffs.c_linear *. float_of_int p.Ir.vec_size
+        else node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n
+      in
+      Hashtbl.replace tbl n.Ir.id cost)
+    p.Ir.all_nodes;
+  tbl

@@ -1,0 +1,48 @@
+(** Analytic cost model for RNS-CKKS instructions.
+
+    Every homomorphic instruction's running time is dominated by
+    per-prime vector work ([m * N]) and NTTs ([m * N * log2 N]); key
+    switching (relinearization, rotation) additionally pays one NTT per
+    (digit, target-prime) pair ([m * (m + s) * N * log2 N]). The model
+    assigns each EVA instruction a cost in those terms with coefficients
+    calibrated against the real {!Eva_core.Executor} on this machine, so
+    DAG makespans can be extrapolated to parameter sizes that are too
+    slow to execute in the simulator.
+
+    Levels (the [m] per node) come from the compiled program's rescale
+    chains; the cost of a node therefore reflects the modulus chain the
+    compiler selected — the mechanism by which EVA's smaller [r] and [N]
+    show up as lower latency (paper Tables 5 and 6). *)
+
+type coefficients = {
+  c_linear : float;  (** seconds per (prime x coefficient) for add-like ops *)
+  c_mul : float;  (** per (prime x coefficient) for pointwise products *)
+  c_ntt : float;  (** per (prime x coefficient x log2 N) butterfly *)
+  c_encode : float;  (** per coefficient for embedding + encode *)
+}
+
+(** Coefficients measured on a representative x86-64 core; used when
+    runtime calibration is skipped. *)
+val default_coefficients : coefficients
+
+(** [calibrate ~log_n ()] times the real scheme primitives and fits the
+    four coefficients. *)
+val calibrate : ?log_n:int -> unit -> coefficients
+
+(** [node_cost coeffs ~log_n ~special_primes ~primes_of_level ~levels n]
+    is the modeled seconds for node [n], where [primes_of_level] maps a
+    chain level (elements remaining) to machine-prime count and [levels]
+    gives each node's level. *)
+val node_cost :
+  coefficients ->
+  log_n:int ->
+  special_primes:int ->
+  primes_of_level:(int -> int) ->
+  level_of:(Eva_core.Ir.node -> int) ->
+  Eva_core.Ir.node ->
+  float
+
+(** [program_costs coeffs compiled] precomputes a per-node cost table for
+    a compiled program at its selected parameters (or [log_n] override). *)
+val program_costs :
+  ?log_n:int -> coefficients -> Eva_core.Compile.compiled -> (int, float) Hashtbl.t

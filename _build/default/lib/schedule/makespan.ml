@@ -1,0 +1,146 @@
+module Ir = Eva_core.Ir
+
+type stats = { makespan : float; work : float; critical_path : float; busy_fraction : float }
+
+(* Minimal binary min-heap on float keys. *)
+module Fheap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push h key v =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (max 16 (2 * h.size)) (key, v) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+(* Greedy list scheduling of [nodes] (must be closed under in-group
+   dependencies described by [parents_in]) with priority = bottom level. *)
+let schedule_nodes nodes ~cost ~workers ~parents_in ~children_in =
+  let bottom = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let below =
+        List.fold_left (fun acc c -> Float.max acc (Hashtbl.find bottom c.Ir.id)) 0.0 (children_in n)
+      in
+      Hashtbl.replace bottom n.Ir.id (cost n +. below))
+    (List.rev nodes);
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace indeg n.Ir.id (List.length (parents_in n))) nodes;
+  (* Ready queue keyed by negated bottom level: longest path first. *)
+  let ready = Fheap.create () in
+  List.iter (fun n -> if Hashtbl.find indeg n.Ir.id = 0 then Fheap.push ready (-.Hashtbl.find bottom n.Ir.id) n) nodes;
+  let running = Fheap.create () in
+  let time = ref 0.0 and free = ref workers and makespan = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    while !free > 0 && not (Fheap.is_empty ready) do
+      let _, n = Fheap.pop ready in
+      decr free;
+      Fheap.push running (!time +. cost n) n
+    done;
+    if Fheap.is_empty running then continue := false
+    else begin
+      let t, n = Fheap.pop running in
+      time := t;
+      makespan := Float.max !makespan t;
+      incr free;
+      List.iter
+        (fun c ->
+          let d = Hashtbl.find indeg c.Ir.id - 1 in
+          Hashtbl.replace indeg c.Ir.id d;
+          if d = 0 then Fheap.push ready (-.Hashtbl.find bottom c.Ir.id) c)
+        (children_in n)
+    end
+  done;
+  let work = List.fold_left (fun acc n -> acc +. cost n) 0.0 nodes in
+  let critical_path = List.fold_left (fun acc n -> Float.max acc (Hashtbl.find bottom n.Ir.id)) 0.0 nodes in
+  (!makespan, work, critical_path)
+
+let stats_of ~workers (makespan, work, critical_path) =
+  {
+    makespan;
+    work;
+    critical_path;
+    busy_fraction = (if makespan > 0.0 then work /. (makespan *. float_of_int workers) else 1.0);
+  }
+
+let simulate p ~cost ~workers =
+  if workers < 1 then invalid_arg "Makespan.simulate: workers >= 1";
+  let nodes = Ir.topological p in
+  let parents_in n = Array.to_list n.Ir.parms in
+  let children_in n = n.Ir.uses in
+  stats_of ~workers (schedule_nodes nodes ~cost ~workers ~parents_in ~children_in)
+
+let simulate_bulk_synchronous p ~cost ~workers ~group =
+  if workers < 1 then invalid_arg "Makespan.simulate_bulk_synchronous: workers >= 1";
+  let nodes = Ir.topological p in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun parent ->
+          if group parent > group n then
+            invalid_arg "Makespan.simulate_bulk_synchronous: group assignment violates dependencies")
+        n.Ir.parms)
+    nodes;
+  let by_group = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let g = group n in
+      Hashtbl.replace by_group g (n :: (Option.value (Hashtbl.find_opt by_group g) ~default:[])))
+    (List.rev nodes);
+  let group_ids = List.sort_uniq compare (List.map group nodes) in
+  let total_makespan = ref 0.0 and total_work = ref 0.0 and total_cp = ref 0.0 in
+  List.iter
+    (fun g ->
+      let members = Hashtbl.find by_group g in
+      let in_group m = group m = g in
+      let parents_in n = List.filter in_group (Array.to_list n.Ir.parms) in
+      let children_in n = List.filter in_group n.Ir.uses in
+      let ms, w, cp = schedule_nodes members ~cost ~workers ~parents_in ~children_in in
+      total_makespan := !total_makespan +. ms;
+      total_work := !total_work +. w;
+      total_cp := !total_cp +. cp)
+    group_ids;
+  {
+    makespan = !total_makespan;
+    work = !total_work;
+    critical_path = !total_cp;
+    busy_fraction =
+      (if !total_makespan > 0.0 then !total_work /. (!total_makespan *. float_of_int workers) else 1.0);
+  }

@@ -1,0 +1,29 @@
+(** Deterministic list-scheduler makespan model for program DAGs.
+
+    The paper's executor (Section 6.1) schedules ready FHE instructions
+    dynamically onto worker threads; CHET's runtime instead parallelizes
+    inside each tensor kernel with a barrier between kernels. Both
+    policies are modeled here so strong scaling (Figure 7) can be
+    reproduced on a machine without 56 cores: given per-node costs, the
+    model computes the completion time of a greedy schedule.
+
+    Standard bounds hold and are checked by property tests:
+    [max critical_path (work / workers) <= makespan <= work]. *)
+
+type stats = {
+  makespan : float;  (** modeled seconds *)
+  work : float;  (** sum of node costs *)
+  critical_path : float;
+  busy_fraction : float;  (** work / (makespan * workers) *)
+}
+
+(** [simulate p ~cost ~workers] models the paper's dynamic whole-program
+    scheduler. *)
+val simulate : Eva_core.Ir.program -> cost:(Eva_core.Ir.node -> float) -> workers:int -> stats
+
+(** [simulate_bulk_synchronous p ~cost ~workers ~group] models a
+    CHET-style runtime: nodes run grouped by kernel index [group n],
+    groups in ascending order with a barrier between consecutive groups.
+    Nodes mapping to the same group still run in parallel. *)
+val simulate_bulk_synchronous :
+  Eva_core.Ir.program -> cost:(Eva_core.Ir.node -> float) -> workers:int -> group:(Eva_core.Ir.node -> int) -> stats

@@ -1,0 +1,106 @@
+module Ir = Eva_core.Ir
+module Executor = Eva_core.Executor
+
+type shared = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  ready : Ir.node Queue.t;
+  values : (int, Executor.value) Hashtbl.t;
+  pending_parents : (int, int) Hashtbl.t;
+  remaining_uses : (int, int) Hashtbl.t;
+  mutable outstanding : int;  (** instructions not yet finished *)
+  mutable failure : exn option;
+}
+
+let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
+  if workers < 1 then invalid_arg "Parallel.execute: workers >= 1";
+  let p = compiled.Eva_core.Compile.program in
+  let engine = Executor.prepare ?seed ?ignore_security ?log_n compiled bindings in
+  let instructions = List.filter (fun n -> match n.Ir.op with Ir.Input _ -> false | _ -> true) (Ir.topological p) in
+  let sh =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      ready = Queue.create ();
+      values = Hashtbl.create 64;
+      pending_parents = Hashtbl.create 64;
+      remaining_uses = Hashtbl.create 64;
+      outstanding = List.length instructions;
+      failure = None;
+    }
+  in
+  List.iter (fun (id, v) -> Hashtbl.replace sh.values id v) (Executor.input_values engine);
+  List.iter (fun n -> Hashtbl.replace sh.remaining_uses n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
+  List.iter
+    (fun n ->
+      Hashtbl.replace sh.pending_parents n.Ir.id (Array.length n.Ir.parms);
+      if Array.length n.Ir.parms = 0 then Queue.add n sh.ready)
+    instructions;
+  (* Input nodes are pre-resolved: unblock their children. *)
+  let outputs = ref [] in
+  Mutex.lock sh.mutex;
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Input _ ->
+          List.iter
+            (fun c ->
+              let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
+              Hashtbl.replace sh.pending_parents c.Ir.id d;
+              if d = 0 then Queue.add c sh.ready)
+            n.Ir.uses
+      | _ -> ())
+    p.Ir.all_nodes;
+  Mutex.unlock sh.mutex;
+  let worker () =
+    let rec loop () =
+      Mutex.lock sh.mutex;
+      let rec wait () =
+        if sh.failure <> None || sh.outstanding = 0 then None
+        else if Queue.is_empty sh.ready then begin
+          Condition.wait sh.cond sh.mutex;
+          wait ()
+        end
+        else Some (Queue.pop sh.ready)
+      in
+      match wait () with
+      | None ->
+          Condition.broadcast sh.cond;
+          Mutex.unlock sh.mutex
+      | Some n ->
+          let parents = Array.to_list (Array.map (fun m -> Hashtbl.find sh.values m.Ir.id) n.Ir.parms) in
+          Mutex.unlock sh.mutex;
+          let result = try Ok (Executor.eval_node engine n parents) with e -> Error e in
+          Mutex.lock sh.mutex;
+          (match result with
+          | Error e -> sh.failure <- Some e
+          | Ok v ->
+              Hashtbl.replace sh.values n.Ir.id v;
+              sh.outstanding <- sh.outstanding - 1;
+              (match n.Ir.op with
+              | Ir.Output name -> outputs := (name, v) :: !outputs
+              | _ -> ());
+              (* Release parents whose last consumer just ran (keep output
+                 values alive). *)
+              Array.iter
+                (fun parent ->
+                  let r = Hashtbl.find sh.remaining_uses parent.Ir.id - 1 in
+                  Hashtbl.replace sh.remaining_uses parent.Ir.id r)
+                n.Ir.parms;
+              List.iter
+                (fun c ->
+                  let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
+                  Hashtbl.replace sh.pending_parents c.Ir.id d;
+                  if d = 0 then Queue.add c sh.ready)
+                n.Ir.uses);
+          Condition.broadcast sh.cond;
+          Mutex.unlock sh.mutex;
+          loop ()
+    in
+    loop ()
+  in
+  let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  (match sh.failure with Some e -> raise e | None -> ());
+  List.rev_map (fun (name, v) -> (name, Executor.read_output engine v)) !outputs

@@ -1,0 +1,21 @@
+(** Multicore execution of compiled EVA programs.
+
+    The paper's executor schedules ready FHE instructions dynamically
+    onto threads (built on the Galois runtime); this implementation uses
+    OCaml 5 domains with a shared ready queue. A node becomes ready when
+    all parameters are computed; each instruction only writes its own
+    slot, so workers never conflict (Section 6.1). Ciphertext buffers
+    are released when their last consumer finishes, as in the sequential
+    executor. *)
+
+(** [execute ~workers c bindings] behaves like
+    {!Eva_core.Executor.execute} but evaluates independent instructions
+    on [workers] domains. *)
+val execute :
+  ?seed:int ->
+  ?ignore_security:bool ->
+  ?log_n:int ->
+  workers:int ->
+  Eva_core.Compile.compiled ->
+  (string * Eva_core.Reference.binding) list ->
+  (string * float array) list

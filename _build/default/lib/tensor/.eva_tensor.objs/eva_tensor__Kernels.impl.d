@@ -1,0 +1,1 @@
+lib/tensor/kernels.ml: Array Eva_core Fun Hashtbl List Printf

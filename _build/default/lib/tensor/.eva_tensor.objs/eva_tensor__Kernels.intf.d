@@ -1,0 +1,1 @@
+lib/tensor/kernels.mli: Eva_core

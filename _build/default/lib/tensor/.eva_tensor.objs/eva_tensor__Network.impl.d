@@ -1,0 +1,1 @@
+lib/tensor/network.ml: Array Eva_core Float Kernels List Printf Random Tensor

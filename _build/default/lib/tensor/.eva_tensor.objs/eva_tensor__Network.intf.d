@@ -1,0 +1,1 @@
+lib/tensor/network.mli: Eva_core Kernels

@@ -1,0 +1,1 @@
+lib/tensor/networks.ml: Network

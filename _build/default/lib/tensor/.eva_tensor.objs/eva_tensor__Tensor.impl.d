@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array List

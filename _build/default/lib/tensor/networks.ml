@@ -1,0 +1,114 @@
+open Network
+
+let conv out_channels kernel = Conv { out_channels; kernel; stride = 1 }
+
+let lenet5 name c1 c2 f1 =
+  {
+    net_name = name;
+    input_channels = 1;
+    input_height = 28;
+    input_width = 28;
+    layers =
+      [
+        conv c1 5; Square; Avg_pool 2;
+        conv c2 5; Square; Avg_pool 2;
+        Fc f1; Square;
+        Fc 10; Square;
+      ];
+  }
+
+let lenet5_small = lenet5 "LeNet-5-small" 4 8 32
+let lenet5_medium = lenet5 "LeNet-5-medium" 8 16 64
+let lenet5_large = lenet5 "LeNet-5-large" 16 32 128
+
+let industrial =
+  {
+    net_name = "Industrial";
+    input_channels = 1;
+    input_height = 16;
+    input_width = 16;
+    layers =
+      [
+        conv 8 3; Square;
+        conv 8 3; Square; Avg_pool 2;
+        conv 16 3; Square;
+        conv 16 3; Square; Avg_pool 2;
+        conv 32 3; Square;
+        Fc 16; Square;
+        Fc 2;
+      ];
+  }
+
+(* Fire module: 1x1 squeeze then 3x3 expand, squares after each. *)
+let fire squeeze expand = [ conv squeeze 1; Square; conv expand 3; Square ]
+
+let squeezenet_cifar =
+  {
+    net_name = "SqueezeNet-CIFAR";
+    input_channels = 3;
+    input_height = 32;
+    input_width = 32;
+    layers =
+      [ conv 16 3; Square; Avg_pool 2 ]
+      @ fire 8 32
+      @ [ Avg_pool 2 ]
+      @ fire 16 64
+      @ [ Avg_pool 2 ]
+      @ fire 16 64
+      @ fire 16 64
+      @ [ conv 10 1; Global_avg_pool ];
+  }
+
+let scales_for net =
+  match net.net_name with
+  | "LeNet-5-small" | "LeNet-5-medium" -> { cipher = 25; weight = 15; output = 30 }
+  | "LeNet-5-large" -> { cipher = 25; weight = 20; output = 25 }
+  | "Industrial" -> { cipher = 30; weight = 15; output = 30 }
+  | "SqueezeNet-CIFAR" -> { cipher = 25; weight = 15; output = 30 }
+  | _ -> { cipher = 25; weight = 15; output = 30 }
+
+let all = [ lenet5_small; lenet5_medium; lenet5_large; industrial; squeezenet_cifar ]
+
+let mini_lenet =
+  {
+    net_name = "mini-LeNet";
+    input_channels = 1;
+    input_height = 8;
+    input_width = 8;
+    layers =
+      [
+        conv 2 3; Square; Avg_pool 2;
+        conv 4 3; Square; Avg_pool 2;
+        Fc 8; Square;
+        Fc 4; Square;
+      ];
+  }
+
+let mini_industrial =
+  {
+    net_name = "mini-Industrial";
+    input_channels = 1;
+    input_height = 8;
+    input_width = 8;
+    layers =
+      [
+        conv 2 3; Square;
+        conv 4 3; Square; Avg_pool 2;
+        conv 4 3; Square;
+        Fc 4; Square;
+        Fc 2;
+      ];
+  }
+
+let mini_squeezenet =
+  {
+    net_name = "mini-SqueezeNet";
+    input_channels = 1;
+    input_height = 8;
+    input_width = 8;
+    layers =
+      [ conv 4 3; Square; Avg_pool 2 ] @ fire 2 4 @ [ Avg_pool 2 ] @ fire 2 4
+      @ [ conv 2 1; Global_avg_pool ];
+  }
+
+let minis = [ mini_lenet; mini_industrial; mini_squeezenet ]

@@ -1,0 +1,34 @@
+(** The five networks of the paper's evaluation (Table 3), plus reduced
+    "mini" variants for end-to-end encrypted execution.
+
+    The three LeNet-5 variants and SqueezeNet-CIFAR follow the published
+    structures (2 conv + 2 FC + 4 square activations; 10 convolutions in
+    4 fire modules with 9 activations); Industrial reproduces the shape
+    the paper reports (5 conv, 2 FC, 6 activations, binary output) and —
+    exactly as in the paper — runs with random weights. Channel widths
+    are halved relative to the originals to bound compile-time memory on
+    one machine; widths do not affect the selected encryption parameters
+    (Table 6), which depend only on depth and scales. Max-pool and ReLU
+    are already replaced by average-pool and polynomial activations, as
+    CHET's FHE-compatible networks require. *)
+
+val lenet5_small : Network.t
+val lenet5_medium : Network.t
+val lenet5_large : Network.t
+val industrial : Network.t
+val squeezenet_cifar : Network.t
+
+(** Paper Table 4 input/output scales for each network. *)
+val scales_for : Network.t -> Network.scales
+
+(** All five, in the paper's order. *)
+val all : Network.t list
+
+(** Reduced variants that execute end-to-end under the simulated scheme
+    in seconds rather than hours. *)
+val mini_lenet : Network.t
+
+val mini_industrial : Network.t
+val mini_squeezenet : Network.t
+
+val minis : Network.t list

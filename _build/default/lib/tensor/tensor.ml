@@ -1,0 +1,91 @@
+type t = { channels : int; height : int; width : int; data : float array }
+
+let create ~channels ~height ~width = { channels; height; width; data = Array.make (channels * height * width) 0.0 }
+
+let init ~channels ~height ~width f =
+  let t = create ~channels ~height ~width in
+  for c = 0 to channels - 1 do
+    for i = 0 to height - 1 do
+      for j = 0 to width - 1 do
+        t.data.((c * height * width) + (i * width) + j) <- f c i j
+      done
+    done
+  done;
+  t
+
+let get t c i j = t.data.((c * t.height * t.width) + (i * t.width) + j)
+let set t c i j v = t.data.((c * t.height * t.width) + (i * t.width) + j) <- v
+let size t = t.channels * t.height * t.width
+let to_array t = Array.copy t.data
+
+let of_array ~channels ~height ~width data =
+  if Array.length data <> channels * height * width then invalid_arg "Tensor.of_array: size mismatch";
+  { channels; height; width; data = Array.copy data }
+
+let conv2d x ~weights ~stride =
+  let out_channels = Array.length weights in
+  let in_channels = Array.length weights.(0) in
+  if in_channels <> x.channels then invalid_arg "Tensor.conv2d: channel mismatch";
+  let k = Array.length weights.(0).(0) in
+  let pad = k / 2 in
+  let oh = (x.height + stride - 1) / stride and ow = (x.width + stride - 1) / stride in
+  init ~channels:out_channels ~height:oh ~width:ow (fun o i j ->
+      let acc = ref 0.0 in
+      for c = 0 to in_channels - 1 do
+        for di = 0 to k - 1 do
+          for dj = 0 to k - 1 do
+            let si = (i * stride) + di - pad and sj = (j * stride) + dj - pad in
+            if si >= 0 && si < x.height && sj >= 0 && sj < x.width then
+              acc := !acc +. (weights.(o).(c).(di).(dj) *. get x c si sj)
+          done
+        done
+      done;
+      !acc)
+
+let avg_pool x ~k =
+  let oh = x.height / k and ow = x.width / k in
+  if oh = 0 || ow = 0 then invalid_arg "Tensor.avg_pool: window larger than input";
+  init ~channels:x.channels ~height:oh ~width:ow (fun c i j ->
+      let acc = ref 0.0 in
+      for di = 0 to k - 1 do
+        for dj = 0 to k - 1 do
+          acc := !acc +. get x c ((i * k) + di) ((j * k) + dj)
+        done
+      done;
+      !acc /. float_of_int (k * k))
+
+let global_avg_pool x =
+  init ~channels:x.channels ~height:1 ~width:1 (fun c _ _ ->
+      let acc = ref 0.0 in
+      for i = 0 to x.height - 1 do
+        for j = 0 to x.width - 1 do
+          acc := !acc +. get x c i j
+        done
+      done;
+      !acc /. float_of_int (x.height * x.width))
+
+let fully_connected x ~weights =
+  let m = size x in
+  let f = Array.length weights in
+  Array.iter (fun row -> if Array.length row <> m then invalid_arg "Tensor.fully_connected: shape mismatch") weights;
+  init ~channels:f ~height:1 ~width:1 (fun o _ _ ->
+      let acc = ref 0.0 in
+      for i = 0 to m - 1 do
+        acc := !acc +. (weights.(o).(i) *. x.data.(i))
+      done;
+      !acc)
+
+let map f x = { x with data = Array.map f x.data }
+let square x = map (fun v -> v *. v) x
+
+let poly coeffs x =
+  map
+    (fun z ->
+      let _, acc = List.fold_left (fun (zp, acc) c -> (zp *. z, acc +. (c *. zp))) (1.0, 0.0) coeffs in
+      acc)
+    x
+
+let argmax v =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > v.(!best) then best := i) v;
+  !best

@@ -1,0 +1,36 @@
+(** Plain floating-point tensors in CHW layout: the unencrypted oracle
+    against which the homomorphic lowering is tested. *)
+
+type t = { channels : int; height : int; width : int; data : float array (* c * h * w, row-major *) }
+
+val create : channels:int -> height:int -> width:int -> t
+val init : channels:int -> height:int -> width:int -> (int -> int -> int -> float) -> t
+val get : t -> int -> int -> int -> float
+val set : t -> int -> int -> int -> float -> unit
+val size : t -> int
+
+(** Flatten to a CHW vector. *)
+val to_array : t -> float array
+
+val of_array : channels:int -> height:int -> width:int -> float array -> t
+
+(** [conv2d x ~weights ~stride] with 'same' zero padding for odd kernel
+    size k (pad = k/2). [weights.(o).(c).(ki).(kj)]. *)
+val conv2d : t -> weights:float array array array array -> stride:int -> t
+
+(** [avg_pool x ~k] with stride = k (non-overlapping). *)
+val avg_pool : t -> k:int -> t
+
+(** Mean over each full channel: result is [channels x 1 x 1]. *)
+val global_avg_pool : t -> t
+
+(** [fully_connected x ~weights] flattens CHW and applies
+    [weights.(f).(m)]: result is [f x 1 x 1]. *)
+val fully_connected : t -> weights:float array array -> t
+
+val square : t -> t
+
+(** Pointwise polynomial [c0 + c1 z + c2 z^2 + ...]. *)
+val poly : float list -> t -> t
+
+val argmax : float array -> int

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Eva_core Hashtbl List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Eva_apps Eva_core Float List Random

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Eva_bigint Eva_rns Float List Printf QCheck2 QCheck_alcotest

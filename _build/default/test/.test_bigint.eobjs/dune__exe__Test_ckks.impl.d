@@ -1,0 +1,1 @@
+test/test_ckks.ml: Alcotest Array Complex Eva_ckks Float Fun Printf QCheck2 QCheck_alcotest Random

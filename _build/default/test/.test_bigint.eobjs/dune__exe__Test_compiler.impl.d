@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Eva_core Float Hashtbl List QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Eva_core Float List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Eva_core Eva_image Float List QCheck2 QCheck_alcotest Random

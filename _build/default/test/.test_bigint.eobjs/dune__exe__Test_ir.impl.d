@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Eva_core Hashtbl List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Eva_apps Eva_core Float List Printf QCheck2 QCheck_alcotest Random

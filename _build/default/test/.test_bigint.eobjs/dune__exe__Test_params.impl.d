@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Eva_ckks Eva_core Hashtbl List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Eva_bigint Eva_poly Eva_rns List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_rns.ml: Alcotest Array Eva_bigint Eva_rns List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Eva_ckks Eva_core Eva_schedule Float Hashtbl List Printf QCheck2 QCheck_alcotest Random

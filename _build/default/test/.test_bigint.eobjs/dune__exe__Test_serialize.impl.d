@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Eva_core Filename Float Fun List Option QCheck2 QCheck_alcotest Random String Sys

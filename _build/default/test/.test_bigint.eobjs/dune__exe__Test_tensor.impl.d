@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Eva_core Eva_tensor Float List Printf QCheck2 QCheck_alcotest Random

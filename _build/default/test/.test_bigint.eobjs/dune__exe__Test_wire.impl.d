@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Buffer Eva_ckks Float Random String

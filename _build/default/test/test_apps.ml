@@ -1,0 +1,144 @@
+module Apps = Eva_apps.Apps
+module Compile = Eva_core.Compile
+module Params = Eva_core.Params
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+module Analysis = Eva_core.Analysis
+module Validate = Eva_core.Validate
+module Ir = Eva_core.Ir
+
+let st () = Random.State.make [| 77 |]
+
+let test_all_apps_compile () =
+  List.iter
+    (fun app ->
+      let p = app.Apps.build () in
+      let c = Compile.run p in
+      Validate.check_transformed c.Compile.program;
+      Alcotest.(check bool)
+        (app.Apps.app_name ^ " params within security table")
+        true
+        (c.Compile.params.Params.log_n <= 16))
+    Apps.all
+
+let test_all_apps_reference () =
+  (* Compiled and source programs agree under reference semantics. *)
+  List.iter
+    (fun app ->
+      let p = app.Apps.build () in
+      let inputs = app.Apps.gen_inputs (st ()) in
+      let a = Reference.execute p inputs in
+      let c = Compile.run p in
+      let b = Reference.execute c.Compile.program inputs in
+      List.iter2
+        (fun (na, va) (nb, vb) ->
+          Alcotest.(check string) "name" na nb;
+          Array.iteri
+            (fun i x ->
+              if Float.abs (x -. vb.(i)) > 1e-9 then
+                Alcotest.failf "%s/%s slot %d: %f vs %f" app.Apps.app_name na i x vb.(i))
+            va)
+        a b)
+    Apps.all
+
+let test_sobel_math () =
+  (* The Sobel output approximates the gradient magnitude on a ramp
+     image: gradient is constant and vertical-edge dominated. *)
+  let app = Apps.sobel in
+  let p = app.Apps.build () in
+  let dim = 64 in
+  let image = Array.init (dim * dim) (fun idx -> 0.01 *. float_of_int (idx mod dim)) in
+  let out = Reference.execute p [ ("image", Reference.Vec image) ] in
+  let edges = List.assoc "edges" out in
+  (* Interior slot: Ix = 0.08 (sum of sobel x on a ramp of slope 0.01),
+     Iy = 0; the cubic sqrt approximation of sqrt(0.0064). *)
+  let ix = 0.08 in
+  let expect = List.nth Apps.sqrt_coeffs 1 *. (ix ** 2.0)
+               +. (List.nth Apps.sqrt_coeffs 2 *. (ix ** 4.0))
+               +. (List.nth Apps.sqrt_coeffs 3 *. (ix ** 6.0)) in
+  Alcotest.(check (float 1e-9)) "interior gradient" expect edges.(10)
+
+let test_path_length_math () =
+  let app = Apps.path_length_3d in
+  let p = app.Apps.build () in
+  (* A triangle wave with constant |step| d: all n segments (including
+     the closing wrap-around) have length-squared d^2. *)
+  let n = 4096 in
+  let d = 0.01 in
+  let xs = Array.init n (fun i -> if i <= n / 2 then d *. float_of_int i else d *. float_of_int (n - i)) in
+  let zeros = Array.make n 0.0 in
+  let out =
+    Reference.execute p [ ("x", Reference.Vec xs); ("y", Reference.Vec zeros); ("z", Reference.Vec zeros) ]
+  in
+  let total = (List.assoc "length" out).(0) in
+  let seg2 = d *. d in
+  let sqrt_approx = List.fold_left (fun (acc, p) c -> (acc +. (c *. p), p *. seg2)) (0.0, 1.0) Apps.sqrt_coeffs |> fst in
+  let expect = float_of_int n *. sqrt_approx in
+  Alcotest.(check (float 1e-6)) "total length" expect total
+
+let test_regressions_match_closed_form () =
+  let inputs = [ ("x", Reference.Vec [| 0.5; -0.25 |]); ("w", Reference.Vec [| 2.0; 4.0 |]); ("b", Reference.Scal 1.0) ] in
+  let p = Apps.linear_regression.Apps.build () in
+  let out = List.assoc "prediction" (Reference.execute p inputs) in
+  Alcotest.(check (float 1e-9)) "slot 0" 2.0 out.(0);
+  Alcotest.(check (float 1e-9)) "slot 1" 0.0 out.(1)
+
+let test_linear_regression_encrypted () =
+  let app = Apps.linear_regression in
+  let p = app.Apps.build () in
+  let c = Compile.run p in
+  let inputs = app.Apps.gen_inputs (st ()) in
+  let expect = Reference.execute p inputs in
+  let r = Executor.execute ~ignore_security:true ~log_n:12 c inputs in
+  Alcotest.(check bool) "close" true (Executor.max_abs_error r.Executor.outputs expect < 5e-3)
+
+let test_multivariate_encrypted () =
+  let app = Apps.multivariate_regression in
+  let p = app.Apps.build () in
+  let c = Compile.run p in
+  let inputs = app.Apps.gen_inputs (st ()) in
+  let expect = Reference.execute p inputs in
+  let r = Executor.execute ~ignore_security:true ~log_n:12 c inputs in
+  Alcotest.(check bool) "close" true (Executor.max_abs_error r.Executor.outputs expect < 5e-3)
+
+let test_sobel_encrypted () =
+  let app = Apps.sobel in
+  let p = app.Apps.build () in
+  let c = Compile.run p in
+  let inputs = app.Apps.gen_inputs (st ()) in
+  let expect = Reference.execute p inputs in
+  let r = Executor.execute ~ignore_security:true ~log_n:13 c inputs in
+  Alcotest.(check bool) "close" true (Executor.max_abs_error r.Executor.outputs expect < 1e-2)
+
+let test_depths () =
+  (* Multiplicative depths stay small, as the paper emphasizes. *)
+  let depth app = Analysis.multiplicative_depth (app.Apps.build ()) in
+  Alcotest.(check bool) "linear regression depth 1" true (depth Apps.linear_regression = 1);
+  Alcotest.(check bool) "harris <= 4" true (depth Apps.harris <= 4);
+  Alcotest.(check bool) "sobel <= 5" true (depth Apps.sobel <= 5)
+
+let test_rotation_keys_reported () =
+  let c = Compile.run (Apps.sobel.Apps.build ()) in
+  let rot = c.Compile.params.Params.rotations in
+  Alcotest.(check bool) "sobel needs 8 distinct rotations" true (List.length rot = 8)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "all compile" `Quick test_all_apps_compile;
+          Alcotest.test_case "reference preserved" `Quick test_all_apps_reference;
+          Alcotest.test_case "sobel math" `Quick test_sobel_math;
+          Alcotest.test_case "path length math" `Quick test_path_length_math;
+          Alcotest.test_case "linear closed form" `Quick test_regressions_match_closed_form;
+          Alcotest.test_case "depths" `Quick test_depths;
+          Alcotest.test_case "rotation keys" `Quick test_rotation_keys_reported;
+        ] );
+      ( "encrypted",
+        [
+          Alcotest.test_case "linear regression" `Slow test_linear_regression_encrypted;
+          Alcotest.test_case "multivariate regression" `Slow test_multivariate_encrypted;
+          Alcotest.test_case "sobel" `Slow test_sobel_encrypted;
+        ] );
+    ]

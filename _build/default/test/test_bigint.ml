@@ -1,0 +1,162 @@
+module B = Eva_bigint.Bigint
+
+let check_int msg expected actual = Alcotest.(check string) msg (string_of_int expected) (B.to_string actual)
+
+let test_of_int_round_trip () =
+  List.iter
+    (fun k ->
+      check_int (Printf.sprintf "of_int %d" k) k (B.of_int k);
+      Alcotest.(check int) "to_int_exn" k (B.to_int_exn (B.of_int k)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) + 7; -((1 lsl 45) + 123); max_int; min_int + 1 ]
+
+let test_min_int () =
+  Alcotest.(check string) "min_int" (string_of_int min_int) (B.to_string (B.of_int min_int))
+
+let test_add_sub_small () =
+  let cases = [ (3, 5); (-3, 5); (3, -5); (-3, -5); (0, 7); (1 lsl 40, 1 lsl 40); (max_int / 2, max_int / 2) ] in
+  List.iter
+    (fun (a, b) ->
+      check_int "add" (a + b) (B.add (B.of_int a) (B.of_int b));
+      check_int "sub" (a - b) (B.sub (B.of_int a) (B.of_int b)))
+    cases
+
+let test_mul_small () =
+  List.iter
+    (fun (a, b) -> check_int "mul" (a * b) (B.mul (B.of_int a) (B.of_int b)))
+    [ (3, 5); (-3, 5); (3, -5); (0, 9); (1 lsl 30, 1 lsl 30); (123456789, 987654321) ]
+
+let test_mul_large () =
+  (* (2^62)^2 = 2^124 checked against shift_left. *)
+  let x = B.shift_left B.one 62 in
+  Alcotest.(check bool) "2^124" true (B.equal (B.mul x x) (B.shift_left B.one 124))
+
+let test_shift_round () =
+  check_int "floor-ish" 3 (B.shift_right_round (B.of_int 12) 2);
+  check_int "round up" 4 (B.shift_right_round (B.of_int 14) 2);
+  check_int "half away" 2 (B.shift_right_round (B.of_int 6) 2);
+  check_int "neg half away" (-2) (B.shift_right_round (B.of_int (-6)) 2);
+  check_int "neg" (-3) (B.shift_right_round (B.of_int (-12)) 2)
+
+let test_rem_int () =
+  let m = 1073741789 (* prime < 2^30 *) in
+  List.iter
+    (fun k ->
+      let expect = ((k mod m) + m) mod m in
+      Alcotest.(check int) (Printf.sprintf "rem %d" k) expect (B.rem_int (B.of_int k) m))
+    [ 0; 5; -5; max_int; min_int + 1; 1 lsl 61 ];
+  (* Big value: 2^200 mod m via pow. *)
+  let big = B.shift_left B.one 200 in
+  let expect = Eva_rns.Modarith.pow 2 200 m in
+  Alcotest.(check int) "2^200 mod m" expect (B.rem_int big m)
+
+let test_of_float_scaled () =
+  check_int "1.5 * 2^1" 3 (B.of_float_scaled 1.5 ~log2_scale:1);
+  check_int "0.25 * 2^4" 4 (B.of_float_scaled 0.25 ~log2_scale:4);
+  check_int "-0.5 * 2^3" (-4) (B.of_float_scaled (-0.5) ~log2_scale:3);
+  (* 0.1 * 2^60 rounded: compare via float round-trip. *)
+  let v = B.of_float_scaled 0.1 ~log2_scale:60 in
+  let back = B.to_float v /. ldexp 1.0 60 in
+  Alcotest.(check (float 1e-12)) "0.1 round trip at 2^60" 0.1 back
+
+let test_of_float_scaled_negative_shift () =
+  (* Values whose scaled magnitude still needs right-shifting. *)
+  check_int "0.125 * 2^3" 1 (B.of_float_scaled 0.125 ~log2_scale:3);
+  check_int "0.125 * 2^2 rounds half away" 1 (B.of_float_scaled 0.125 ~log2_scale:2);
+  check_int "tiny rounds to zero" 0 (B.of_float_scaled 1e-9 ~log2_scale:4);
+  check_int "negative tiny" 0 (B.of_float_scaled (-1e-9) ~log2_scale:4)
+
+let test_to_string_negative () =
+  Alcotest.(check string) "negative big" "-18446744073709551616"
+    (B.to_string (B.neg (B.shift_left B.one 64)))
+
+let test_to_float_huge () =
+  let b = B.shift_left B.one 500 in
+  Alcotest.(check (float 1e-6)) "2^500" 500.0 (Float.log2 (B.to_float b))
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "bits 2^61" 62 (B.num_bits (B.shift_left B.one 61));
+  Alcotest.(check int) "bits 2^100" 101 (B.num_bits (B.shift_left B.one 100))
+
+let test_compare () =
+  let a = B.of_int 100 and b = B.of_int (-100) in
+  Alcotest.(check bool) "pos > neg" true (B.compare a b > 0);
+  Alcotest.(check bool) "neg < 0" true (B.compare b B.zero < 0);
+  Alcotest.(check bool) "equal" true (B.equal (B.add a b) B.zero)
+
+(* Property tests against an int oracle (operands kept small enough that the
+   oracle itself cannot overflow). *)
+let gen_small = QCheck2.Gen.int_range (-(1 lsl 30)) (1 lsl 30)
+
+let prop_ring_add =
+  QCheck2.Test.make ~name:"bigint add matches int oracle" ~count:500
+    QCheck2.Gen.(pair gen_small gen_small)
+    (fun (a, b) -> B.to_int_exn (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_ring_mul =
+  QCheck2.Test.make ~name:"bigint mul matches int oracle" ~count:500
+    QCheck2.Gen.(pair gen_small gen_small)
+    (fun (a, b) -> B.to_int_exn (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_mul_commutes =
+  QCheck2.Test.make ~name:"bigint mul commutes on large operands" ~count:200
+    QCheck2.Gen.(pair (pair gen_small gen_small) (pair gen_small gen_small))
+    (fun ((a1, a2), (b1, b2)) ->
+      let big x y = B.add (B.shift_left (B.of_int x) 70) (B.of_int y) in
+      let a = big a1 a2 and b = big b1 b2 in
+      B.equal (B.mul a b) (B.mul b a))
+
+let prop_distributes =
+  QCheck2.Test.make ~name:"bigint mul distributes over add" ~count:200
+    QCheck2.Gen.(pair (pair gen_small gen_small) gen_small)
+    (fun ((a, b), c) ->
+      let a = B.shift_left (B.of_int a) 40
+      and b = B.shift_left (B.of_int b) 35
+      and c = B.of_int c in
+      B.equal (B.mul c (B.add a b)) (B.add (B.mul c a) (B.mul c b)))
+
+let prop_shift_inverse =
+  QCheck2.Test.make ~name:"shift_left then shift_right_round is identity" ~count:200
+    QCheck2.Gen.(pair gen_small (int_range 0 80))
+    (fun (a, k) -> B.equal (B.shift_right_round (B.shift_left (B.of_int a) k) k) (B.of_int a))
+
+let prop_rem_of_sum =
+  QCheck2.Test.make ~name:"rem_int is a ring hom" ~count:300
+    QCheck2.Gen.(pair gen_small gen_small)
+    (fun (a, b) ->
+      let m = 536870909 in
+      let ra = B.rem_int (B.of_int a) m and rb = B.rem_int (B.of_int b) m in
+      B.rem_int (B.add (B.of_int a) (B.of_int b)) m = Eva_rns.Modarith.add ra rb m
+      && B.rem_int (B.mul (B.of_int a) (B.of_int b)) m = Eva_rns.Modarith.mul ra rb m)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_int round trip" `Quick test_of_int_round_trip;
+          Alcotest.test_case "min_int" `Quick test_min_int;
+          Alcotest.test_case "add/sub" `Quick test_add_sub_small;
+          Alcotest.test_case "mul small" `Quick test_mul_small;
+          Alcotest.test_case "mul large" `Quick test_mul_large;
+          Alcotest.test_case "shift_right_round" `Quick test_shift_round;
+          Alcotest.test_case "rem_int" `Quick test_rem_int;
+          Alcotest.test_case "of_float_scaled" `Quick test_of_float_scaled;
+          Alcotest.test_case "to_float huge" `Quick test_to_float_huge;
+          Alcotest.test_case "of_float_scaled shifts" `Quick test_of_float_scaled_negative_shift;
+          Alcotest.test_case "to_string negative" `Quick test_to_string_negative;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "compare" `Quick test_compare;
+        ] );
+      ( "property",
+        [
+          qt prop_ring_add;
+          qt prop_ring_mul;
+          qt prop_mul_commutes;
+          qt prop_distributes;
+          qt prop_shift_inverse;
+          qt prop_rem_of_sum;
+        ] );
+    ]

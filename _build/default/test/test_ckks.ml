@@ -1,0 +1,317 @@
+module Ctx = Eva_ckks.Context
+module Keys = Eva_ckks.Keys
+module Eval = Eva_ckks.Eval
+module Emb = Eva_ckks.Embedding
+module Sec = Eva_ckks.Security
+
+let rng () = Random.State.make [| 2024 |]
+
+(* A small context: N = 512, chain 60,40,40,40 bits plus a 60-bit special
+   element. Security is ignored (test-size degree). *)
+let ctx () = Ctx.make ~ignore_security:true ~n:512 ~data_bits:[ 60; 40; 40; 40 ] ~special_bits:[ 60 ] ()
+
+let check_close ?(eps = 1e-4) msg expect actual =
+  Array.iteri
+    (fun i e ->
+      if Float.abs (e -. actual.(i)) > eps then
+        Alcotest.failf "%s: slot %d: expected %.6f got %.6f" msg i e actual.(i))
+    expect
+
+let test_security_table () =
+  Alcotest.(check int) "N=4096" 109 (Sec.max_log_q ~level:Sec.Bits128 ~n:4096);
+  Alcotest.(check int) "N=32768" 881 (Sec.max_log_q ~level:Sec.Bits128 ~n:32768);
+  Alcotest.(check int) "min degree 300 bits" 16384 (Sec.min_degree ~level:Sec.Bits128 ~log_q:300);
+  Alcotest.(check int) "min degree 27 bits" 1024 (Sec.min_degree ~level:Sec.Bits128 ~log_q:27)
+
+let test_context_rejects_insecure () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Ctx.make ~n:1024 ~data_bits:[ 30; 30 ] ~special_bits:[ 30 ] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_embedding_round_trip () =
+  let e = Emb.make ~slots:32 in
+  let st = rng () in
+  let vals = Array.init 32 (fun _ -> { Complex.re = Random.State.float st 2.0 -. 1.0; im = 0.0 }) in
+  let work = Array.map (fun c -> c) vals in
+  Emb.embed_inverse e work;
+  Emb.embed_forward e work;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check (float 1e-9)) "re" vals.(i).Complex.re c.Complex.re;
+      Alcotest.(check (float 1e-9)) "im" 0.0 c.Complex.im)
+    work
+
+let test_encode_decode () =
+  let c = ctx () in
+  let st = rng () in
+  let v = Array.init (Ctx.slots c) (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let p = Ctx.encode c ~level:4 ~scale:(Float.ldexp 1.0 40) v in
+  let back = Ctx.decode c ~scale:(Float.ldexp 1.0 40) p in
+  check_close ~eps:1e-7 "encode/decode" v back
+
+let test_encode_replicates () =
+  let c = ctx () in
+  let v = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let p = Ctx.encode c ~level:4 ~scale:(Float.ldexp 1.0 40) v in
+  let back = Ctx.decode c ~scale:(Float.ldexp 1.0 40) p in
+  Array.iteri (fun i x -> Alcotest.(check (float 1e-6)) "tiled" v.(i mod 4) x) back
+
+let test_encrypt_decrypt () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let v = Array.init (Ctx.slots c) (fun i -> Float.sin (float_of_int i)) in
+  let pt = Eval.encode c ~level:4 ~scale:(Float.ldexp 1.0 40) v in
+  let ct = Eval.encrypt c ks st pt in
+  Alcotest.(check int) "fresh size" 2 (Eval.size ct);
+  check_close ~eps:1e-6 "decrypt" v (Eval.decrypt c secret ct)
+
+let test_add_sub () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> float_of_int i /. 100.0) in
+  let b = Array.init (Ctx.slots c) (fun i -> 1.0 -. (float_of_int i /. 50.0)) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let cb = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale b) in
+  check_close ~eps:1e-5 "add" (Array.map2 ( +. ) a b) (Eval.decrypt c secret (Eval.add ca cb));
+  check_close ~eps:1e-5 "sub" (Array.map2 ( -. ) a b) (Eval.decrypt c secret (Eval.sub ca cb));
+  check_close ~eps:1e-5 "negate" (Array.map (fun x -> -.x) a) (Eval.decrypt c secret (Eval.negate ca))
+
+let test_plain_ops () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> Float.cos (float_of_int i)) in
+  let b = Array.init (Ctx.slots c) (fun i -> 0.5 +. (float_of_int (i mod 5) /. 10.0)) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let pb = Eval.encode c ~level:4 ~scale b in
+  check_close ~eps:1e-5 "add_plain" (Array.map2 ( +. ) a b) (Eval.decrypt c secret (Eval.add_plain ca pb));
+  check_close ~eps:1e-5 "sub_plain" (Array.map2 ( -. ) a b) (Eval.decrypt c secret (Eval.sub_plain ca pb));
+  let prod = Eval.multiply_plain ca pb in
+  check_close ~eps:1e-4 "multiply_plain" (Array.map2 ( *. ) a b) (Eval.decrypt c secret prod)
+
+let test_multiply_relin_rescale () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> Float.sin (float_of_int i) /. 2.0) in
+  let b = Array.init (Ctx.slots c) (fun i -> Float.cos (float_of_int i) /. 2.0) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let cb = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale b) in
+  let prod = Eval.multiply ca cb in
+  Alcotest.(check int) "size 3" 3 (Eval.size prod);
+  let relin = Eval.relinearize c ks prod in
+  Alcotest.(check int) "size 2" 2 (Eval.size relin);
+  let expect = Array.map2 ( *. ) a b in
+  check_close ~eps:1e-4 "relinearized product" expect (Eval.decrypt c secret relin);
+  let rescaled = Eval.rescale c relin in
+  Alcotest.(check int) "level drops" 3 rescaled.Eval.level;
+  Alcotest.(check bool) "scale shrinks" true (rescaled.Eval.scale < Float.ldexp 1.0 41);
+  check_close ~eps:1e-4 "rescaled product" expect (Eval.decrypt c secret rescaled)
+
+let test_mod_switch () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> float_of_int (i mod 7) /. 7.0) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let sw = Eval.mod_switch c ca in
+  Alcotest.(check int) "level" 3 sw.Eval.level;
+  Alcotest.(check (float 1.0)) "scale unchanged" ca.Eval.scale sw.Eval.scale;
+  check_close ~eps:1e-5 "message unchanged" a (Eval.decrypt c secret sw)
+
+let test_rotate () =
+  let c = ctx () in
+  let st = rng () in
+  let slots = Ctx.slots c in
+  let secret, ks =
+    Keys.generate c st ~galois_elts:[ Ctx.galois_elt_rotate c 3; Ctx.galois_elt_rotate c (slots - 2) ]
+  in
+  let scale = Float.ldexp 1.0 40 in
+  let slots = Ctx.slots c in
+  let a = Array.init slots (fun i -> float_of_int i) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let rot = Eval.rotate c ks ca 3 in
+  let expect = Array.init slots (fun i -> a.((i + 3) mod slots)) in
+  check_close ~eps:1e-3 "rotate left 3" expect (Eval.decrypt c secret rot);
+  let rot_r = Eval.rotate c ks ca (-2) in
+  let expect_r = Array.init slots (fun i -> a.(((i - 2) + slots) mod slots)) in
+  check_close ~eps:1e-3 "rotate right 2" expect_r (Eval.decrypt c secret rot_r)
+
+let test_rotate_zero_is_identity () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let a = Array.init (Ctx.slots c) (fun i -> float_of_int i) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale:(Float.ldexp 1.0 40) a) in
+  check_close ~eps:1e-5 "rotate 0" a (Eval.decrypt c secret (Eval.rotate c ks ca 0))
+
+let test_complex_encode_decode () =
+  let c = ctx () in
+  let st = rng () in
+  let v =
+    Array.init (Ctx.slots c) (fun _ ->
+        { Complex.re = Random.State.float st 2.0 -. 1.0; im = Random.State.float st 2.0 -. 1.0 })
+  in
+  let p = Ctx.encode_complex c ~level:4 ~scale:(Float.ldexp 1.0 40) v in
+  let back = Ctx.decode_complex c ~scale:(Float.ldexp 1.0 40) p in
+  Array.iteri
+    (fun i z ->
+      Alcotest.(check (float 1e-6)) "re" v.(i).Complex.re z.Complex.re;
+      Alcotest.(check (float 1e-6)) "im" v.(i).Complex.im z.Complex.im)
+    back
+
+let test_conjugate () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[ Ctx.galois_elt_conjugate c ] in
+  let v =
+    Array.init (Ctx.slots c) (fun i ->
+        { Complex.re = Float.sin (float_of_int i); im = Float.cos (float_of_int (2 * i)) /. 2.0 })
+  in
+  let ct = Eval.encrypt c ks st (Eval.encode_complex c ~level:4 ~scale:(Float.ldexp 1.0 40) v) in
+  let conj = Eval.conjugate c ks ct in
+  let back = Eval.decrypt_complex c secret conj in
+  Array.iteri
+    (fun i z ->
+      if Float.abs (z.Complex.re -. v.(i).Complex.re) > 1e-3 then Alcotest.failf "re slot %d" i;
+      if Float.abs (z.Complex.im +. v.(i).Complex.im) > 1e-3 then Alcotest.failf "im slot %d" i)
+    back
+
+let test_complex_multiply () =
+  (* Slotwise complex products: (a+bi)(c+di). *)
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let va = Array.init (Ctx.slots c) (fun i -> { Complex.re = 0.3; im = 0.1 *. float_of_int (i mod 3) }) in
+  let vb = Array.init (Ctx.slots c) (fun i -> { Complex.re = 0.2 *. float_of_int (i mod 2); im = -0.4 }) in
+  let scale = Float.ldexp 1.0 40 in
+  let ca = Eval.encrypt c ks st (Eval.encode_complex c ~level:4 ~scale va) in
+  let cb = Eval.encrypt c ks st (Eval.encode_complex c ~level:4 ~scale vb) in
+  let prod = Eval.decrypt_complex c secret (Eval.relinearize c ks (Eval.multiply ca cb)) in
+  Array.iteri
+    (fun i z ->
+      let e = Complex.mul va.(i) vb.(i) in
+      if Complex.norm (Complex.sub z e) > 1e-3 then
+        Alcotest.failf "slot %d: (%f,%f) vs (%f,%f)" i z.Complex.re z.Complex.im e.Complex.re e.Complex.im)
+    prod
+
+let test_element_prime_ranges () =
+  let c = ctx () in
+  let ranges = Ctx.element_prime_ranges c in
+  (* Chain [60;40;40;40]: two primes each at N=512 (min 11 bits). *)
+  Alcotest.(check int) "elements" 4 (Array.length ranges);
+  let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 ranges in
+  Alcotest.(check int) "covers data primes" (Ctx.num_data_primes c) total;
+  Alcotest.(check bool) "contiguous" true
+    (fst ranges.(0) = 0
+    && Array.for_all Fun.id (Array.init 3 (fun i -> fst ranges.(i + 1) = fst ranges.(i) + snd ranges.(i))))
+
+let test_total_log_q () =
+  let c = ctx () in
+  (* 60+40+40+40 data + 60 special, within a couple of bits (prime
+     windows). *)
+  let lq = Ctx.total_log_q c in
+  Alcotest.(check bool) (Printf.sprintf "got %.1f" lq) true (lq > 235.0 && lq < 245.0)
+
+let test_constraint_violations () =
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  ignore secret;
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.make (Ctx.slots c) 0.5 in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let cb = Eval.encrypt c ks st (Eval.encode c ~level:3 ~scale a) in
+  Alcotest.(check bool) "level mismatch" true
+    (try
+       ignore (Eval.add ca cb);
+       false
+     with Eval.Level_mismatch _ -> true);
+  let cc = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale:(Float.ldexp 1.0 30) a) in
+  Alcotest.(check bool) "scale mismatch" true
+    (try
+       ignore (Eval.add ca cc);
+       false
+     with Eval.Scale_mismatch _ -> true);
+  Alcotest.(check bool) "relin size" true
+    (try
+       ignore (Eval.relinearize c ks ca);
+       false
+     with Eval.Size_error _ -> true)
+
+let test_depth_chain () =
+  (* x^4 via two squarings with rescale after each: exercises the full
+     mult -> relin -> rescale pipeline twice. *)
+  let c = Ctx.make ~ignore_security:true ~n:512 ~data_bits:[ 40; 40; 40; 40 ] ~special_bits:[ 60 ] () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> 0.3 +. (float_of_int (i mod 3) /. 10.0)) in
+  let ct = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let sq = Eval.rescale c (Eval.relinearize c ks (Eval.multiply ct ct)) in
+  let q4 = Eval.rescale c (Eval.relinearize c ks (Eval.multiply sq sq)) in
+  Alcotest.(check int) "level 2" 2 q4.Eval.level;
+  check_close ~eps:1e-3 "x^4" (Array.map (fun x -> x ** 4.0) a) (Eval.decrypt c secret q4)
+
+let prop_homomorphic_add =
+  QCheck2.Test.make ~name:"homomorphic add matches plaintext" ~count:10 QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let c = ctx () in
+      let st = Random.State.make [| seed |] in
+      let secret, ks = Keys.generate c st ~galois_elts:[] in
+      let scale = Float.ldexp 1.0 40 in
+      let a = Array.init (Ctx.slots c) (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let b = Array.init (Ctx.slots c) (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+      let cb = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale b) in
+      let out = Eval.decrypt c secret (Eval.add ca cb) in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-4) (Array.map2 ( +. ) a b) out)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "ckks"
+    [
+      ( "security",
+        [
+          Alcotest.test_case "standard table" `Quick test_security_table;
+          Alcotest.test_case "insecure rejected" `Quick test_context_rejects_insecure;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "embedding round trip" `Quick test_embedding_round_trip;
+          Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+          Alcotest.test_case "replication" `Quick test_encode_replicates;
+        ] );
+      ( "scheme",
+        [
+          Alcotest.test_case "encrypt/decrypt" `Quick test_encrypt_decrypt;
+          Alcotest.test_case "add/sub/neg" `Quick test_add_sub;
+          Alcotest.test_case "plaintext ops" `Quick test_plain_ops;
+          Alcotest.test_case "multiply/relin/rescale" `Quick test_multiply_relin_rescale;
+          Alcotest.test_case "mod_switch" `Quick test_mod_switch;
+          Alcotest.test_case "rotate" `Quick test_rotate;
+          Alcotest.test_case "rotate 0" `Quick test_rotate_zero_is_identity;
+          Alcotest.test_case "depth-2 chain" `Quick test_depth_chain;
+        ] );
+      ( "complex slots",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_complex_encode_decode;
+          Alcotest.test_case "conjugate" `Quick test_conjugate;
+          Alcotest.test_case "complex multiply" `Quick test_complex_multiply;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "element prime ranges" `Quick test_element_prime_ranges;
+          Alcotest.test_case "total log Q" `Quick test_total_log_q;
+        ] );
+      ("failure injection", [ Alcotest.test_case "constraint violations" `Quick test_constraint_violations ]);
+      ("property", [ qt prop_homomorphic_add ]);
+    ]

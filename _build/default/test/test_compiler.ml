@@ -1,0 +1,315 @@
+(* Compiler tests built around the paper's worked examples:
+   Figure 2 (x^2 y^3), Figure 3 (x^2 + x), Figure 5 (x^2 + x + x). *)
+
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Passes = Eva_core.Passes
+module Analysis = Eva_core.Analysis
+module Validate = Eva_core.Validate
+module Compile = Eva_core.Compile
+module Params = Eva_core.Params
+module Reference = Eva_core.Reference
+
+let count_op p pred = List.length (List.filter (fun n -> pred n.Ir.op) p.Ir.all_nodes)
+let rescales p = count_op p (function Ir.Rescale _ -> true | _ -> false)
+let modswitches p = count_op p (function Ir.Mod_switch -> true | _ -> false)
+let relins p = count_op p (function Ir.Relinearize -> true | _ -> false)
+
+(* Figure 2(a): x^2 y^3 with x at 2^60 and y at 2^30. *)
+let fig2_input () =
+  let b = B.create ~name:"x2y3" ~vec_size:8 () in
+  let x = B.input b ~scale:60 "x" in
+  let y = B.input b ~scale:30 "y" in
+  let open B.Infix in
+  let x2 = x * x in
+  let y3 = y * y * y in
+  B.output b "out" ~scale:30 (x2 * y3);
+  B.program b
+
+(* Figure 3(a): x^2 + x at 2^30. *)
+let fig3_input () =
+  let b = B.create ~name:"x2px" ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x) + x);
+  B.program b
+
+(* Figure 5: x^2 + x + x at 2^60. *)
+let fig5_input () =
+  let b = B.create ~name:"x2pxpx" ~vec_size:8 () in
+  let x = B.input b ~scale:60 "x" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x) + x + x);
+  B.program b
+
+let test_fig2_waterline () =
+  (* With s_w = 2^30 (the paper's assumption), waterline rescale places
+     rescales after x*x, y^2*y and the final multiply, and constraint 1
+     holds without any modswitch: Figure 2(d). *)
+  let p = Ir.copy (fig2_input ()) in
+  ignore (Passes.waterline_rescale ~waterline:30 p);
+  Alcotest.(check int) "rescales" 3 (rescales p);
+  ignore (Passes.eager_modswitch p);
+  Alcotest.(check int) "no modswitch needed" 0 (modswitches p);
+  ignore (Passes.match_scale p);
+  ignore (Passes.relinearize p);
+  Validate.check_transformed p;
+  (* Output chain [60; 60], output scale 2^30. *)
+  let chains = Analysis.chains p in
+  let out = List.hd (Ir.outputs p) in
+  Alcotest.(check (list (option int))) "chain" [ Some 60; Some 60 ] (Hashtbl.find chains out.Ir.id);
+  let scales = Analysis.scales p in
+  Alcotest.(check int) "output scale" 30 (Hashtbl.find scales out.Ir.id)
+
+let test_fig2_always_rescale_needs_modswitch () =
+  (* Figure 2(b): always-rescale leaves non-conforming chains. Level
+     matching alone cannot repair them when the rescale values differ
+     across paths (2^60 on the x path, 2^30 on the y path at the same
+     position) — the paper omits the multi-pass modswitch rule this would
+     need, which is why the production pipeline fixes the divisor at s_f. *)
+  let p = Ir.copy (fig2_input ()) in
+  ignore (Passes.always_rescale p);
+  Alcotest.(check int) "rescale after every multiply" 4 (rescales p);
+  let non_conforming q =
+    try
+      ignore (Analysis.chains q);
+      false
+    with Analysis.Analysis_error _ -> true
+  in
+  Alcotest.(check bool) "chains do not conform" true (non_conforming p);
+  ignore (Passes.lazy_modswitch p);
+  Alcotest.(check bool) "level matching alone cannot repair them" true (non_conforming p)
+
+let test_fig2_compile_params () =
+  (* End-to-end Algorithm 1 on Figure 2 with the paper's waterline. *)
+  let c = Compile.run ~waterline:30 (fig2_input ()) in
+  (* bit sizes: special 60, chain 60,60, then factors of 2^(30+30). *)
+  Alcotest.(check (list int)) "bit sizes" [ 60; 60; 60; 60 ] c.Compile.params.Params.bit_sizes;
+  Alcotest.(check int) "log Q" 240 c.Compile.params.Params.log_q;
+  Alcotest.(check int) "log N from security table" 14 c.Compile.params.Params.log_n
+
+let test_fig3_match_scale () =
+  let c = Compile.run (fig3_input ()) in
+  let p = c.Compile.program in
+  (* Figure 3(c): no rescale, no modswitch, one scale-matching multiply by
+     a constant 1 at 2^30. *)
+  Alcotest.(check int) "no rescale" 0 (rescales p);
+  Alcotest.(check int) "no modswitch" 0 (modswitches p);
+  Alcotest.(check int) "one relinearize" 1 (relins p);
+  let match_consts =
+    List.filter
+      (fun n -> match n.Ir.op with Ir.Constant (Ir.Const_scalar 1.0) -> true | _ -> false)
+      p.Ir.all_nodes
+  in
+  Alcotest.(check int) "one matching constant" 1 (List.length match_consts);
+  Alcotest.(check int) "at the difference scale" 30 (List.hd match_consts).Ir.decl_scale;
+  (* q = {2^60, s_o}: bit sizes special + factors of 2^(60+30). *)
+  Alcotest.(check (list int)) "bit sizes" [ 60; 60; 30 ] c.Compile.params.Params.bit_sizes
+
+let test_fig5_eager_vs_lazy () =
+  (* Eager shares one modswitch (Figure 5(c)); lazy inserts two (5(b)). *)
+  let eager = Ir.copy (fig5_input ()) in
+  ignore (Passes.waterline_rescale eager);
+  ignore (Passes.eager_modswitch eager);
+  Alcotest.(check int) "eager: one shared modswitch" 1 (modswitches eager);
+  let lazy_p = Ir.copy (fig5_input ()) in
+  ignore (Passes.waterline_rescale lazy_p);
+  ignore (Passes.lazy_modswitch lazy_p);
+  Alcotest.(check int) "lazy: one modswitch per add" 2 (modswitches lazy_p);
+  (* Both validate after completing the pipeline. *)
+  List.iter
+    (fun p ->
+      ignore (Passes.match_scale p);
+      ignore (Passes.relinearize p);
+      Validate.check_transformed p)
+    [ eager; lazy_p ]
+
+let test_reference_semantics () =
+  let p = fig2_input () in
+  let x = [| 0.5; -0.25; 1.0; 2.0; 0.1; -1.5; 0.0; 0.75 |] in
+  let y = [| 1.0; 2.0; -1.0; 0.5; 0.25; -0.5; 3.0; 1.5 |] in
+  let out = Reference.execute p [ ("x", Reference.Vec x); ("y", Reference.Vec y) ] in
+  let expect = Array.init 8 (fun i -> x.(i) ** 2.0 *. (y.(i) ** 3.0)) in
+  Alcotest.(check (array (float 1e-12))) "x^2 y^3" expect (List.assoc "out" out)
+
+let test_reference_matches_compiled_reference () =
+  (* FHE-specific instructions are identities under reference semantics,
+     so compiling must not change reference results. *)
+  let p = fig2_input () in
+  let c = Compile.run ~waterline:30 p in
+  let bind = [ ("x", Reference.Vec [| 0.5; 1.0 |]); ("y", Reference.Vec [| 2.0; -1.0 |]) ] in
+  let a = Reference.execute p bind in
+  let b = Reference.execute c.Compile.program bind in
+  Alcotest.(check (array (float 1e-12))) "agree" (List.assoc "out" a) (List.assoc "out" b)
+
+let test_rotation_steps () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "o" ~scale:30 ((x << 3) + (x >> 2) + (x << 3));
+  let steps = Analysis.rotation_steps (B.program b) in
+  Alcotest.(check (list int)) "signed dedup" [ -2; 3 ] steps
+
+let test_rotations_on_plain_need_no_keys () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let v = B.vector_input b ~scale:30 "v" in
+  let open B.Infix in
+  B.output b "o" ~scale:30 (x + (v << 5));
+  Alcotest.(check (list int)) "no keys" [] (Analysis.rotation_steps (B.program b))
+
+let test_validate_rejects_fhe_ops_in_input () =
+  let p = fig3_input () in
+  let x = List.hd (Ir.inputs p) in
+  ignore (Ir.insert_between p x Ir.Mod_switch []);
+  Alcotest.(check bool) "raises" true
+    (try
+       Compile.run p |> ignore;
+       false
+     with Validate.Validation_error _ -> true)
+
+let test_validate_catches_scale_mismatch () =
+  (* Hand-build an invalid transformed program: add of operands at
+     different scales, no match-scale fix. *)
+  let p = Ir.create_program ~vec_size:8 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let y = Ir.add_node ~decl_scale:40 p (Ir.Input (Ir.Cipher, "y")) [] in
+  let s = Ir.add_node p Ir.Add [ x; y ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ s ]);
+  Alcotest.(check bool) "constraint 2" true
+    (try
+       Validate.check_transformed p;
+       false
+     with Validate.Validation_error msg -> String.length msg > 0 && String.sub msg 0 12 = "constraint 2")
+
+let test_validate_catches_unrelinearized () =
+  let p = Ir.create_program ~vec_size:8 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let sq = Ir.add_node p Ir.Multiply [ x; x ] in
+  let quad = Ir.add_node p Ir.Multiply [ sq; sq ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ quad ]);
+  Alcotest.(check bool) "constraint 3" true
+    (try
+       Validate.check_transformed p;
+       false
+     with Validate.Validation_error msg -> String.sub msg 0 12 = "constraint 3")
+
+let test_validate_catches_big_rescale () =
+  let p = Ir.create_program ~vec_size:8 () in
+  let x = Ir.add_node ~decl_scale:70 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let r = Ir.add_node p (Ir.Rescale 65) [ x ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ r ]);
+  Alcotest.(check bool) "constraint 4" true
+    (try
+       Validate.check_transformed p;
+       false
+     with Validate.Validation_error msg -> String.sub msg 0 12 = "constraint 4")
+
+let test_compile_is_nondestructive () =
+  let p = fig2_input () in
+  let before = Ir.node_count p in
+  ignore (Compile.run ~waterline:30 p);
+  Alcotest.(check int) "input untouched" before (Ir.node_count p)
+
+let test_power_and_sum_slots () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "p5" ~scale:30 (B.power x 5);
+  B.output b "s" ~scale:30 (B.sum_slots b ~span:4 x);
+  let v = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |] in
+  let out = Reference.execute (B.program b) [ ("x", Reference.Vec v) ] in
+  Alcotest.(check (array (float 1e-9))) "x^5" (Array.map (fun z -> z ** 5.0) v) (List.assoc "p5" out);
+  Alcotest.(check (float 1e-9)) "slot sum" 10.0 (List.assoc "s" out).(0)
+
+let test_polynomial_builder () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "y" ~scale:30 (B.polynomial b ~scale:30 [ 1.0; 0.0; 2.0; -0.5 ] x);
+  let v = Array.make 8 0.5 in
+  let out = Reference.execute (B.program b) [ ("x", Reference.Vec v) ] in
+  let expect = 1.0 +. (2.0 *. 0.25) -. (0.5 *. 0.125) in
+  Alcotest.(check (float 1e-9)) "poly" expect (List.assoc "y" out).(0)
+
+(* Random-program property: compiled programs preserve reference
+   semantics and always validate. *)
+let random_program seed =
+  let st = Random.State.make [| seed |] in
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let y = B.input b ~scale:25 "y" in
+  let consts = [ B.const_scalar b ~scale:20 0.5; B.const_vector b ~scale:20 (Array.init 16 (fun i -> 0.1 *. float_of_int i)) ] in
+  let pool = ref [ x; y ] in
+  for _ = 1 to 12 do
+    let pick lst = List.nth lst (Random.State.int st (List.length lst)) in
+    let a = pick !pool in
+    let e =
+      match Random.State.int st 6 with
+      | 0 -> B.add a (pick !pool)
+      | 1 -> B.sub a (pick !pool)
+      | 2 -> B.mul a (pick !pool)
+      | 3 -> B.mul a (pick consts)
+      | 4 -> B.rotate_left a (1 + Random.State.int st 15)
+      | _ -> B.neg a
+    in
+    pool := e :: !pool
+  done;
+  B.output b "out" ~scale:30 (List.hd !pool);
+  B.program b
+
+let prop_compiled_validates =
+  QCheck2.Test.make ~name:"compiled random programs validate and preserve reference semantics" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let p = random_program seed in
+      let c = Compile.run p in
+      Validate.check_transformed c.Compile.program;
+      let st = Random.State.make [| seed; 7 |] in
+      let vec () = Array.init 16 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let bind = [ ("x", Reference.Vec (vec ())); ("y", Reference.Vec (vec ())) ] in
+      let a = Reference.execute p bind in
+      let b = Reference.execute c.Compile.program bind in
+      List.for_all2
+        (fun (na, va) (nb, vb) -> na = nb && Array.for_all2 (fun p q -> Float.abs (p -. q) < 1e-9) va vb)
+        a b)
+
+let prop_levels_bounded_by_depth =
+  QCheck2.Test.make ~name:"output chain length never exceeds multiplicative depth" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let p = random_program seed in
+      let c = Compile.run p in
+      let depth = Analysis.multiplicative_depth c.Compile.program in
+      let chains = Analysis.chains c.Compile.program in
+      List.for_all (fun o -> List.length (Hashtbl.find chains o.Ir.id) <= depth) (Ir.outputs c.Compile.program))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "compiler"
+    [
+      ( "paper figures",
+        [
+          Alcotest.test_case "fig 2(d) waterline" `Quick test_fig2_waterline;
+          Alcotest.test_case "fig 2(b/c) always+lazy" `Quick test_fig2_always_rescale_needs_modswitch;
+          Alcotest.test_case "fig 2 parameters" `Quick test_fig2_compile_params;
+          Alcotest.test_case "fig 3(c) match scale" `Quick test_fig3_match_scale;
+          Alcotest.test_case "fig 5 eager vs lazy" `Quick test_fig5_eager_vs_lazy;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "reference execution" `Quick test_reference_semantics;
+          Alcotest.test_case "compile preserves reference" `Quick test_reference_matches_compiled_reference;
+          Alcotest.test_case "rotation steps" `Quick test_rotation_steps;
+          Alcotest.test_case "plain rotations keyless" `Quick test_rotations_on_plain_need_no_keys;
+          Alcotest.test_case "power & sum_slots" `Quick test_power_and_sum_slots;
+          Alcotest.test_case "polynomial" `Quick test_polynomial_builder;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "input rejects FHE ops" `Quick test_validate_rejects_fhe_ops_in_input;
+          Alcotest.test_case "scale mismatch" `Quick test_validate_catches_scale_mismatch;
+          Alcotest.test_case "unrelinearized" `Quick test_validate_catches_unrelinearized;
+          Alcotest.test_case "oversized rescale" `Quick test_validate_catches_big_rescale;
+          Alcotest.test_case "compile copies" `Quick test_compile_is_nondestructive;
+        ] );
+      ("property", [ qt prop_compiled_validates; qt prop_levels_bounded_by_depth ]);
+    ]

@@ -1,0 +1,243 @@
+(* End-to-end: compile with EVA, execute on the RNS-CKKS scheme, compare
+   against the reference (id-scheme) semantics. This is the paper's core
+   correctness claim: generated programs never trip a scheme-level
+   exception and compute the same function. *)
+
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+module Passes = Eva_core.Passes
+
+let check_close ~eps msg expect actual =
+  List.iter
+    (fun (name, ve) ->
+      let va = List.assoc name actual in
+      Array.iteri
+        (fun i e ->
+          if Float.abs (e -. va.(i)) > eps then
+            Alcotest.failf "%s/%s: slot %d: expected %.6f got %.6f" msg name i e va.(i))
+        ve)
+    expect
+
+let run_both ?waterline ?policy ~log_n p bindings =
+  let c = Compile.run ?waterline ?policy p in
+  let expect = Reference.execute p bindings in
+  let r = Executor.execute ~ignore_security:true ~log_n c bindings in
+  (expect, r)
+
+let vec n f = Reference.Vec (Array.init n f)
+
+let test_x2_plus_x () =
+  let b = B.create ~vec_size:64 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x) + x);
+  let bindings = [ ("x", vec 64 (fun i -> (float_of_int i /. 64.0) -. 0.5)) ] in
+  let expect, r = run_both ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-4 "x^2+x" expect r.Executor.outputs
+
+let test_x2y3_deep () =
+  let b = B.create ~vec_size:32 () in
+  let x = B.input b ~scale:60 "x" in
+  let y = B.input b ~scale:30 "y" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 (x * x * (y * y * y));
+  let bindings =
+    [ ("x", vec 32 (fun i -> Float.sin (float_of_int i) /. 2.0)); ("y", vec 32 (fun i -> Float.cos (float_of_int i))) ]
+  in
+  let expect, r = run_both ~waterline:30 ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-3 "x2y3" expect r.Executor.outputs
+
+let test_rotations_and_constants () =
+  let b = B.create ~vec_size:32 () in
+  let x = B.input b ~scale:30 "x" in
+  let w = B.const_vector b ~scale:20 (Array.init 32 (fun i -> 0.1 *. float_of_int (i mod 4))) in
+  let open B.Infix in
+  B.output b "out" ~scale:30 (((x << 3) * w) + (x >> 2));
+  let bindings = [ ("x", vec 32 (fun i -> float_of_int (i mod 8) /. 8.0)) ] in
+  let expect, r = run_both ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-3 "rot" expect r.Executor.outputs
+
+let test_tiled_input_rotation () =
+  (* vec_size 16 but slots 2^9: inputs are tiled; right-rotation must wrap
+     at the slot count, not vec_size. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "l" ~scale:30 (x << 5);
+  B.output b "r" ~scale:30 (x >> 3);
+  let bindings = [ ("x", vec 16 float_of_int) ] in
+  let expect, r = run_both ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-3 "tiled rotation" expect r.Executor.outputs
+
+let test_plain_mixed_graph () =
+  (* Plaintext subgraphs (vector-vector arithmetic) mixed with cipher. *)
+  let b = B.create ~vec_size:32 () in
+  let x = B.input b ~scale:30 "x" in
+  let v = B.vector_input b ~scale:20 "v" in
+  let s = B.scalar_input b ~scale:10 "s" in
+  let open B.Infix in
+  let plain = (v * s) + v in
+  B.output b "out" ~scale:30 ((x * plain) + v);
+  let bindings =
+    [
+      ("x", vec 32 (fun i -> 0.5 -. (float_of_int (i mod 5) /. 10.0)));
+      ("v", vec 32 (fun i -> float_of_int (i mod 3) /. 3.0));
+      ("s", Reference.Scal 0.25);
+    ]
+  in
+  let expect, r = run_both ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-3 "mixed" expect r.Executor.outputs
+
+let test_match_scale_executes () =
+  (* Figure 3: the match-scale constant multiply must execute cleanly. *)
+  let b = B.create ~vec_size:32 () in
+  let x = B.input b ~scale:30 "x" in
+  let y = B.input b ~scale:25 "y" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x) + y);
+  let bindings =
+    [ ("x", vec 32 (fun i -> float_of_int (i mod 7) /. 7.0)); ("y", vec 32 (fun i -> 0.3 -. (float_of_int (i mod 2) /. 5.0))) ]
+  in
+  let expect, r = run_both ~log_n:10 (B.program b) bindings in
+  check_close ~eps:1e-3 "match scale" expect r.Executor.outputs
+
+let test_modswitch_paths () =
+  (* x^2*y + x forces a modswitch on the x tail under the eager policy. *)
+  let bindings =
+    [
+      ("x", vec 32 (fun i -> Float.sin (float_of_int (3 * i)) /. 2.0));
+      ("y", vec 32 (fun i -> Float.cos (float_of_int i) /. 2.0));
+    ]
+  in
+  let b = B.create ~vec_size:32 () in
+  let x = B.input b ~scale:40 "x" in
+  let y = B.input b ~scale:40 "y" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x * y) + x);
+  (* Eager and lazy policies must both execute correctly. *)
+  List.iter
+    (fun policy ->
+      let expect, r = run_both ~policy ~log_n:10 (B.program b) bindings in
+      check_close ~eps:1e-3 "modswitch" expect r.Executor.outputs)
+    [ Passes.Eva; Passes.Lazy_insertion ]
+
+let test_deep_chain () =
+  (* Depth 5: x^32 at scale 40 with waterline rescaling throughout. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:40 "x" in
+  B.output b "out" ~scale:30 (B.power x 32);
+  let bindings = [ ("x", vec 16 (fun i -> 0.8 +. (float_of_int (i mod 4) /. 50.0))) ] in
+  let expect, r = run_both ~log_n:11 (B.program b) bindings in
+  check_close ~eps:2e-2 "x^32" expect r.Executor.outputs
+
+let test_determinism () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 (x * x) ;
+  let c = Compile.run (B.program b) in
+  let bindings = [ ("x", vec 16 (fun i -> float_of_int i /. 16.0)) ] in
+  let r1 = Executor.execute ~seed:7 ~ignore_security:true ~log_n:10 c bindings in
+  let r2 = Executor.execute ~seed:7 ~ignore_security:true ~log_n:10 c bindings in
+  Alcotest.(check (array (float 0.0))) "same seed, same ciphertext noise"
+    (List.assoc "out" r1.Executor.outputs) (List.assoc "out" r2.Executor.outputs)
+
+let test_missing_input () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "out" ~scale:30 x;
+  let c = Compile.run (B.program b) in
+  Alcotest.check_raises "missing" (Executor.Missing_input "x") (fun () ->
+      ignore (Executor.execute ~ignore_security:true ~log_n:10 c []))
+
+let test_timings_recorded () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "out" ~scale:30 (B.add (B.mul x x) x);
+  let c = Compile.run (B.program b) in
+  let r = Executor.execute ~ignore_security:true ~log_n:10 c [ ("x", vec 16 (fun _ -> 0.5)) ] in
+  let t = r.Executor.timings in
+  Alcotest.(check bool) "per-node entries" true (List.length t.Executor.per_node >= Ir.node_count c.Compile.program - 1);
+  Alcotest.(check bool) "execute time positive" true (t.Executor.execute_seconds >= 0.0)
+
+let test_rebind_reuses_keys () =
+  (* One keygen, many inputs: rebind must give the same results as fresh
+     prepare for each image. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * x) + x);
+  let c = Compile.run (B.program b) in
+  let input1 = [ ("x", vec 16 (fun i -> float_of_int i /. 16.0)) ] in
+  let input2 = [ ("x", vec 16 (fun i -> 1.0 -. (float_of_int i /. 8.0))) ] in
+  let e1 = Executor.prepare ~ignore_security:true ~log_n:10 c input1 in
+  let out1, _ = Executor.run_on e1 c in
+  let e2 = Executor.rebind e1 c input2 in
+  let out2, _ = Executor.run_on e2 c in
+  let expect2 = Reference.execute (c.Compile.program) input2 in
+  Alcotest.(check bool) "second input correct" true (Executor.max_abs_error out2 expect2 < 1e-3);
+  let expect1 = Reference.execute (c.Compile.program) input1 in
+  Alcotest.(check bool) "first input correct" true (Executor.max_abs_error out1 expect1 < 1e-3)
+
+let prop_random_end_to_end =
+  QCheck2.Test.make ~name:"random programs: CKKS matches reference" ~count:15
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = B.create ~vec_size:16 () in
+      let x = B.input b ~scale:30 "x" in
+      let y = B.input b ~scale:30 "y" in
+      let pool = ref [ x; y ] in
+      for _ = 1 to 6 do
+        let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+        let a = pick () in
+        let e =
+          match Random.State.int st 5 with
+          | 0 -> B.add a (pick ())
+          | 1 -> B.sub a (pick ())
+          | 2 -> B.mul a (B.const_scalar b ~scale:15 0.5)
+          | 3 -> B.rotate_left a (1 + Random.State.int st 15)
+          | _ -> B.neg a
+        in
+        pool := e :: !pool
+      done;
+      (* One ciphertext multiply to exercise relinearization. *)
+      let top = B.mul (List.hd !pool) (List.nth !pool 1) in
+      B.output b "out" ~scale:30 top;
+      let p = B.program b in
+      let bindings =
+        [
+          ("x", vec 16 (fun _ -> Random.State.float st 1.0 -. 0.5));
+          ("y", vec 16 (fun _ -> Random.State.float st 1.0 -. 0.5));
+        ]
+      in
+      let expect, r = run_both ~log_n:10 p bindings in
+      Executor.max_abs_error r.Executor.outputs expect < 1e-2)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "executor"
+    [
+      ( "end to end",
+        [
+          Alcotest.test_case "x^2+x" `Quick test_x2_plus_x;
+          Alcotest.test_case "x^2 y^3" `Quick test_x2y3_deep;
+          Alcotest.test_case "rotations & constants" `Quick test_rotations_and_constants;
+          Alcotest.test_case "tiled rotation" `Quick test_tiled_input_rotation;
+          Alcotest.test_case "mixed plain/cipher" `Quick test_plain_mixed_graph;
+          Alcotest.test_case "match scale" `Quick test_match_scale_executes;
+          Alcotest.test_case "modswitch paths" `Quick test_modswitch_paths;
+          Alcotest.test_case "deep chain x^32" `Quick test_deep_chain;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "rebind reuses keys" `Quick test_rebind_reuses_keys;
+          Alcotest.test_case "missing input" `Quick test_missing_input;
+          Alcotest.test_case "timings" `Quick test_timings_recorded;
+        ] );
+      ("property", [ qt prop_random_end_to_end ]);
+    ]

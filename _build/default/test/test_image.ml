@@ -1,0 +1,134 @@
+module I = Eva_image.Image_dsl
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+
+let rand_image st dim = Array.init (dim * dim) (fun _ -> Random.State.float st 1.0)
+
+let run_reference t inputs =
+  Reference.execute (I.program t) inputs
+
+let test_stencil_matches_oracle () =
+  let dim = 8 in
+  let st = Random.State.make [| 1 |] in
+  let pixels = rand_image st dim in
+  let k = [| [| 0.5; -1.0; 0.25 |]; [| 0.0; 2.0; 0.0 |]; [| -0.5; 1.0; 0.125 |] |] in
+  let t = I.create ~dim () in
+  let x = I.input t "img" in
+  I.output t "y" (I.stencil t k x);
+  let out = run_reference t [ I.binding t "img" pixels ] in
+  let expect = I.stencil_reference ~dim k pixels in
+  Alcotest.(check (array (float 1e-9))) "zero-padded stencil" expect (List.assoc "y" out)
+
+let test_stencil_borders_are_zero_padded () =
+  let dim = 8 in
+  let t = I.create ~dim () in
+  let x = I.input t "img" in
+  I.output t "y" (I.box3 t x);
+  (* All-ones image: interior boxes average 1, corners only see 4 pixels. *)
+  let out = run_reference t [ I.binding t "img" (Array.make (dim * dim) 1.0) ] in
+  let y = List.assoc "y" out in
+  Alcotest.(check (float 1e-9)) "interior" 1.0 y.((3 * dim) + 3);
+  Alcotest.(check (float 1e-9)) "corner" (4.0 /. 9.0) y.(0)
+
+let test_gaussian_preserves_mass_interior () =
+  let dim = 16 in
+  let t = I.create ~dim () in
+  let x = I.input t "img" in
+  I.output t "y" (I.gaussian3 t x);
+  let out = run_reference t [ I.binding t "img" (Array.make (dim * dim) 0.5) ] in
+  Alcotest.(check (float 1e-9)) "interior" 0.5 (List.assoc "y" out).((5 * dim) + 7)
+
+let test_laplacian_flat_zero () =
+  let dim = 8 in
+  let t = I.create ~dim () in
+  let x = I.input t "img" in
+  I.output t "y" (I.laplacian t x);
+  let out = run_reference t [ I.binding t "img" (Array.make (dim * dim) 0.7) ] in
+  Alcotest.(check (float 1e-9)) "flat interior" 0.0 (List.assoc "y" out).((4 * dim) + 4)
+
+let test_pipeline_compiles_and_runs_encrypted () =
+  (* Blur -> sobel gradients -> magnitude: compile, run under CKKS. *)
+  let dim = 16 in
+  let t = I.create ~dim () in
+  let x = I.input t "img" in
+  let blurred = I.gaussian3 t x in
+  let edges = I.magnitude t (I.sobel_x t blurred) (I.sobel_y t blurred) in
+  I.output t "edges" edges;
+  let p = I.program t in
+  let c = Compile.run p in
+  let st = Random.State.make [| 2 |] in
+  (* Pixel range as in the Sobel application: gradients stay where the
+     cubic sqrt approximation (and its error amplification) is tame. *)
+  let pixels = Array.map (fun v -> v *. 0.25) (rand_image st dim) in
+  let inputs = [ I.binding t "img" pixels ] in
+  let expect = Reference.execute p inputs in
+  let r = Executor.execute ~ignore_security:true ~log_n:10 c inputs in
+  Alcotest.(check bool) "close to reference" true (Executor.max_abs_error r.Executor.outputs expect < 1e-2)
+
+let test_arithmetic_combinators () =
+  let dim = 8 in
+  let t = I.create ~dim () in
+  let x = I.input t "a" in
+  let y = I.input t "b" in
+  I.output t "sum" (I.add x y);
+  I.output t "diff" (I.sub x y);
+  I.output t "prod" (I.mul x y);
+  I.output t "scaled" (I.scale_by t 3.0 x);
+  let st = Random.State.make [| 3 |] in
+  let a = rand_image st dim and b = rand_image st dim in
+  let out = run_reference t [ I.binding t "a" a; I.binding t "b" b ] in
+  Alcotest.(check (float 1e-9)) "sum" (a.(5) +. b.(5)) (List.assoc "sum" out).(5);
+  Alcotest.(check (float 1e-9)) "diff" (a.(6) -. b.(6)) (List.assoc "diff" out).(6);
+  Alcotest.(check (float 1e-9)) "prod" (a.(7) *. b.(7)) (List.assoc "prod" out).(7);
+  Alcotest.(check (float 1e-9)) "scaled" (3.0 *. a.(8)) (List.assoc "scaled" out).(8)
+
+let test_rejects_bad_stencils () =
+  let t = I.create ~dim:8 () in
+  let x = I.input t "img" in
+  Alcotest.(check bool) "even stencil" true
+    (try
+       ignore (I.stencil t [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] x);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "all-zero" true
+    (try
+       ignore (I.stencil t (Array.make_matrix 3 3 0.0) x);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_stencil_linear =
+  QCheck2.Test.make ~name:"stencils are linear" ~count:25 QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let dim = 8 in
+      let st = Random.State.make [| seed |] in
+      let k = Array.init 3 (fun _ -> Array.init 3 (fun _ -> Random.State.float st 2.0 -. 1.0)) in
+      let a = rand_image st dim and b = rand_image st dim in
+      let run pixels =
+        let t = I.create ~dim () in
+        let x = I.input t "img" in
+        I.output t "y" (I.stencil t k x);
+        List.assoc "y" (run_reference t [ I.binding t "img" pixels ])
+      in
+      let ya = run a and yb = run b and yab = run (Array.map2 ( +. ) a b) in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) yab (Array.map2 ( +. ) ya yb))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "image"
+    [
+      ( "stencils",
+        [
+          Alcotest.test_case "matches oracle" `Quick test_stencil_matches_oracle;
+          Alcotest.test_case "zero padding" `Quick test_stencil_borders_are_zero_padded;
+          Alcotest.test_case "gaussian mass" `Quick test_gaussian_preserves_mass_interior;
+          Alcotest.test_case "laplacian flat" `Quick test_laplacian_flat_zero;
+          Alcotest.test_case "bad stencils rejected" `Quick test_rejects_bad_stencils;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "encrypted blur+sobel" `Quick test_pipeline_compiles_and_runs_encrypted;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_combinators;
+        ] );
+      ("property", [ qt prop_stencil_linear ]);
+    ]

@@ -1,0 +1,281 @@
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Opt = Eva_core.Optimize
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Noise = Eva_core.Noise
+module Executor = Eva_core.Executor
+
+let count_op p pred = List.length (List.filter (fun n -> pred n.Ir.op) p.Ir.all_nodes)
+
+(* ------------------------------------------------------------------ *)
+(* CSE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cse_merges_duplicate_rotations () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  (* Two independently built identical rotations. *)
+  let r1 = B.rotate_left x 3 in
+  let r2 = B.rotate_left x 3 in
+  B.output b "o" ~scale:30 (B.add r1 r2);
+  let p = B.program b in
+  Alcotest.(check int) "before" 2 (count_op p (function Ir.Rotate_left _ -> true | _ -> false));
+  Alcotest.(check bool) "changed" true (Opt.cse p);
+  Alcotest.(check int) "after" 1 (count_op p (function Ir.Rotate_left _ -> true | _ -> false));
+  (* The add now squares the single rotation. *)
+  let out = Reference.execute p [ ("x", Reference.Vec (Array.init 16 float_of_int)) ] in
+  Alcotest.(check (float 1e-9)) "semantics" 6.0 (List.assoc "o" out).(0)
+
+let test_cse_distinguishes_scales () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let c1 = B.const_scalar b ~scale:10 0.5 in
+  let c2 = B.const_scalar b ~scale:20 0.5 in
+  B.output b "o" ~scale:30 (B.add (B.mul x c1) (B.mul x c2));
+  let p = B.program b in
+  ignore (Opt.cse p);
+  (* Same value, different declared scales: must stay distinct. *)
+  Alcotest.(check int) "constants kept" 2 (count_op p (function Ir.Constant _ -> true | _ -> false))
+
+let test_cse_cascades () =
+  (* Merging parents makes children equal; quiescence catches both. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let m1 = B.mul (B.rotate_left x 1) (B.rotate_left x 1) in
+  let m2 = B.mul (B.rotate_left x 1) (B.rotate_left x 1) in
+  B.output b "o" ~scale:30 (B.add m1 m2);
+  let p = B.program b in
+  Opt.run p;
+  Alcotest.(check int) "one rotation" 1 (count_op p (function Ir.Rotate_left _ -> true | _ -> false));
+  Alcotest.(check int) "one multiply" 1 (count_op p (function Ir.Multiply -> true | _ -> false))
+
+let test_cse_never_merges_outputs () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "a" ~scale:30 x;
+  B.output b "b" ~scale:30 x;
+  let p = B.program b in
+  Opt.run p;
+  Alcotest.(check int) "both outputs live" 2 (List.length (Ir.outputs p))
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold_plain_subgraph () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  let v = B.const_vector b ~scale:15 (Array.init 8 float_of_int) in
+  let s = B.const_scalar b ~scale:10 2.0 in
+  (* (v * s) + v is fully constant. *)
+  let plain = B.add (B.mul v s) v in
+  B.output b "o" ~scale:30 (B.mul x plain);
+  let p = B.program b in
+  Opt.run p;
+  (* One multiply remains: cipher x folded-constant. *)
+  Alcotest.(check int) "single multiply" 1 (count_op p (function Ir.Multiply -> true | _ -> false));
+  let out = Reference.execute p [ ("x", Reference.Vec (Array.make 8 1.0)) ] in
+  Alcotest.(check (array (float 1e-9))) "values" (Array.init 8 (fun i -> 3.0 *. float_of_int i)) (List.assoc "o" out)
+
+let test_fold_rotated_constant () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  let v = B.const_vector b ~scale:15 (Array.init 8 float_of_int) in
+  B.output b "o" ~scale:30 (B.add x (B.rotate_left v 2));
+  let p = B.program b in
+  Opt.run p;
+  Alcotest.(check int) "rotation folded away" 0 (count_op p (function Ir.Rotate_left _ -> true | _ -> false));
+  let out = Reference.execute p [ ("x", Reference.Vec (Array.make 8 0.0)) ] in
+  Alcotest.(check (float 1e-9)) "rotated" 2.0 (List.assoc "o" out).(0)
+
+let test_fold_respects_cipher () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "o" ~scale:30 (B.mul x x);
+  let p = B.program b in
+  let before = Ir.node_count p in
+  Opt.run p;
+  Alcotest.(check int) "cipher untouched" before (Ir.node_count p)
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_strength_reduction () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  let noop_rot = B.rotate_left x 8 in
+  let double_neg = B.neg (B.neg noop_rot) in
+  let times_one = B.mul double_neg (B.const_scalar b ~scale:0 1.0) in
+  let plus_zero = B.add times_one (B.const_scalar b ~scale:10 0.0) in
+  B.output b "o" ~scale:30 plus_zero;
+  let p = B.program b in
+  Opt.run p;
+  (* Everything reduces to the input feeding the output. *)
+  Alcotest.(check int) "two nodes left" 2 (Ir.node_count p);
+  let out = Reference.execute p [ ("x", Reference.Vec (Array.init 8 float_of_int)) ] in
+  Alcotest.(check (array (float 1e-9))) "identity" (Array.init 8 float_of_int) (List.assoc "o" out)
+
+let test_sub_self_is_zero () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "o" ~scale:30 (B.sub x x);
+  let p = B.program b in
+  Opt.run p;
+  let out = Reference.execute p [ ("x", Reference.Vec (Array.make 8 5.0)) ] in
+  Alcotest.(check (array (float 1e-9))) "zero" (Array.make 8 0.0) (List.assoc "o" out)
+
+(* ------------------------------------------------------------------ *)
+(* Through the whole pipeline                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimized_compile_agrees () =
+  let app = Eva_apps.Apps.sobel in
+  let p = app.Eva_apps.Apps.build () in
+  let inputs = app.Eva_apps.Apps.gen_inputs (Random.State.make [| 3 |]) in
+  let plain = Compile.run p in
+  let opt = Compile.run ~optimize:true p in
+  Alcotest.(check bool) "optimization shrinks sobel" true
+    (Ir.node_count opt.Compile.program <= Ir.node_count plain.Compile.program);
+  let a = Reference.execute plain.Compile.program inputs in
+  let b = Reference.execute opt.Compile.program inputs in
+  Alcotest.(check (float 1e-9)) "same reference semantics" 0.0 (Executor.max_abs_error a b)
+
+let prop_optimize_preserves_semantics =
+  QCheck2.Test.make ~name:"Optimize.run preserves reference semantics" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = B.create ~vec_size:16 () in
+      let x = B.input b ~scale:30 "x" in
+      let consts =
+        [
+          B.const_scalar b ~scale:10 1.0;
+          B.const_scalar b ~scale:0 1.0;
+          B.const_scalar b ~scale:10 0.0;
+          B.const_vector b ~scale:10 (Array.init 16 (fun i -> float_of_int (i mod 3)));
+        ]
+      in
+      let pool = ref (x :: consts) in
+      for _ = 1 to 15 do
+        let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+        let e =
+          match Random.State.int st 6 with
+          | 0 -> B.add (pick ()) (pick ())
+          | 1 -> B.sub (pick ()) (pick ())
+          | 2 -> B.mul (pick ()) (pick ())
+          | 3 -> B.rotate_left (pick ()) (Random.State.int st 32)
+          | 4 -> B.rotate_right (pick ()) (Random.State.int st 32)
+          | _ -> B.neg (pick ())
+        in
+        pool := e :: !pool
+      done;
+      B.output b "o" ~scale:30 (List.hd !pool);
+      let p = B.program b in
+      let inputs = [ ("x", Reference.Vec (Array.init 16 (fun _ -> Random.State.float st 2.0 -. 1.0))) ] in
+      let before = Reference.execute p inputs in
+      Opt.run p;
+      let after = Reference.execute p inputs in
+      Executor.max_abs_error before after < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Noise estimation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let measured_error ?(log_n = 11) p inputs =
+  let c = Compile.run p in
+  let r = Executor.execute ~ignore_security:true ~log_n c inputs in
+  let expect = Reference.execute p inputs in
+  (c, Executor.max_abs_error r.Executor.outputs expect)
+
+let test_noise_brackets_measurement () =
+  (* The estimate must land within two orders of magnitude of measured
+     error on a representative pipeline. *)
+  let b = B.create ~vec_size:64 () in
+  let x = B.input b ~scale:30 "x" in
+  let w = B.const_vector b ~scale:15 (Array.init 64 (fun i -> Float.sin (float_of_int i))) in
+  let open B.Infix in
+  B.output b "o" ~scale:30 (((x * w) + x) * x);
+  let p = B.program b in
+  let inputs = [ ("x", Reference.Vec (Array.init 64 (fun i -> Float.cos (float_of_int i)))) ] in
+  let c, measured = measured_error p inputs in
+  let predicted = (List.assoc "o" (Noise.estimate ~log_n:11 c)).Noise.abs_error in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.2e within [pred/100, pred*100] of predicted %.2e" measured predicted)
+    true
+    (measured < predicted *. 100.0 && measured > predicted /. 100.0)
+
+let test_noise_monotone_in_scale () =
+  let build scale =
+    let b = B.create ~vec_size:16 () in
+    let x = B.input b ~scale "x" in
+    B.output b "o" ~scale:30 (B.mul x x);
+    Compile.run (B.program b)
+  in
+  let err scale = (List.assoc "o" (Noise.estimate ~log_n:12 (build scale))).Noise.abs_error in
+  Alcotest.(check bool) "smaller scale, larger error" true (err 20 > err 30 && err 30 > err 40)
+
+let test_noise_grows_with_degree () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "o" ~scale:30 (B.mul x x);
+  let c = Compile.run (B.program b) in
+  let e k = (List.assoc "o" (Noise.estimate ~log_n:k c)).Noise.abs_error in
+  Alcotest.(check bool) "larger N, larger noise" true (e 14 > e 11)
+
+let test_noise_check_flags_low_scales () =
+  let build scale =
+    let b = B.create ~vec_size:16 () in
+    let x = B.input b ~scale "x" in
+    B.output b "o" ~scale:20 (B.mul x x);
+    Compile.run (B.program b)
+  in
+  Alcotest.(check int) "scale 12 flagged" 1 (List.length (Noise.check ~log_n:13 ~tolerance:1e-3 (build 12)));
+  Alcotest.(check int) "scale 35 clean" 0 (List.length (Noise.check ~log_n:13 ~tolerance:1e-3 (build 35)))
+
+let test_noise_magnitude_tracking () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let big = B.const_scalar b ~scale:10 100.0 in
+  B.output b "o" ~scale:30 (B.mul (B.mul x big) (B.mul x big));
+  let c = Compile.run (B.program b) in
+  let m = (List.assoc "o" (Noise.estimate ~log_n:11 c)).Noise.magnitude in
+  Alcotest.(check (float 1.0)) "magnitude 10^4" 10000.0 m
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "optimize"
+    [
+      ( "cse",
+        [
+          Alcotest.test_case "merges rotations" `Quick test_cse_merges_duplicate_rotations;
+          Alcotest.test_case "respects scales" `Quick test_cse_distinguishes_scales;
+          Alcotest.test_case "cascades" `Quick test_cse_cascades;
+          Alcotest.test_case "outputs kept" `Quick test_cse_never_merges_outputs;
+        ] );
+      ( "constant folding",
+        [
+          Alcotest.test_case "plain subgraph" `Quick test_fold_plain_subgraph;
+          Alcotest.test_case "rotated constant" `Quick test_fold_rotated_constant;
+          Alcotest.test_case "cipher untouched" `Quick test_fold_respects_cipher;
+        ] );
+      ( "strength reduction",
+        [
+          Alcotest.test_case "identities" `Quick test_strength_reduction;
+          Alcotest.test_case "x - x" `Quick test_sub_self_is_zero;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "optimized compile agrees" `Quick test_optimized_compile_agrees;
+          qt prop_optimize_preserves_semantics;
+        ] );
+      ( "noise estimation",
+        [
+          Alcotest.test_case "brackets measurement" `Quick test_noise_brackets_measurement;
+          Alcotest.test_case "monotone in scale" `Quick test_noise_monotone_in_scale;
+          Alcotest.test_case "grows with degree" `Quick test_noise_grows_with_degree;
+          Alcotest.test_case "check flags low scales" `Quick test_noise_check_flags_low_scales;
+          Alcotest.test_case "magnitude tracking" `Quick test_noise_magnitude_tracking;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Unit tests of encryption-parameter selection (Section 6.2). *)
+
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Params = Eva_core.Params
+module Passes = Eva_core.Passes
+module Compile = Eva_core.Compile
+module Sec = Eva_ckks.Security
+
+let select_for build =
+  let p = build () in
+  Passes.transform p;
+  Params.select p
+
+let simple_program ~input_scale ~output_scale ~depth () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:input_scale "x" in
+  B.output b "o" ~scale:output_scale (B.power x (1 lsl depth));
+  B.program b
+
+let test_special_prime_first () =
+  let params = select_for (simple_program ~input_scale:40 ~output_scale:30 ~depth:2) in
+  Alcotest.(check int) "special is s_f" 60 (List.hd params.Params.bit_sizes)
+
+let test_bit_vector_structure () =
+  (* Depth 2 at scale 40: one rescale (80 -> 20? no: 80-60=20 < 40) —
+     trace: x^2 = 80 >= 100? no. So chain depends; just check the vector
+     reassembles into the context order. *)
+  let params = select_for (simple_program ~input_scale:40 ~output_scale:30 ~depth:3) in
+  let total = List.fold_left ( + ) 0 params.Params.bit_sizes in
+  Alcotest.(check int) "log_q is the sum" total params.Params.log_q;
+  let ctx_total =
+    List.fold_left ( + ) 0 (params.Params.context_data_bits @ params.Params.special_bits)
+  in
+  Alcotest.(check int) "context order preserves the total" total ctx_total
+
+let test_degree_from_security () =
+  let params = select_for (simple_program ~input_scale:30 ~output_scale:30 ~depth:1) in
+  (* log Q = 150 -> N = 8192 (109 < 150 <= 218). *)
+  Alcotest.(check int) "log N" 13 params.Params.log_n;
+  Alcotest.(check bool) "within bound" true
+    (params.Params.log_q <= Sec.max_log_q ~level:Sec.Bits128 ~n:(1 lsl params.Params.log_n))
+
+let test_degree_fits_vec_size () =
+  (* Tiny modulus but a big vector: N must cover 2 * vec_size. *)
+  let b = B.create ~vec_size:8192 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "o" ~scale:30 x;
+  let p = B.program b in
+  Passes.transform p;
+  let params = Params.select p in
+  Alcotest.(check bool) "slots fit" true (1 lsl (params.Params.log_n - 1) >= 8192)
+
+let test_selection_error_when_too_deep () =
+  (* 30 squarings at scale 60 need a 1800+-bit modulus: beyond N = 2^16. *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (select_for (simple_program ~input_scale:60 ~output_scale:30 ~depth:30));
+       false
+     with Params.Selection_error _ -> true)
+
+let test_max_output_drives_selection () =
+  (* Two outputs at different depths: the deeper one must determine r. *)
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:40 "x" in
+  B.output b "shallow" ~scale:30 x;
+  B.output b "deep" ~scale:30 (B.power x 16);
+  let p = B.program b in
+  Passes.transform p;
+  let params = Params.select p in
+  let b2 = B.create ~vec_size:8 () in
+  let x2 = B.input b2 ~scale:40 "x" in
+  B.output b2 "deep" ~scale:30 (B.power x2 16);
+  let p2 = B.program b2 in
+  Passes.transform p2;
+  let params2 = Params.select p2 in
+  Alcotest.(check int) "same r as deep alone" (List.length params2.Params.bit_sizes)
+    (List.length params.Params.bit_sizes)
+
+let test_rotations_selected () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let open B.Infix in
+  B.output b "o" ~scale:30 ((x << 2) + (x << 5) + (x >> 3) + (x << 2));
+  let p = B.program b in
+  Passes.transform p;
+  let params = Params.select p in
+  Alcotest.(check (list int)) "deduplicated signed steps" [ -3; 2; 5 ] params.Params.rotations
+
+let test_factor_legalization () =
+  (* An output magnitude of 2^65 must not produce a 5-bit element. *)
+  let params = select_for (simple_program ~input_scale:35 ~output_scale:30 ~depth:1) in
+  List.iter
+    (fun bits -> Alcotest.(check bool) (Printf.sprintf "element %d >= 16" bits) true (bits >= 16))
+    params.Params.bit_sizes
+
+let test_r_optimality_statement () =
+  (* Section 5.3: r = 1 + |c_o| + ceil((scale_o + s_o)/60) for the
+     selected output. *)
+  let p = simple_program ~input_scale:60 ~output_scale:30 ~depth:3 () in
+  Passes.transform p;
+  let params = Params.select p in
+  let chains = Eva_core.Analysis.chains p in
+  let scales = Eva_core.Analysis.scales p in
+  let o = List.hd (Ir.outputs p) in
+  let co = List.length (Hashtbl.find chains o.Ir.id) in
+  let so = Hashtbl.find scales o.Ir.id + 30 in
+  let expect = 1 + co + ((so + 59) / 60) in
+  Alcotest.(check int) "r formula" expect (List.length params.Params.bit_sizes)
+
+let prop_selection_always_secure =
+  QCheck2.Test.make ~name:"selected parameters always within the security table" ~count:60
+    QCheck2.Gen.(pair (int_range 20 60) (int_range 1 4))
+    (fun (scale, depth) ->
+      match select_for (simple_program ~input_scale:scale ~output_scale:25 ~depth) with
+      | params -> params.Params.log_q <= Sec.max_log_q ~level:Sec.Bits128 ~n:(1 lsl params.Params.log_n)
+      | exception Params.Selection_error _ -> true)
+
+let prop_context_accepts_selection =
+  QCheck2.Test.make ~name:"Context.make accepts every selected parameter set" ~count:30
+    QCheck2.Gen.(pair (int_range 25 60) (int_range 1 3))
+    (fun (scale, depth) ->
+      match select_for (simple_program ~input_scale:scale ~output_scale:25 ~depth) with
+      | params ->
+          let _ =
+            Eva_ckks.Context.make ~n:(1 lsl params.Params.log_n) ~data_bits:params.Params.context_data_bits
+              ~special_bits:params.Params.special_bits ()
+          in
+          true
+      | exception Params.Selection_error _ -> true)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "params"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "special prime first" `Quick test_special_prime_first;
+          Alcotest.test_case "bit vector structure" `Quick test_bit_vector_structure;
+          Alcotest.test_case "degree from security" `Quick test_degree_from_security;
+          Alcotest.test_case "degree fits vec_size" `Quick test_degree_fits_vec_size;
+          Alcotest.test_case "too deep raises" `Quick test_selection_error_when_too_deep;
+          Alcotest.test_case "max output drives r" `Quick test_max_output_drives_selection;
+          Alcotest.test_case "rotations" `Quick test_rotations_selected;
+          Alcotest.test_case "factor legalization" `Quick test_factor_legalization;
+          Alcotest.test_case "r formula" `Quick test_r_optimality_statement;
+        ] );
+      ("property", [ qt prop_selection_always_secure; qt prop_context_accepts_selection ]);
+    ]

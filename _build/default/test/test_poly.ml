@@ -1,0 +1,202 @@
+module Rp = Eva_poly.Rns_poly
+module P = Eva_rns.Primes
+module Ntt = Eva_rns.Ntt
+module B = Eva_bigint.Bigint
+
+let make_tables ~n bit_sizes =
+  let primes = P.gen_chain ~bit_sizes ~two_n:(2 * n) in
+  Array.of_list (List.map (fun p -> Ntt.make ~n p) primes)
+
+let poly_of_ints ~tables ints = Rp.of_bigint_coeffs ~tables (Array.map B.of_int ints)
+
+let ints_of_poly p = Array.map B.to_int_exn (Rp.to_bigint_coeffs p)
+
+let n = 16
+let tables () = make_tables ~n [ 25; 25; 24 ]
+
+let test_zero () =
+  let z = Rp.zero ~tables:(tables ()) in
+  Alcotest.(check bool) "ntt form" true (Rp.is_ntt z);
+  Alcotest.(check (array string)) "all zero" (Array.make n "0") (Array.map B.to_string (Rp.to_bigint_coeffs z))
+
+let test_round_trip () =
+  let tb = tables () in
+  let coeffs = Array.init n (fun i -> (i * 7) - 31) in
+  let p = poly_of_ints ~tables:tb coeffs in
+  Alcotest.(check (array int)) "coeff round trip" coeffs (ints_of_poly p);
+  Rp.to_ntt p;
+  Rp.to_coeff p;
+  Alcotest.(check (array int)) "ntt round trip" coeffs (ints_of_poly p)
+
+let test_add_sub_neg () =
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> i - 5)) in
+  let b = poly_of_ints ~tables:tb (Array.init n (fun i -> (3 * i) + 1)) in
+  Alcotest.(check (array int)) "add" (Array.init n (fun i -> (i - 5) + (3 * i) + 1)) (ints_of_poly (Rp.add a b));
+  Alcotest.(check (array int)) "sub" (Array.init n (fun i -> i - 5 - ((3 * i) + 1))) (ints_of_poly (Rp.sub a b));
+  Alcotest.(check (array int)) "neg" (Array.init n (fun i -> 5 - i)) (ints_of_poly (Rp.neg a))
+
+let test_mul_matches_naive () =
+  (* (1 + X) * (2 + X) = 2 + 3X + X^2 in the negacyclic ring. *)
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> if i <= 1 then 1 else 0)) in
+  let b = poly_of_ints ~tables:tb (Array.init n (fun i -> match i with 0 -> 2 | 1 -> 1 | _ -> 0)) in
+  Rp.to_ntt a;
+  Rp.to_ntt b;
+  let c = Rp.mul a b in
+  let expect = Array.make n 0 in
+  expect.(0) <- 2;
+  expect.(1) <- 3;
+  expect.(2) <- 1;
+  Alcotest.(check (array int)) "product" expect (ints_of_poly c)
+
+let test_negacyclic_wrap () =
+  (* X^(n-1) * X = -1. *)
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> if i = n - 1 then 1 else 0)) in
+  let b = poly_of_ints ~tables:tb (Array.init n (fun i -> if i = 1 then 1 else 0)) in
+  Rp.to_ntt a;
+  Rp.to_ntt b;
+  let c = ints_of_poly (Rp.mul a b) in
+  Alcotest.(check int) "constant term" (-1) c.(0);
+  Alcotest.(check bool) "rest zero" true (Array.for_all (fun x -> x = 0) (Array.sub c 1 (n - 1)))
+
+let test_mul_scalar () =
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> i)) in
+  Alcotest.(check (array int)) "x7" (Array.init n (fun i -> 7 * i)) (ints_of_poly (Rp.mul_scalar_int a 7));
+  Alcotest.(check (array int)) "x-3" (Array.init n (fun i -> -3 * i)) (ints_of_poly (Rp.mul_scalar_int a (-3)))
+
+let test_drop_last () =
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> i - 8)) in
+  let d = Rp.drop_last a in
+  Alcotest.(check int) "one fewer prime" 2 (Rp.num_primes d);
+  Alcotest.(check (array int)) "coeffs preserved (small)" (Array.init n (fun i -> i - 8)) (ints_of_poly d)
+
+let test_rescale_last () =
+  let tb = tables () in
+  let p_last = Ntt.modulus tb.(2) in
+  (* Coefficients that are exact multiples of the dropped prime divide
+     exactly. *)
+  let a = Rp.of_bigint_coeffs ~tables:tb (Array.init n (fun i -> B.mul_int (B.of_int (i - 4)) p_last)) in
+  let r = Rp.rescale_last a in
+  Alcotest.(check int) "primes" 2 (Rp.num_primes r);
+  Alcotest.(check (array int)) "divided" (Array.init n (fun i -> i - 4)) (ints_of_poly r);
+  (* Non-multiples round to the nearest integer. *)
+  let b = Rp.of_bigint_coeffs ~tables:tb (Array.init n (fun i -> B.add (B.mul_int (B.of_int i) p_last) (B.of_int 3))) in
+  let rb = Rp.rescale_last b in
+  Alcotest.(check (array int)) "rounded" (Array.init n (fun i -> i)) (ints_of_poly rb)
+
+let test_rescale_preserves_form () =
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> i)) in
+  Rp.to_ntt a;
+  Alcotest.(check bool) "stays ntt" true (Rp.is_ntt (Rp.rescale_last a));
+  let b = poly_of_ints ~tables:tb (Array.init n (fun i -> i)) in
+  Alcotest.(check bool) "stays coeff" false (Rp.is_ntt (Rp.rescale_last b))
+
+let test_galois () =
+  (* X -> X^3 maps X to X^3 and X^6 to X^18 = -X^2 (n = 16). *)
+  let tb = tables () in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun i -> if i = 1 then 5 else if i = 6 then 7 else 0)) in
+  let g = ints_of_poly (Rp.galois a 3) in
+  Alcotest.(check int) "X^3 coeff" 5 g.(3);
+  Alcotest.(check int) "X^2 coeff" (-7) g.(2);
+  let nonzero = Array.to_list g |> List.filter (fun x -> x <> 0) in
+  Alcotest.(check int) "only two terms" 2 (List.length nonzero)
+
+let test_galois_ntt_matches_coeff () =
+  (* The evaluation-domain permutation must agree with the
+     coefficient-domain automorphism for every odd exponent. *)
+  let tb = tables () in
+  let st = Random.State.make [| 13 |] in
+  let coeffs = Array.init n (fun _ -> Random.State.int st 1000 - 500) in
+  let odd_gs = List.init n (fun k -> (2 * k) + 1) in
+  List.iter
+    (fun g ->
+      let a = poly_of_ints ~tables:tb coeffs in
+      let expected = ints_of_poly (Rp.galois a g) in
+      let b = poly_of_ints ~tables:tb coeffs in
+      Rp.to_ntt b;
+      let got = ints_of_poly (Rp.galois b g) in
+      if expected <> got then Alcotest.failf "galois NTT path disagrees at g = %d" g)
+    odd_gs
+
+let test_galois_composition () =
+  let tb = tables () in
+  let st = Random.State.make [| 11 |] in
+  let a = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 100 - 50)) in
+  let g1 = Rp.galois (Rp.galois a 3) 5 in
+  let g2 = Rp.galois a (3 * 5 mod (2 * n)) in
+  Alcotest.(check (array int)) "galois composes" (ints_of_poly g2) (ints_of_poly g1)
+
+let test_modulus_mismatch () =
+  let a = poly_of_ints ~tables:(tables ()) (Array.make n 1) in
+  let b = poly_of_ints ~tables:(make_tables ~n [ 25; 25 ]) (Array.make n 1) in
+  Alcotest.check_raises "mismatch raises" (Rp.Modulus_mismatch "add") (fun () -> ignore (Rp.add a b))
+
+let test_sampling () =
+  let tb = tables () in
+  let st = Random.State.make [| 5 |] in
+  let t = Rp.sample_ternary st ~tables:tb in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "ternary" true (List.mem (B.to_int_exn c) [ -1; 0; 1 ]))
+    (Rp.to_bigint_coeffs t);
+  let e = Rp.sample_error st ~tables:tb in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "error bounded" true (abs (B.to_int_exn c) <= 21))
+    (Rp.to_bigint_coeffs e)
+
+let prop_mul_commutative =
+  QCheck2.Test.make ~name:"poly mul commutes" ~count:50 QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let tb = tables () in
+      let st = Random.State.make [| seed |] in
+      let a = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 1000 - 500)) in
+      let b = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 1000 - 500)) in
+      Rp.to_ntt a;
+      Rp.to_ntt b;
+      ints_of_poly (Rp.mul a b) = ints_of_poly (Rp.mul b a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"poly mul distributes" ~count:50 QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let tb = tables () in
+      let st = Random.State.make [| seed; 1 |] in
+      let rand () = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 200 - 100)) in
+      let a = rand () and b = rand () and c = rand () in
+      Rp.to_ntt a;
+      Rp.to_ntt b;
+      Rp.to_ntt c;
+      ints_of_poly (Rp.mul a (Rp.add b c)) = ints_of_poly (Rp.add (Rp.mul a b) (Rp.mul a c)))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "poly"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "zero" `Quick test_zero;
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "add/sub/neg" `Quick test_add_sub_neg;
+          Alcotest.test_case "mul naive" `Quick test_mul_matches_naive;
+          Alcotest.test_case "negacyclic wrap" `Quick test_negacyclic_wrap;
+          Alcotest.test_case "mul scalar" `Quick test_mul_scalar;
+        ] );
+      ( "modulus ops",
+        [
+          Alcotest.test_case "drop_last" `Quick test_drop_last;
+          Alcotest.test_case "rescale_last" `Quick test_rescale_last;
+          Alcotest.test_case "rescale preserves form" `Quick test_rescale_preserves_form;
+          Alcotest.test_case "mismatch raises" `Quick test_modulus_mismatch;
+        ] );
+      ( "galois",
+        [
+          Alcotest.test_case "automorphism" `Quick test_galois;
+          Alcotest.test_case "NTT fast path" `Quick test_galois_ntt_matches_coeff;
+          Alcotest.test_case "composition" `Quick test_galois_composition;
+        ] );
+      ("sampling", [ Alcotest.test_case "ternary and error" `Quick test_sampling ]);
+      ("property", [ qt prop_mul_commutative; qt prop_mul_distributes ]);
+    ]

@@ -1,0 +1,172 @@
+module M = Eva_rns.Modarith
+module P = Eva_rns.Primes
+module Ntt = Eva_rns.Ntt
+module Crt = Eva_rns.Crt
+module B = Eva_bigint.Bigint
+
+let test_modarith_basics () =
+  let m = 97 in
+  Alcotest.(check int) "add wrap" 1 (M.add 50 48 m);
+  Alcotest.(check int) "sub wrap" 96 (M.sub 0 1 m);
+  Alcotest.(check int) "neg" 90 (M.neg 7 m);
+  Alcotest.(check int) "neg zero" 0 (M.neg 0 m);
+  Alcotest.(check int) "mul" (50 * 48 mod 97) (M.mul 50 48 m);
+  Alcotest.(check int) "pow" (M.mul (M.mul 3 3 m) 3 m) (M.pow 3 3 m);
+  Alcotest.(check int) "pow zero" 1 (M.pow 5 0 m)
+
+let test_inv () =
+  let m = 1073741789 in
+  List.iter
+    (fun a -> Alcotest.(check int) (Printf.sprintf "inv %d" a) 1 (M.mul a (M.inv a m) m))
+    [ 1; 2; 12345; m - 1; 536870912 ];
+  Alcotest.check_raises "inv 0" (Invalid_argument "Modarith.inv: zero") (fun () -> ignore (M.inv 0 m))
+
+let test_is_prime () =
+  let primes = [ 2; 3; 5; 7; 97; 786433; 1073741789; (1 lsl 30) + 3 ] in
+  let composites = [ 0; 1; 4; 9; 561; 1105; 1729; 1073741790; 25326001 ] in
+  List.iter (fun p -> Alcotest.(check bool) (string_of_int p) true (M.is_prime p)) primes;
+  List.iter (fun c -> Alcotest.(check bool) (string_of_int c) false (M.is_prime c)) composites
+
+let test_prime_gen () =
+  let two_n = 8192 in
+  let p = P.gen ~bits:30 ~two_n ~avoid:(fun _ -> false) in
+  Alcotest.(check bool) "is prime" true (M.is_prime p);
+  Alcotest.(check int) "congruent" 1 (p mod two_n);
+  Alcotest.(check bool) "bit size" true (p < 1 lsl 30 && p >= 1 lsl 29);
+  let chain = P.gen_chain ~bit_sizes:[ 30; 30; 30; 25 ] ~two_n in
+  Alcotest.(check int) "chain length" 4 (List.length chain);
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare chain))
+
+let test_min_bits () =
+  Alcotest.(check int) "2N=8192" 14 (P.min_bits ~two_n:8192);
+  Alcotest.(check int) "2N=2^17" 18 (P.min_bits ~two_n:(1 lsl 17))
+
+let test_primitive_root () =
+  let two_n = 2048 in
+  let p = P.gen ~bits:25 ~two_n ~avoid:(fun _ -> false) in
+  let r = P.primitive_root ~two_n p in
+  Alcotest.(check int) "order divides" 1 (M.pow r two_n p);
+  Alcotest.(check int) "exact order" (p - 1) (M.pow r (two_n / 2) p)
+
+let naive_negacyclic_mul a b p =
+  let n = Array.length a in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let prod = M.mul a.(i) b.(j) p in
+      if k < n then r.(k) <- M.add r.(k) prod p else r.(k - n) <- M.sub r.(k - n) prod p
+    done
+  done;
+  r
+
+let test_ntt_round_trip () =
+  let n = 64 in
+  let p = P.gen ~bits:25 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
+  let tb = Ntt.make ~n p in
+  let st = Random.State.make [| 42 |] in
+  let a = Array.init n (fun _ -> Random.State.int st p) in
+  let c = Array.copy a in
+  Ntt.forward tb c;
+  Alcotest.(check bool) "changed" true (c <> a);
+  Ntt.inverse tb c;
+  Alcotest.(check (array int)) "round trip" a c
+
+let test_ntt_convolution () =
+  let n = 32 in
+  let p = P.gen ~bits:25 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
+  let tb = Ntt.make ~n p in
+  let st = Random.State.make [| 7 |] in
+  let a = Array.init n (fun _ -> Random.State.int st p) in
+  let b = Array.init n (fun _ -> Random.State.int st p) in
+  let expect = naive_negacyclic_mul a b p in
+  let fa = Array.copy a and fb = Array.copy b in
+  Ntt.forward tb fa;
+  Ntt.forward tb fb;
+  let prod = Array.init n (fun i -> M.mul fa.(i) fb.(i) p) in
+  Ntt.inverse tb prod;
+  Alcotest.(check (array int)) "negacyclic convolution" expect prod
+
+let test_crt_round_trip () =
+  let primes = [ 1073741789; 1073741783; 536870909 ] in
+  let crt = Crt.make primes in
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 50 do
+    let residues = Array.of_list (List.map (fun p -> Random.State.int st p) primes) in
+    let x = Crt.reconstruct crt residues in
+    Array.iteri
+      (fun i r -> Alcotest.(check int) "residue" r (B.rem_int x (List.nth primes i)))
+      residues;
+    Alcotest.(check bool) "in range" true (B.compare x (Crt.modulus crt) < 0 && B.sign x >= 0)
+  done
+
+let test_crt_centered () =
+  let primes = [ 97; 101 ] in
+  let crt = Crt.make primes in
+  (* x = -5: residues (92, 96). *)
+  let x = Crt.reconstruct_centered crt [| 92; 96 |] in
+  Alcotest.(check string) "negative recovered" "-5" (B.to_string x);
+  let y = Crt.reconstruct_centered crt [| 5; 5 |] in
+  Alcotest.(check string) "positive recovered" "5" (B.to_string y)
+
+let test_crt_residues () =
+  let primes = [ 97; 101; 103 ] in
+  let crt = Crt.make primes in
+  let x = B.of_int 123456 in
+  let r = Crt.residues crt x in
+  Alcotest.(check (array int)) "residues" [| 123456 mod 97; 123456 mod 101; 123456 mod 103 |] r
+
+let prop_ntt_linear =
+  QCheck2.Test.make ~name:"NTT is linear" ~count:50
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (s1, s2) ->
+      let n = 16 in
+      let p = P.gen ~bits:20 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
+      let tb = Ntt.make ~n p in
+      let st = Random.State.make [| s1; s2 |] in
+      let a = Array.init n (fun _ -> Random.State.int st p) in
+      let b = Array.init n (fun _ -> Random.State.int st p) in
+      let sum = Array.init n (fun i -> M.add a.(i) b.(i) p) in
+      Ntt.forward tb a;
+      Ntt.forward tb b;
+      Ntt.forward tb sum;
+      Array.for_all2 (fun x y -> x = y) sum (Array.init n (fun i -> M.add a.(i) b.(i) p)))
+
+let prop_garner_random =
+  QCheck2.Test.make ~name:"Garner reconstruction vs direct residues" ~count:100
+    QCheck2.Gen.(int_range 0 (1 lsl 55))
+    (fun v ->
+      let primes = [ 1073741789; 1073741783 ] in
+      let crt = Crt.make primes in
+      let x = B.of_int v in
+      B.equal (Crt.reconstruct crt (Crt.residues crt x)) x)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "rns"
+    [
+      ( "modarith",
+        [
+          Alcotest.test_case "basics" `Quick test_modarith_basics;
+          Alcotest.test_case "inverse" `Quick test_inv;
+          Alcotest.test_case "is_prime" `Quick test_is_prime;
+        ] );
+      ( "primes",
+        [
+          Alcotest.test_case "gen" `Quick test_prime_gen;
+          Alcotest.test_case "min_bits" `Quick test_min_bits;
+          Alcotest.test_case "primitive root" `Quick test_primitive_root;
+        ] );
+      ( "ntt",
+        [
+          Alcotest.test_case "round trip" `Quick test_ntt_round_trip;
+          Alcotest.test_case "convolution theorem" `Quick test_ntt_convolution;
+        ] );
+      ( "crt",
+        [
+          Alcotest.test_case "round trip" `Quick test_crt_round_trip;
+          Alcotest.test_case "centered" `Quick test_crt_centered;
+          Alcotest.test_case "residues" `Quick test_crt_residues;
+        ] );
+      ("property", [ qt prop_ntt_linear; qt prop_garner_random ]);
+    ]

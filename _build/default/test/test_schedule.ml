@@ -1,0 +1,191 @@
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+module Cost = Eva_schedule.Cost
+module Makespan = Eva_schedule.Makespan
+module Parallel = Eva_schedule.Parallel
+
+(* A wide program: k independent multiply chains summed at the end. *)
+let wide_program k depth =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let chains =
+    List.init k (fun i ->
+        let rec go e d = if d = 0 then e else go (B.mul e (B.const_scalar b ~scale:10 (1.0 +. (0.01 *. float_of_int i)))) (d - 1) in
+        go (B.rotate_left x (i + 1)) depth)
+  in
+  B.output b "out" ~scale:30 (List.fold_left B.add (List.hd chains) (List.tl chains));
+  B.program b
+
+let unit_cost n = match n.Ir.op with Ir.Input _ | Ir.Constant _ | Ir.Output _ -> 0.0 | _ -> 1.0
+
+let test_makespan_bounds () =
+  let p = (Compile.run (wide_program 8 3)).Compile.program in
+  let work_stats = Makespan.simulate p ~cost:unit_cost ~workers:1 in
+  Alcotest.(check (float 1e-9)) "one worker = total work" work_stats.Makespan.work work_stats.Makespan.makespan;
+  let s4 = Makespan.simulate p ~cost:unit_cost ~workers:4 in
+  Alcotest.(check bool) "lower bound" true
+    (s4.Makespan.makespan +. 1e-9 >= Float.max s4.Makespan.critical_path (s4.Makespan.work /. 4.0));
+  Alcotest.(check bool) "upper bound" true (s4.Makespan.makespan <= s4.Makespan.work +. 1e-9);
+  Alcotest.(check bool) "parallelism helps" true (s4.Makespan.makespan < work_stats.Makespan.makespan)
+
+let test_makespan_monotone_in_workers () =
+  let p = (Compile.run (wide_program 6 4)).Compile.program in
+  let prev = ref Float.infinity in
+  List.iter
+    (fun w ->
+      let s = Makespan.simulate p ~cost:unit_cost ~workers:w in
+      Alcotest.(check bool) (Printf.sprintf "workers %d no slower" w) true (s.Makespan.makespan <= !prev +. 1e-9);
+      prev := s.Makespan.makespan)
+    [ 1; 2; 4; 8; 16 ]
+
+let test_makespan_saturates_at_critical_path () =
+  let p = (Compile.run (wide_program 4 5)).Compile.program in
+  let s = Makespan.simulate p ~cost:unit_cost ~workers:1000 in
+  Alcotest.(check (float 1e-9)) "saturates" s.Makespan.critical_path s.Makespan.makespan
+
+let test_bulk_synchronous_never_faster () =
+  let p = (Compile.run (wide_program 6 3)).Compile.program in
+  (* Group by rough depth: a legal (topology-respecting) kernel split. *)
+  let depth_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let d = Array.fold_left (fun acc m -> max acc (Hashtbl.find depth_tbl m.Ir.id + 1)) 0 n.Ir.parms in
+      Hashtbl.replace depth_tbl n.Ir.id d)
+    (Ir.topological p);
+  let group n = Hashtbl.find depth_tbl n.Ir.id in
+  List.iter
+    (fun w ->
+      let dyn = Makespan.simulate p ~cost:unit_cost ~workers:w in
+      let bulk = Makespan.simulate_bulk_synchronous p ~cost:unit_cost ~workers:w ~group in
+      Alcotest.(check bool)
+        (Printf.sprintf "bulk >= dynamic at %d workers" w)
+        true
+        (bulk.Makespan.makespan +. 1e-9 >= dyn.Makespan.makespan))
+    [ 1; 2; 4; 8 ]
+
+let test_bulk_rejects_bad_groups () =
+  let p = (Compile.run (wide_program 2 1)).Compile.program in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Makespan.simulate_bulk_synchronous p ~cost:unit_cost ~workers:2 ~group:(fun n -> -n.Ir.id));
+       false
+     with Invalid_argument _ -> true)
+
+let test_cost_model_orders_ops () =
+  let c = Compile.run (wide_program 2 2) in
+  let costs = Cost.program_costs Cost.default_coefficients c in
+  let cost_of pred =
+    List.filter_map
+      (fun n -> if pred n.Ir.op then Hashtbl.find_opt costs n.Ir.id else None)
+      c.Compile.program.Ir.all_nodes
+  in
+  let adds = cost_of (function Ir.Add -> true | _ -> false) in
+  let rots = cost_of (function Ir.Rotate_left _ -> true | _ -> false) in
+  Alcotest.(check bool) "has adds and rotations" true (adds <> [] && rots <> []);
+  (* Key switching dominates additions by orders of magnitude. *)
+  Alcotest.(check bool) "rotate >> add" true (List.hd rots > 10.0 *. List.hd adds)
+
+let test_cost_model_grows_with_n () =
+  let c = Compile.run (wide_program 2 2) in
+  let small = Cost.program_costs ~log_n:12 Cost.default_coefficients c in
+  let large = Cost.program_costs ~log_n:15 Cost.default_coefficients c in
+  let total t = Hashtbl.fold (fun _ v acc -> acc +. v) t 0.0 in
+  (* Plaintext vector work is degree-independent; ciphertext work grows. *)
+  Hashtbl.iter
+    (fun id v -> Alcotest.(check bool) "no op gets cheaper" true (Hashtbl.find large id >= v))
+    small;
+  Alcotest.(check bool) "total cost grows" true (total large > total small)
+
+let test_calibration_positive () =
+  let co = Cost.calibrate ~log_n:10 () in
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) name true (v > 0.0 && v < 1e-3))
+    [ ("c_linear", co.Cost.c_linear); ("c_mul", co.Cost.c_mul); ("c_ntt", co.Cost.c_ntt); ("c_encode", co.Cost.c_encode) ]
+
+let test_parallel_matches_sequential () =
+  let p = wide_program 4 2 in
+  let c = Compile.run p in
+  let bindings = [ ("x", Reference.Vec (Array.init 16 (fun i -> Float.sin (float_of_int i) /. 2.0))) ] in
+  let seq = Executor.execute ~seed:3 ~ignore_security:true ~log_n:10 c bindings in
+  List.iter
+    (fun workers ->
+      let par = Parallel.execute ~seed:3 ~ignore_security:true ~log_n:10 ~workers c bindings in
+      List.iter
+        (fun (name, v) ->
+          let w = List.assoc name par in
+          Array.iteri
+            (fun i x ->
+              if Float.abs (x -. w.(i)) > 1e-9 then
+                Alcotest.failf "workers=%d %s slot %d: %f vs %f" workers name i x w.(i))
+            v)
+        seq.Executor.outputs)
+    [ 1; 2; 4 ]
+
+let test_parallel_propagates_failure () =
+  (* A hand-built invalid program (scale mismatch) must raise, not hang. *)
+  let p = Ir.create_program ~vec_size:16 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let y = Ir.add_node ~decl_scale:40 p (Ir.Input (Ir.Cipher, "y")) [] in
+  let s = Ir.add_node p Ir.Add [ x; y ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ s ]);
+  (* Bypass the compiler: build a fake compiled record. *)
+  let params = Eva_core.Params.select p in
+  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60 } in
+  let bindings = [ ("x", Reference.Vec [| 0.5 |]); ("y", Reference.Vec [| 0.5 |]) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Parallel.execute ~ignore_security:true ~log_n:10 ~workers:2 compiled bindings);
+       false
+     with Eva_ckks.Eval.Scale_mismatch _ -> true)
+
+let prop_makespan_bounds_random =
+  QCheck2.Test.make ~name:"makespan bounds on random DAGs" ~count:40 QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = B.create ~vec_size:16 () in
+      let x = B.input b ~scale:30 "x" in
+      let pool = ref [ x ] in
+      for _ = 1 to 20 do
+        let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+        let e = match Random.State.int st 3 with
+          | 0 -> B.add (pick ()) (pick ())
+          | 1 -> B.mul (pick ()) (B.const_scalar b ~scale:10 0.5)
+          | _ -> B.rotate_left (pick ()) 1
+        in
+        pool := e :: !pool
+      done;
+      B.output b "o" ~scale:30 (List.hd !pool);
+      let p = (Compile.run (B.program b)).Compile.program in
+      let workers = 1 + Random.State.int st 7 in
+      let s = Makespan.simulate p ~cost:unit_cost ~workers in
+      s.Makespan.makespan +. 1e-9 >= Float.max s.Makespan.critical_path (s.Makespan.work /. float_of_int workers)
+      && s.Makespan.makespan <= s.Makespan.work +. 1e-9)
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "schedule"
+    [
+      ( "makespan",
+        [
+          Alcotest.test_case "bounds" `Quick test_makespan_bounds;
+          Alcotest.test_case "monotone in workers" `Quick test_makespan_monotone_in_workers;
+          Alcotest.test_case "saturates at critical path" `Quick test_makespan_saturates_at_critical_path;
+          Alcotest.test_case "bulk-sync never faster" `Quick test_bulk_synchronous_never_faster;
+          Alcotest.test_case "bulk rejects bad groups" `Quick test_bulk_rejects_bad_groups;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "op ordering" `Quick test_cost_model_orders_ops;
+          Alcotest.test_case "grows with N" `Quick test_cost_model_grows_with_n;
+          Alcotest.test_case "calibration" `Quick test_calibration_positive;
+        ] );
+      ( "parallel executor",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "propagates failure" `Quick test_parallel_propagates_failure;
+        ] );
+      ("property", [ qt prop_makespan_bounds_random ]);
+    ]

@@ -1,0 +1,167 @@
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module S = Eva_core.Serialize
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+
+let sobel_like () =
+  let b = B.create ~name:"sobel" ~vec_size:64 () in
+  let image = B.input b ~scale:25 "image" in
+  let open B.Infix in
+  let f = [| -1.0; 0.0; 1.0; -2.0; 0.0; 2.0; -1.0; 0.0; 1.0 |] in
+  let acc = ref None in
+  Array.iteri
+    (fun i w ->
+      let t = (image << i) * B.const_scalar b ~scale:15 w in
+      acc := Some (match !acc with None -> t | Some a -> a + t))
+    f;
+  B.output b "edges" ~scale:25 (Option.get !acc);
+  B.program b
+
+let test_round_trip_source () =
+  let p = sobel_like () in
+  let s = S.to_string p in
+  let p' = S.of_string s in
+  Alcotest.(check string) "stable round trip" s (S.to_string p');
+  Alcotest.(check int) "node count" (Ir.node_count p) (Ir.node_count p')
+
+let test_round_trip_compiled () =
+  (* Compiled programs (with FHE-specific instructions) serialize too:
+     the language is also the executable format. *)
+  let c = Compile.run (sobel_like ()) in
+  let s = S.to_string c.Compile.program in
+  let p' = S.of_string s in
+  Alcotest.(check string) "stable" s (S.to_string p');
+  (* Reference semantics survive the round trip. *)
+  let bind = [ ("image", Reference.Vec (Array.init 64 (fun i -> Float.sin (float_of_int i)))) ] in
+  let a = Reference.execute c.Compile.program bind in
+  let b = Reference.execute p' bind in
+  Alcotest.(check (array (float 1e-12))) "semantics" (List.assoc "edges" a) (List.assoc "edges" b)
+
+let test_float_fidelity () =
+  let b = B.create ~vec_size:8 () in
+  let x = B.input b ~scale:30 "x" in
+  let odd = [| 0.1; -1.0 /. 3.0; 1e-17; 2.214; Float.pi; 1.7976931348623157e308 |] in
+  B.output b "o" ~scale:30 (B.mul x (B.const_vector b ~scale:20 (Array.sub odd 0 4)));
+  let p' = S.of_string (S.to_string (B.program b)) in
+  let const =
+    List.find_map
+      (fun n -> match n.Ir.op with Ir.Constant (Ir.Const_vector v) -> Some v | _ -> None)
+      p'.Ir.all_nodes
+    |> Option.get
+  in
+  Array.iteri (fun i v -> Alcotest.(check bool) "bit-exact float" true (v = odd.(i))) const
+
+let test_comments_and_whitespace () =
+  let src =
+    {|# a comment
+program "p" vec_size 8 {   # trailing comment
+  a = input cipher "x" scale 30
+
+  # blank lines are fine
+  b = multiply a a
+  output "o" b scale 30
+}|}
+  in
+  let p = S.of_string src in
+  Alcotest.(check int) "nodes" 3 (Ir.node_count p)
+
+let check_error src fragment =
+  match S.of_string src with
+  | _ -> Alcotest.failf "expected parse error (%s)" fragment
+  | exception S.Parse_error { message; _ } ->
+      if not (String.length message >= String.length fragment) then Alcotest.failf "odd message %S" message
+
+let test_parse_errors () =
+  check_error "program 3" "expected string";
+  check_error {|program "p" vec_size 7 { }|} "power of two";
+  check_error {|program "p" vec_size 8 { a = frobnicate b }|} "unknown opcode";
+  check_error {|program "p" vec_size 8 { a = add b c }|} "unknown node";
+  check_error {|program "p" vec_size 8 { a = input cipher "x" scale 30 a = input cipher "y" scale 30 }|}
+    "defined twice";
+  check_error {|program "p" vec_size 8 { a = input cipher "x" scale 30 } trailing|} "trailing";
+  check_error {|program "p" vec_size 8 { a = constant vector [1, 2 scale 5 }|} "expected ']'"
+
+let test_error_positions () =
+  let src = "program \"p\" vec_size 8 {\n  a = input cipher \"x\" scale 30\n  b = oops a\n}" in
+  match S.of_string src with
+  | _ -> Alcotest.fail "expected error"
+  | exception S.Parse_error { line; _ } -> Alcotest.(check int) "line number" 3 line
+
+let test_describe_error () =
+  match S.of_string "program" with
+  | _ -> Alcotest.fail "expected error"
+  | exception e ->
+      let d = Option.get (S.describe_error e) in
+      Alcotest.(check bool) "mentions line" true (String.length d > 10)
+
+let test_negative_rotation () =
+  let src = {|program "p" vec_size 8 {
+  a = input cipher "x" scale 30
+  b = rotate_left a -3
+  output "o" b scale 30
+}|} in
+  let p = S.of_string src in
+  let rot = List.find (fun n -> match n.Ir.op with Ir.Rotate_left _ -> true | _ -> false) p.Ir.all_nodes in
+  match rot.Ir.op with
+  | Ir.Rotate_left k -> Alcotest.(check int) "negative step" (-3) k
+  | _ -> assert false
+
+let test_file_io () =
+  let p = sobel_like () in
+  let path = Filename.temp_file "eva" ".eva" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.to_file path p;
+      let p' = S.of_file path in
+      Alcotest.(check string) "file round trip" (S.to_string p) (S.to_string p'))
+
+let prop_round_trip_random =
+  QCheck2.Test.make ~name:"serialize round trip on random programs" ~count:100
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = B.create ~vec_size:16 () in
+      let x = B.input b ~scale:30 "x" in
+      let pool = ref [ x ] in
+      for _ = 1 to 10 do
+        let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+        let e =
+          match Random.State.int st 7 with
+          | 0 -> B.add (pick ()) (pick ())
+          | 1 -> B.sub (pick ()) (pick ())
+          | 2 -> B.mul (pick ()) (pick ())
+          | 3 -> B.mul (pick ()) (B.const_vector b ~scale:10 (Array.init 4 (fun _ -> Random.State.float st 2.0 -. 1.0)))
+          | 4 -> B.rotate_left (pick ()) (Random.State.int st 16)
+          | 5 -> B.rotate_right (pick ()) (Random.State.int st 16)
+          | _ -> B.neg (pick ())
+        in
+        pool := e :: !pool
+      done;
+      B.output b "o" ~scale:30 (List.hd !pool);
+      let p = B.program b in
+      let s = S.to_string p in
+      s = S.to_string (S.of_string s))
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "serialize"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "source program" `Quick test_round_trip_source;
+          Alcotest.test_case "compiled program" `Quick test_round_trip_compiled;
+          Alcotest.test_case "float fidelity" `Quick test_float_fidelity;
+          Alcotest.test_case "negative rotation" `Quick test_negative_rotation;
+          Alcotest.test_case "file I/O" `Quick test_file_io;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "comments & whitespace" `Quick test_comments_and_whitespace;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          Alcotest.test_case "describe_error" `Quick test_describe_error;
+        ] );
+      ("property", [ qt prop_round_trip_random ]);
+    ]
