@@ -165,8 +165,13 @@ let run_cmd =
       let c = Compile.run ~optimize p in
       Format.printf "%a@." Params.pp c.Compile.params;
       let outputs =
-        if workers > 1 then
-          Eva_schedule.Parallel.execute ~seed ~ignore_security:(log_n <> None) ?log_n ~workers c bindings
+        if workers > 1 then begin
+          let r = Eva_schedule.Parallel.execute ~seed ~ignore_security:(log_n <> None) ?log_n ~workers c bindings in
+          Printf.printf "parallel execute: %.3fs on %d workers (peak live values %d)\n"
+            r.Eva_schedule.Parallel.timings.Executor.execute_seconds workers
+            r.Eva_schedule.Parallel.peak_live_values;
+          r.Eva_schedule.Parallel.outputs
+        end
         else begin
           let r = Executor.execute ~seed ~ignore_security:(log_n <> None) ?log_n c bindings in
           r.Executor.outputs

@@ -36,7 +36,57 @@ let plain_of_binding vs = function
   | Reference.Vec v -> Reference.tile vs v
   | Reference.Scal s -> Array.make vs s
 
-let prepare ?(seed = 1) ?(ignore_security = false) ?log_n compiled bindings =
+(* Order-preserving parallel map on domains; work is claimed from a
+   shared atomic counter so uneven item costs still balance. *)
+let parallel_map ~workers f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let workers = max 1 (min workers n) in
+  if workers = 1 then List.map f items
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get err = None then begin
+        (try out.(i) <- Some (f arr.(i)) with e -> Atomic.set err (Some e));
+        drain ()
+      end
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn drain) in
+    drain ();
+    List.iter Domain.join domains;
+    (match Atomic.get err with Some e -> raise e | None -> ());
+    Array.to_list (Array.map Option.get out)
+  end
+
+(* Encode + encrypt the bound inputs. Each Cipher input draws a private
+   RNG from [rng] up front (sequentially, so results are independent of
+   [workers]), then the per-input work runs on [workers] domains. *)
+let encrypt_inputs ctx keyset rng ~vs ~top_level ~workers ~binding all_nodes =
+  let jobs =
+    List.filter_map
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Input (Ir.Cipher, name) ->
+            let child = Random.State.make [| Random.State.bits rng; Random.State.bits rng |] in
+            Some (n, name, Some child)
+        | Ir.Input (_, name) -> Some (n, name, None)
+        | _ -> None)
+      (List.rev all_nodes)
+  in
+  parallel_map ~workers
+    (fun (n, name, child) ->
+      let v = plain_of_binding vs (binding name) in
+      match child with
+      | Some child_rng ->
+          let pt = Eval.encode ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) v in
+          (n.Ir.id, Ct (Eval.encrypt ctx keyset child_rng pt))
+      | None -> (n.Ir.id, Plain v))
+    jobs
+
+let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compiled bindings =
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let params = compiled.Compile.params in
@@ -63,18 +113,10 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n compiled bindings =
   let binding name =
     match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
   in
+  let encrypt_workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
   let t1 = now () in
   let inputs =
-    List.filter_map
-      (fun n ->
-        match n.Ir.op with
-        | Ir.Input (Ir.Cipher, name) ->
-            let v = plain_of_binding vs (binding name) in
-            let pt = Eval.encode ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) v in
-            Some (n.Ir.id, Ct (Eval.encrypt ctx keyset rng pt))
-        | Ir.Input (_, name) -> Some (n.Ir.id, Plain (plain_of_binding vs (binding name)))
-        | _ -> None)
-      (List.rev p.Ir.all_nodes)
+    encrypt_inputs ctx keyset rng ~vs ~top_level ~workers:encrypt_workers ~binding p.Ir.all_nodes
   in
   let encrypt_seconds = now () -. t1 in
   {
@@ -95,25 +137,17 @@ let input_values e = e.inputs
 let engine_context_seconds e = e.context_seconds
 let engine_encrypt_seconds e = e.encrypt_seconds
 
-let rebind e compiled bindings =
+let rebind ?encrypt_workers e compiled bindings =
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let top_level = Ctx.chain_length e.ctx in
   let binding name =
     match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
   in
+  let workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
   let t0 = now () in
   let inputs =
-    List.filter_map
-      (fun n ->
-        match n.Ir.op with
-        | Ir.Input (Ir.Cipher, name) ->
-            let v = plain_of_binding vs (binding name) in
-            let pt = Eval.encode e.ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) v in
-            Some (n.Ir.id, Ct (Eval.encrypt e.ctx e.keyset e.rng pt))
-        | Ir.Input (_, name) -> Some (n.Ir.id, Plain (plain_of_binding vs (binding name)))
-        | _ -> None)
-      (List.rev p.Ir.all_nodes)
+    encrypt_inputs e.ctx e.keyset e.rng ~vs ~top_level ~workers ~binding p.Ir.all_nodes
   in
   { e with inputs; encrypt_seconds = now () -. t0; pt_cache = Hashtbl.create 32 }
 
@@ -187,7 +221,19 @@ let read_output e = function
   | Plain a -> a
   | Ct ct -> Array.sub (Eval.decrypt e.ctx e.secret ct) 0 e.vec_size
 
-let run_on e compiled =
+type run_stats = {
+  raw_outputs : (string * value) list;
+  elapsed_seconds : float;
+  node_seconds : (int * Ir.op * float) list;
+  peak_live_values : int;
+}
+
+(* The one sequential evaluation loop: both [run_on] and [execute] are
+   thin wrappers so the timed and untimed paths cannot drift.
+   Remaining-use counts drive buffer release (memory reuse): a value is
+   dropped as soon as its last consumer has run, and the high-water mark
+   of simultaneously stored values is recorded. *)
+let run_graph ?(record_per_node = false) e compiled =
   let p = compiled.Compile.program in
   let t0 = now () in
   let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
@@ -197,55 +243,42 @@ let run_on e compiled =
   let release parent =
     let r = Hashtbl.find remaining parent.Ir.id - 1 in
     Hashtbl.replace remaining parent.Ir.id r;
-    if r = 0 then Hashtbl.remove values parent.Ir.id
-  in
-  let outputs = ref [] in
-  List.iter
-    (fun n ->
-      match n.Ir.op with
-      | Ir.Input _ -> ()
-      | _ ->
-          let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
-          let v = eval_node e n parents in
-          (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
-          Hashtbl.replace values n.Ir.id v;
-          Array.iter release n.Ir.parms)
-    (Ir.topological p);
-  let elapsed = now () -. t0 in
-  (List.rev_map (fun (name, v) -> (name, read_output e v)) !outputs, elapsed)
-
-let execute ?seed ?ignore_security ?log_n compiled bindings =
-  let p = compiled.Compile.program in
-  let e = prepare ?seed ?ignore_security ?log_n compiled bindings in
-  let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun (id, v) -> Hashtbl.replace values id v) e.inputs;
-  (* Remaining-use counts drive buffer release (memory reuse). *)
-  let remaining = Hashtbl.create 64 in
-  List.iter (fun n -> Hashtbl.replace remaining n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
-  let release parent =
-    let r = Hashtbl.find remaining parent.Ir.id - 1 in
-    Hashtbl.replace remaining parent.Ir.id r;
-    if r = 0 then Hashtbl.remove values parent.Ir.id
+    if r = 0 then
+      match parent.Ir.op with Ir.Output _ -> () | _ -> Hashtbl.remove values parent.Ir.id
   in
   let outputs = ref [] in
   let per_node = ref [] in
-  let t0 = now () in
+  let peak = ref (Hashtbl.length values) in
   List.iter
     (fun n ->
       match n.Ir.op with
       | Ir.Input _ -> ()
       | _ ->
-          let tn = now () in
+          let tn = if record_per_node then now () else 0.0 in
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
           let v = eval_node e n parents in
           (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
           Hashtbl.replace values n.Ir.id v;
+          if Hashtbl.length values > !peak then peak := Hashtbl.length values;
           Array.iter release n.Ir.parms;
-          per_node := (n.Ir.id, n.Ir.op, now () -. tn) :: !per_node)
+          if record_per_node then per_node := (n.Ir.id, n.Ir.op, now () -. tn) :: !per_node)
     (Ir.topological p);
-  let execute_seconds = now () -. t0 in
+  {
+    raw_outputs = List.rev !outputs;
+    elapsed_seconds = now () -. t0;
+    node_seconds = List.rev !per_node;
+    peak_live_values = !peak;
+  }
+
+let run_on e compiled =
+  let s = run_graph e compiled in
+  (List.map (fun (name, v) -> (name, read_output e v)) s.raw_outputs, s.elapsed_seconds)
+
+let execute ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings =
+  let e = prepare ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings in
+  let s = run_graph ~record_per_node:true e compiled in
   let t1 = now () in
-  let decrypted = List.rev_map (fun (name, v) -> (name, read_output e v)) !outputs in
+  let decrypted = List.map (fun (name, v) -> (name, read_output e v)) s.raw_outputs in
   let decrypt_seconds = now () -. t1 in
   {
     outputs = decrypted;
@@ -253,9 +286,9 @@ let execute ?seed ?ignore_security ?log_n compiled bindings =
       {
         context_seconds = e.context_seconds;
         encrypt_seconds = e.encrypt_seconds;
-        execute_seconds;
+        execute_seconds = s.elapsed_seconds;
         decrypt_seconds;
-        per_node = List.rev !per_node;
+        per_node = s.node_seconds;
       };
   }
 

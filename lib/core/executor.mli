@@ -34,10 +34,13 @@ type value = Ct of Eva_ckks.Eval.ciphertext | Plain of float array
 type engine
 
 (** [prepare c bindings] builds the context and keys and encrypts the
-    Cipher inputs. See {!execute} for [seed], [ignore_security],
+    Cipher inputs. Input encode/encrypt runs on [encrypt_workers]
+    domains (default: the recommended domain count); each input draws a
+    private RNG from the seed sequentially, so ciphertexts do not depend
+    on the worker count. See {!execute} for [seed], [ignore_security],
     [log_n]. *)
 val prepare :
-  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> Compile.compiled ->
+  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int -> Compile.compiled ->
   (string * Reference.binding) list -> engine
 
 (** Initial values for input nodes (id-indexed). *)
@@ -45,7 +48,24 @@ val input_values : engine -> (int * value) list
 
 (** [rebind e c bindings] re-encrypts fresh inputs reusing the engine's
     context and keys (amortizes key generation across many runs). *)
-val rebind : engine -> Compile.compiled -> (string * Reference.binding) list -> engine
+val rebind :
+  ?encrypt_workers:int -> engine -> Compile.compiled -> (string * Reference.binding) list -> engine
+
+(** Everything one graph evaluation produced: raw (still encrypted)
+    outputs, wall time, optional per-node timings, and the high-water
+    mark of simultaneously live values (the memory-reuse measure of
+    Section 6.1 — on release-correct executors this tracks DAG width,
+    not node count). *)
+type run_stats = {
+  raw_outputs : (string * value) list;
+  elapsed_seconds : float;
+  node_seconds : (int * Ir.op * float) list;  (** empty unless recorded *)
+  peak_live_values : int;
+}
+
+(** [run_graph e c] evaluates the graph single-threaded on a prepared
+    engine. Both {!run_on} and {!execute} are wrappers over this loop. *)
+val run_graph : ?record_per_node:bool -> engine -> Compile.compiled -> run_stats
 
 (** Run a compiled program on a prepared engine (single-threaded),
     returning decrypted outputs and the execute wall time. *)
@@ -68,7 +88,7 @@ val read_output : engine -> value -> float array
     compiled programs at reduced (insecure) sizes; the modulus chain is
     kept as selected. *)
 val execute :
-  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> Compile.compiled ->
+  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int -> Compile.compiled ->
   (string * Reference.binding) list -> result
 
 (** Outputs of {!execute} paired with the reference semantics of the

@@ -49,6 +49,21 @@ module Fheap = struct
   let is_empty h = h.size = 0
 end
 
+(* Bottom level (critical-path-to-exit) of every node in [p]: the node's
+   own cost plus the longest cost path through its consumers. Used both
+   for the modeled schedule and as the real parallel executor's ready
+   priority, so measured and modeled orders agree. *)
+let bottom_levels p ~cost =
+  let bottom = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let below =
+        List.fold_left (fun acc c -> Float.max acc (Hashtbl.find bottom c.Ir.id)) 0.0 n.Ir.uses
+      in
+      Hashtbl.replace bottom n.Ir.id (cost n +. below))
+    (Ir.reverse_topological p);
+  bottom
+
 (* Greedy list scheduling of [nodes] (must be closed under in-group
    dependencies described by [parents_in]) with priority = bottom level. *)
 let schedule_nodes nodes ~cost ~workers ~parents_in ~children_in =

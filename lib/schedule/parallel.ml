@@ -1,40 +1,62 @@
 module Ir = Eva_core.Ir
 module Executor = Eva_core.Executor
+module Fheap = Makespan.Fheap
+
+type result = {
+  outputs : (string * float array) list;
+  timings : Executor.timings;
+  peak_live_values : int;
+}
 
 type shared = {
   mutex : Mutex.t;
   cond : Condition.t;
-  ready : Ir.node Queue.t;
+  ready : Ir.node Fheap.t;
   values : (int, Executor.value) Hashtbl.t;
   pending_parents : (int, int) Hashtbl.t;
   remaining_uses : (int, int) Hashtbl.t;
+  mutable peak_live : int;
+  mutable per_node : (int * Ir.op * float) list;
   mutable outstanding : int;  (** instructions not yet finished *)
   mutable failure : exn option;
 }
 
-let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
-  if workers < 1 then invalid_arg "Parallel.execute: workers >= 1";
+let execute_on ?cost ~workers engine compiled =
+  if workers < 1 then invalid_arg "Parallel.execute_on: workers >= 1";
   let p = compiled.Eva_core.Compile.program in
-  let engine = Executor.prepare ?seed ?ignore_security ?log_n compiled bindings in
+  let cost =
+    match cost with
+    | Some c -> c
+    | None ->
+        let costs = Cost.program_costs Cost.default_coefficients compiled in
+        fun n -> Option.value (Hashtbl.find_opt costs n.Ir.id) ~default:0.0
+  in
+  (* Ready list is a max-heap on bottom level (critical path first), the
+     same priority the makespan model schedules by. *)
+  let bottom = Makespan.bottom_levels p ~cost in
   let instructions = List.filter (fun n -> match n.Ir.op with Ir.Input _ -> false | _ -> true) (Ir.topological p) in
   let sh =
     {
       mutex = Mutex.create ();
       cond = Condition.create ();
-      ready = Queue.create ();
+      ready = Fheap.create ();
       values = Hashtbl.create 64;
       pending_parents = Hashtbl.create 64;
       remaining_uses = Hashtbl.create 64;
+      peak_live = 0;
+      per_node = [];
       outstanding = List.length instructions;
       failure = None;
     }
   in
+  let push n = Fheap.push sh.ready (-.Hashtbl.find bottom n.Ir.id) n in
   List.iter (fun (id, v) -> Hashtbl.replace sh.values id v) (Executor.input_values engine);
+  sh.peak_live <- Hashtbl.length sh.values;
   List.iter (fun n -> Hashtbl.replace sh.remaining_uses n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
   List.iter
     (fun n ->
       Hashtbl.replace sh.pending_parents n.Ir.id (Array.length n.Ir.parms);
-      if Array.length n.Ir.parms = 0 then Queue.add n sh.ready)
+      if Array.length n.Ir.parms = 0 then push n)
     instructions;
   (* Input nodes are pre-resolved: unblock their children. *)
   let outputs = ref [] in
@@ -47,7 +69,7 @@ let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
             (fun c ->
               let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
               Hashtbl.replace sh.pending_parents c.Ir.id d;
-              if d = 0 then Queue.add c sh.ready)
+              if d = 0 then push c)
             n.Ir.uses
       | _ -> ())
     p.Ir.all_nodes;
@@ -57,11 +79,11 @@ let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
       Mutex.lock sh.mutex;
       let rec wait () =
         if sh.failure <> None || sh.outstanding = 0 then None
-        else if Queue.is_empty sh.ready then begin
+        else if Fheap.is_empty sh.ready then begin
           Condition.wait sh.cond sh.mutex;
           wait ()
         end
-        else Some (Queue.pop sh.ready)
+        else Some (snd (Fheap.pop sh.ready))
       in
       match wait () with
       | None ->
@@ -70,28 +92,37 @@ let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
       | Some n ->
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find sh.values m.Ir.id) n.Ir.parms) in
           Mutex.unlock sh.mutex;
+          let tn = Unix.gettimeofday () in
           let result = try Ok (Executor.eval_node engine n parents) with e -> Error e in
+          let dt = Unix.gettimeofday () -. tn in
           Mutex.lock sh.mutex;
           (match result with
           | Error e -> sh.failure <- Some e
           | Ok v ->
               Hashtbl.replace sh.values n.Ir.id v;
+              if Hashtbl.length sh.values > sh.peak_live then sh.peak_live <- Hashtbl.length sh.values;
+              sh.per_node <- (n.Ir.id, n.Ir.op, dt) :: sh.per_node;
               sh.outstanding <- sh.outstanding - 1;
               (match n.Ir.op with
               | Ir.Output name -> outputs := (name, v) :: !outputs
               | _ -> ());
-              (* Release parents whose last consumer just ran (keep output
-                 values alive). *)
+              (* Release parents whose last consumer just ran: drop their
+                 stored value so peak memory follows DAG width, not
+                 program size. Output values stay live for decryption. *)
               Array.iter
                 (fun parent ->
                   let r = Hashtbl.find sh.remaining_uses parent.Ir.id - 1 in
-                  Hashtbl.replace sh.remaining_uses parent.Ir.id r)
+                  Hashtbl.replace sh.remaining_uses parent.Ir.id r;
+                  if r = 0 then
+                    match parent.Ir.op with
+                    | Ir.Output _ -> ()
+                    | _ -> Hashtbl.remove sh.values parent.Ir.id)
                 n.Ir.parms;
               List.iter
                 (fun c ->
                   let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
                   Hashtbl.replace sh.pending_parents c.Ir.id d;
-                  if d = 0 then Queue.add c sh.ready)
+                  if d = 0 then push c)
                 n.Ir.uses);
           Condition.broadcast sh.cond;
           Mutex.unlock sh.mutex;
@@ -99,8 +130,30 @@ let execute ?seed ?ignore_security ?log_n ~workers compiled bindings =
     in
     loop ()
   in
+  let t0 = Unix.gettimeofday () in
   let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join domains;
   (match sh.failure with Some e -> raise e | None -> ());
-  List.rev_map (fun (name, v) -> (name, Executor.read_output engine v)) !outputs
+  let execute_seconds = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let outputs = List.rev_map (fun (name, v) -> (name, Executor.read_output engine v)) !outputs in
+  let decrypt_seconds = Unix.gettimeofday () -. t1 in
+  {
+    outputs;
+    timings =
+      {
+        Executor.context_seconds = Executor.engine_context_seconds engine;
+        encrypt_seconds = Executor.engine_encrypt_seconds engine;
+        execute_seconds;
+        decrypt_seconds;
+        per_node = List.sort (fun (a, _, _) (b, _, _) -> compare a b) sh.per_node;
+      };
+    peak_live_values = sh.peak_live;
+  }
+
+let execute ?seed ?ignore_security ?log_n ?cost ~workers compiled bindings =
+  let engine =
+    Executor.prepare ?seed ?ignore_security ?log_n ~encrypt_workers:workers compiled bindings
+  in
+  execute_on ?cost ~workers engine compiled

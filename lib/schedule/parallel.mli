@@ -2,20 +2,41 @@
 
     The paper's executor schedules ready FHE instructions dynamically
     onto threads (built on the Galois runtime); this implementation uses
-    OCaml 5 domains with a shared ready queue. A node becomes ready when
-    all parameters are computed; each instruction only writes its own
-    slot, so workers never conflict (Section 6.1). Ciphertext buffers
-    are released when their last consumer finishes, as in the sequential
-    executor. *)
+    OCaml 5 domains with a shared ready list ordered by bottom level
+    (critical path first — the same priority {!Makespan.simulate}
+    models, so measured and modeled schedules agree). A node becomes
+    ready when all parameters are computed; each instruction only writes
+    its own slot, so workers never conflict (Section 6.1). Ciphertext
+    buffers are released as soon as their last consumer finishes, so
+    peak live values track DAG width rather than program size; the
+    high-water mark is reported. *)
+
+type result = {
+  outputs : (string * float array) list;
+  timings : Eva_core.Executor.timings;  (** same record the sequential path returns *)
+  peak_live_values : int;  (** high-water mark of simultaneously stored values *)
+}
+
+(** [execute_on ~workers engine c] evaluates an already-prepared engine
+    (context, keys and encrypted inputs reused across calls). [cost]
+    overrides the ready-priority cost model (default: the analytic
+    {!Cost} model at the compiled parameters). *)
+val execute_on :
+  ?cost:(Eva_core.Ir.node -> float) ->
+  workers:int ->
+  Eva_core.Executor.engine ->
+  Eva_core.Compile.compiled ->
+  result
 
 (** [execute ~workers c bindings] behaves like
     {!Eva_core.Executor.execute} but evaluates independent instructions
-    on [workers] domains. *)
+    on [workers] domains (input encryption included). *)
 val execute :
   ?seed:int ->
   ?ignore_security:bool ->
   ?log_n:int ->
+  ?cost:(Eva_core.Ir.node -> float) ->
   workers:int ->
   Eva_core.Compile.compiled ->
   (string * Eva_core.Reference.binding) list ->
-  (string * float array) list
+  result

@@ -115,7 +115,7 @@ let test_parallel_matches_sequential () =
       let par = Parallel.execute ~seed:3 ~ignore_security:true ~log_n:10 ~workers c bindings in
       List.iter
         (fun (name, v) ->
-          let w = List.assoc name par in
+          let w = List.assoc name par.Parallel.outputs in
           Array.iteri
             (fun i x ->
               if Float.abs (x -. w.(i)) > 1e-9 then
@@ -123,6 +123,73 @@ let test_parallel_matches_sequential () =
             v)
         seq.Executor.outputs)
     [ 1; 2; 4 ]
+
+(* Random DAGs x workers: the parallel executor must agree with the
+   sequential one bit for bit — same prepared inputs, same per-node
+   float arithmetic, only the schedule differs. *)
+let test_parallel_random_dags_match_sequential () =
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let b = B.create ~vec_size:16 () in
+      let x = B.input b ~scale:30 "x" in
+      let pool = ref [ x ] in
+      for _ = 1 to 25 do
+        let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+        let e =
+          match Random.State.int st 4 with
+          | 0 -> B.add (pick ()) (pick ())
+          | 1 -> B.sub (pick ()) (pick ())
+          | 2 -> B.mul (pick ()) (B.const_scalar b ~scale:10 0.5)
+          | _ -> B.rotate_left (pick ()) 1
+        in
+        pool := e :: !pool
+      done;
+      B.output b "o" ~scale:30 (List.hd !pool);
+      let c = Compile.run (B.program b) in
+      let bindings = [ ("x", Reference.Vec (Array.init 16 (fun i -> Float.sin (float_of_int i) /. 4.0))) ] in
+      let seq = Executor.execute ~seed:7 ~ignore_security:true ~log_n:10 c bindings in
+      List.iter
+        (fun workers ->
+          let par = Parallel.execute ~seed:7 ~ignore_security:true ~log_n:10 ~workers c bindings in
+          List.iter
+            (fun (name, v) ->
+              let w = List.assoc name par.Parallel.outputs in
+              Array.iteri
+                (fun i xv ->
+                  if xv <> w.(i) then
+                    Alcotest.failf "seed=%d workers=%d %s slot %d: %h vs %h" seed workers name i xv w.(i))
+                v)
+            seq.Executor.outputs)
+        [ 1; 2; 3; 8 ])
+    [ 11; 42 ]
+
+(* Regression for the value-release leak: on a 200-deep sequential
+   chain, peak simultaneously-live values must track DAG width (a small
+   constant), not the node count, on both executors. *)
+let test_release_keeps_peak_live_small () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let rec go e d = if d = 0 then e else go (B.rotate_left e 1) (d - 1) in
+  B.output b "out" ~scale:30 (go x 200);
+  let c = Compile.run (B.program b) in
+  let nodes = List.length c.Compile.program.Ir.all_nodes in
+  Alcotest.(check bool) "chain is deep" true (nodes > 200);
+  let bindings = [ ("x", Reference.Vec (Array.init 16 float_of_int)) ] in
+  List.iter
+    (fun workers ->
+      let r = Parallel.execute ~ignore_security:true ~log_n:10 ~workers c bindings in
+      if not (r.Parallel.peak_live_values < 16) then
+        Alcotest.failf "workers=%d: peak live %d should be O(width), nodes=%d" workers
+          r.Parallel.peak_live_values nodes;
+      Alcotest.(check int)
+        (Printf.sprintf "per-node timings cover every instruction (workers=%d)" workers)
+        (nodes - 1) (* all nodes except the single input *)
+        (List.length r.Parallel.timings.Executor.per_node))
+    [ 1; 4 ];
+  let e = Executor.prepare ~ignore_security:true ~log_n:10 c bindings in
+  let s = Executor.run_graph e c in
+  Alcotest.(check bool) "sequential peak live O(width)" true (s.Executor.peak_live_values < 16)
 
 let test_parallel_propagates_failure () =
   (* A hand-built invalid program (scale mismatch) must raise, not hang. *)
@@ -138,6 +205,29 @@ let test_parallel_propagates_failure () =
   Alcotest.(check bool) "raises" true
     (try
        ignore (Parallel.execute ~ignore_security:true ~log_n:10 ~workers:2 compiled bindings);
+       false
+     with Eva_ckks.Eval.Scale_mismatch _ -> true)
+
+(* A failure in the middle of the graph — with healthy work scheduled
+   both before and after it — must propagate out of every worker
+   without deadlocking the rest. *)
+let test_parallel_midgraph_failure_no_deadlock () =
+  let p = Ir.create_program ~vec_size:16 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let y = Ir.add_node ~decl_scale:40 p (Ir.Input (Ir.Cipher, "y")) [] in
+  let rots = List.init 6 (fun i -> Ir.add_node p (Ir.Rotate_left (i + 1)) [ x ]) in
+  let bad = Ir.add_node p Ir.Add [ x; y ] in
+  (* scale mismatch: raises at eval *)
+  let after = Ir.add_node p Ir.Add [ bad; bad ] in
+  let tail = List.fold_left (fun acc r -> Ir.add_node p Ir.Add [ acc; r ]) (List.hd rots) (List.tl rots) in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "good") [ tail ]);
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "poisoned") [ after ]);
+  let params = Eva_core.Params.select p in
+  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60 } in
+  let bindings = [ ("x", Reference.Vec [| 0.5 |]); ("y", Reference.Vec [| 0.5 |]) ] in
+  Alcotest.(check bool) "raises without deadlock" true
+    (try
+       ignore (Parallel.execute ~ignore_security:true ~log_n:10 ~workers:4 compiled bindings);
        false
      with Eva_ckks.Eval.Scale_mismatch _ -> true)
 
@@ -185,7 +275,10 @@ let () =
       ( "parallel executor",
         [
           Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "random DAGs match exactly" `Quick test_parallel_random_dags_match_sequential;
+          Alcotest.test_case "release keeps peak live small" `Quick test_release_keeps_peak_live_small;
           Alcotest.test_case "propagates failure" `Quick test_parallel_propagates_failure;
+          Alcotest.test_case "mid-graph failure no deadlock" `Quick test_parallel_midgraph_failure_no_deadlock;
         ] );
       ("property", [ qt prop_makespan_bounds_random ]);
     ]
