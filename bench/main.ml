@@ -561,6 +561,75 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Kernel microbenchmarks: the RNS hot path itself                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by the driver when `--smoke` is passed: tiny degree, one
+   iteration per kernel, so CI catches kernels that crash or mis-reduce
+   without paying for a real measurement run. *)
+let smoke = ref false
+
+let kernels () =
+  header "Kernel microbenchmarks: NTT, pointwise mul, key switch (ns/op, minor words/op)";
+  let module Ctx = Eva_ckks.Context in
+  let module Keys = Eva_ckks.Keys in
+  let module Ntt = Eva_rns.Ntt in
+  let module Primes = Eva_rns.Primes in
+  let module Rp = Eva_poly.Rns_poly in
+  Printf.printf
+    "Each kernel is timed over enough iterations for ~0.2s of work;\n\
+     'words' is Gc minor words allocated per op (allocation discipline\n\
+     target: in-place kernels allocate nothing).\n";
+  let time_one ?(budget = 0.2) f =
+    (* One warm-up call doubles as calibration. *)
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let once = Unix.gettimeofday () -. t0 in
+    let iters = if !smoke then 1 else max 1 (min 2000 (int_of_float (budget /. Float.max once 1e-7))) in
+    (* allocated_bytes counts minor + major allocation, so arrays larger
+       than the minor-heap cutoff (every row at bench sizes) are seen. *)
+    let w0 = Gc.allocated_bytes () in
+    let t1 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t1 in
+    let dw = (Gc.allocated_bytes () -. w0) /. 8.0 in
+    (dt /. float_of_int iters, dw /. float_of_int iters)
+  in
+  let report name (secs, words) = Printf.printf "  %-22s %14.0f ns/op %12.0f words/op\n" name (secs *. 1e9) words in
+  let log_ns = if !smoke then [ 8 ] else [ 12; 13; 14; 15 ] in
+  List.iter
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      Printf.printf "\nN = 2^%d:\n" log_n;
+      let st = Random.State.make [| 17; log_n |] in
+      (* Single-prime NTT at a full-width (30-bit) modulus. *)
+      let p = Primes.gen ~bits:30 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
+      let tb = Ntt.make ~n p in
+      let buf = Array.init n (fun _ -> Random.State.int st p) in
+      report "ntt_forward" (time_one (fun () -> Ntt.forward tb buf));
+      report "ntt_inverse" (time_one (fun () -> Ntt.inverse tb buf));
+      (* Pointwise product over a 3-prime chain (functional and in the
+         accumulating form the evaluator uses). *)
+      let tables =
+        Array.of_list (List.map (fun p -> Ntt.make ~n p) (Primes.gen_chain ~bit_sizes:[ 30; 30; 30 ] ~two_n:(2 * n)))
+      in
+      let a = Rp.sample_uniform st ~tables and b = Rp.sample_uniform st ~tables in
+      let acc = Rp.zero ~tables in
+      report "pointwise_mul r=3" (time_one (fun () -> ignore (Rp.mul a b)));
+      report "pointwise_mul_acc r=3" (time_one (fun () -> Rp.mul_acc acc a b));
+      (* Key switch (relinearization-shaped): 3x60-bit data chain. *)
+      let ctx = Ctx.make ~ignore_security:true ~n ~data_bits:[ 60; 60; 60 ] ~special_bits:[ 60 ] () in
+      let rng = Random.State.make [| 23; log_n |] in
+      let _, ks = Keys.generate ctx rng ~galois_elts:[] in
+      let level = Ctx.chain_length ctx in
+      let c = Rp.sample_uniform rng ~tables:(Ctx.tables_for_level ctx level) in
+      report "key_switch r=6+2"
+        (time_one ~budget:0.4 (fun () -> ignore (Keys.switch ctx ks.Keys.relin ~level c))))
+    log_ns
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -576,21 +645,31 @@ let experiments =
     ("figure9", figure9);
     ("ablation", ablation);
     ("micro", micro);
+    ("kernels", kernels);
   ]
+
+(* Every experiment reports its wall time in one uniform `name: X.Xs`
+   line so EXPERIMENTS.md deltas are comparable across PRs. *)
+let run_experiment (name, f) =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "\n%s: %.1fs\n" name (Unix.gettimeofday () -. t0)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  smoke := List.mem "--smoke" args;
+  let args = List.filter (fun a -> a <> "--smoke") args in
   match args with
   | [] | [ "all" ] ->
       let t0 = Unix.gettimeofday () in
-      List.iter (fun (_, f) -> f ()) experiments;
+      List.iter run_experiment experiments;
       Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
   | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment (name, f)
           | None ->
               Printf.eprintf "unknown experiment %S (try 'list')\n" name;
               exit 1)

@@ -32,18 +32,24 @@ let encrypt ctx ks rng pt =
   let u = Rns_poly.sample_ternary rng ~tables in
   let e0 = Rns_poly.sample_error rng ~tables in
   let e1 = Rns_poly.sample_error rng ~tables in
-  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul pk_b u) e0) pt.poly in
-  let c1 = Rns_poly.add (Rns_poly.mul pk_a u) e1 in
+  (* The products are fresh, so the error and message fold in place. *)
+  let c0 = Rns_poly.mul pk_b u in
+  Rns_poly.add_inplace c0 e0;
+  Rns_poly.add_inplace c0 pt.poly;
+  let c1 = Rns_poly.mul pk_a u in
+  Rns_poly.add_inplace c1 e1;
   { polys = [| c0; c1 |]; level = pt.pt_level; scale = pt.pt_scale }
 
 let decrypt_poly ctx secret ct =
   let s = Keys.secret_at_level ctx secret ~level:ct.level in
-  (* m = c0 + c1 s + c2 s^2 + ... *)
-  let acc = ref ct.polys.(Array.length ct.polys - 1) in
+  (* m = c0 + c1 s + c2 s^2 + ... (Horner); the accumulator is a local
+     copy, so every step mutates it rather than allocating. *)
+  let acc = Rns_poly.copy ct.polys.(Array.length ct.polys - 1) in
   for i = Array.length ct.polys - 2 downto 0 do
-    acc := Rns_poly.add (Rns_poly.mul !acc s) ct.polys.(i)
+    Rns_poly.mul_inplace acc s;
+    Rns_poly.add_inplace acc ct.polys.(i)
   done;
-  !acc
+  acc
 
 let decrypt ctx ks ct = Context.decode ctx ~scale:ct.scale (decrypt_poly ctx ks ct)
 let decrypt_complex ctx ks ct = Context.decode_complex ctx ~scale:ct.scale (decrypt_poly ctx ks ct)
@@ -116,7 +122,13 @@ let multiply_plain ct pt =
 let relinearize ctx ks ct =
   if size ct <> 3 then raise (Size_error (Printf.sprintf "relinearize: size %d, need 3" (size ct)));
   let d0, d1 = Keys.switch ctx ks.Keys.relin ~level:ct.level ct.polys.(2) in
-  { ct with polys = [| Rns_poly.add ct.polys.(0) d0; Rns_poly.add ct.polys.(1) d1 |] }
+  (* [d0]/[d1] are owned by this call (fresh out of the key switch), so
+     the original ciphertext halves add into them; [ct.polys] may be
+     shared with other consumers in the dataflow graph and is not
+     mutated. *)
+  Rns_poly.add_inplace d0 ct.polys.(0);
+  Rns_poly.add_inplace d1 ct.polys.(1);
+  { ct with polys = [| d0; d1 |] }
 
 let rescale ctx ct =
   if ct.level <= 1 then raise (Level_mismatch "rescale: already at the last element");
@@ -140,7 +152,9 @@ let apply_galois ctx ks ct g =
   (* Key switching consumes coefficients; skip the NTT round trip. *)
   let c1g = Rns_poly.galois_to_coeff ct.polys.(1) g in
   let d0, d1 = Keys.switch ctx key ~level:ct.level c1g in
-  { ct with polys = [| Rns_poly.add c0g d0; d1 |] }
+  (* [c0g] is a fresh permutation output, safe to mutate. *)
+  Rns_poly.add_inplace c0g d0;
+  { ct with polys = [| c0g; d1 |] }
 
 let rotate ctx ks ct steps =
   let steps = ((steps mod Context.slots ctx) + Context.slots ctx) mod Context.slots ctx in

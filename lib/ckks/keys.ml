@@ -97,16 +97,24 @@ let public_of_parts ~b ~a = { pk_b = b; pk_a = a }
 (* The integer value of a digit (the residues of one modulus element),
    via Garner within the pair: D = ra + qa * ((rb - ra) / qa mod qb),
    which fits a native int (below 2^61). Exact — no approximate base
-   extension needed. For one-prime elements D is the residue itself. *)
-let digit_values ~full ~lo ~count rows n =
+   extension needed. For one-prime elements D is the residue itself
+   (the row is returned as-is; callers only read). Two-prime digits are
+   written into [buf] so one scratch array serves every element. *)
+let digit_values_into ~full ~lo ~count rows buf =
   if count = 1 then rows.(lo)
   else begin
     let qa = Ntt.modulus full.(lo) and qb = Ntt.modulus full.(lo + 1) in
+    let br_b = Ntt.barrett full.(lo + 1) in
     let inv_qa = Modarith.inv (qa mod qb) qb in
+    let inv_s = Modarith.shoup inv_qa qb in
     let ra = rows.(lo) and rb = rows.(lo + 1) in
-    Array.init n (fun k ->
-        let t = Modarith.mul (Modarith.sub (rb.(k) mod qb) (ra.(k) mod qb) qb) inv_qa qb in
-        ra.(k) + (qa * t))
+    for k = 0 to Array.length buf - 1 do
+      (* ra.(k) < qa < 2^30, so the 31-bit Barrett constant reduces it. *)
+      let ra_b = Modarith.barrett_reduce31 br_b ra.(k) in
+      let t = Modarith.mul_shoup (Modarith.sub rb.(k) ra_b qb) inv_qa inv_s qb in
+      buf.(k) <- ra.(k) + (qa * t)
+    done;
+    buf
   end
 
 let switch ctx key ~level c =
@@ -116,7 +124,6 @@ let switch ctx key ~level c =
   let tm = Array.length target in
   let nd = Context.num_data_primes ctx in
   let full = Context.full_tables ctx in
-  let pick_rows rows = Array.init tm (fun j -> if j < m then rows.(j) else rows.(nd + (j - m))) in
   let acc0 = Rns_poly.zero ~tables:target in
   let acc1 = Rns_poly.zero ~tables:target in
   let w = if Rns_poly.is_ntt c then Rns_poly.copy c else c in
@@ -124,20 +131,35 @@ let switch ctx key ~level c =
   let w_rows = Rns_poly.rows w in
   let n = Rns_poly.degree c in
   let ranges = Context.element_prime_ranges ctx in
+  (* Scratch shared across elements: the digit's residue rows (mutated in
+     place by the forward NTT, then fully overwritten for the next
+     element), the Garner buffer, and the key-row pointer arrays. *)
+  let digit_rows = Array.init tm (fun _ -> Array.make n 0) in
+  let d_buf = Array.make n 0 in
+  let kb_rows = Array.make tm [||] and ka_rows = Array.make tm [||] in
   Array.iteri
     (fun e (lo, count) ->
       if lo + count <= m then begin
-        let d = digit_values ~full ~lo ~count w_rows n in
-        let digit_rows =
-          Array.init tm (fun j ->
-              let p = Ntt.modulus target.(j) in
-              if j >= lo && j < lo + count then Array.copy w_rows.(j)
-              else Array.init n (fun k -> d.(k) mod p))
-        in
+        let d = digit_values_into ~full ~lo ~count w_rows d_buf in
+        for j = 0 to tm - 1 do
+          let row = digit_rows.(j) in
+          if j >= lo && j < lo + count then Array.blit w_rows.(j) 0 row 0 n
+          else begin
+            let p = Ntt.modulus target.(j) in
+            for k = 0 to n - 1 do
+              row.(k) <- d.(k) mod p
+            done
+          end
+        done;
         let digit = Rns_poly.of_coeff_residues ~tables:target digit_rows in
         Rns_poly.to_ntt digit;
-        let kb = Rns_poly.of_ntt_rows ~tables:target (pick_rows key.kb.(e)) in
-        let ka = Rns_poly.of_ntt_rows ~tables:target (pick_rows key.ka.(e)) in
+        for j = 0 to tm - 1 do
+          let src = if j < m then j else nd + (j - m) in
+          kb_rows.(j) <- key.kb.(e).(src);
+          ka_rows.(j) <- key.ka.(e).(src)
+        done;
+        let kb = Rns_poly.of_ntt_rows ~tables:target kb_rows in
+        let ka = Rns_poly.of_ntt_rows ~tables:target ka_rows in
         Rns_poly.mul_acc acc0 digit kb;
         Rns_poly.mul_acc acc1 digit ka
       end)

@@ -93,9 +93,47 @@ let neg a =
   in
   { a with rows }
 
+(* Pointwise products reduce with the tables' precomputed Barrett
+   constants (both factors vary, so Shoup does not apply); the constants
+   are hoisted out of the inner loop so no hot instruction divides. *)
 let mul a b =
   if not (a.ntt && b.ntt) then invalid_arg "Rns_poly.mul: operands must be in NTT form";
-  map2 "mul" (fun x y p -> x * y mod p) a b
+  check_compat "mul" a b;
+  let rows =
+    Array.mapi
+      (fun i ra ->
+        let { Modarith.bp; bk; bmu; _ } = Ntt.barrett a.tables.(i) in
+        let rb = b.rows.(i) in
+        let n = Array.length ra in
+        let out = Array.make n 0 in
+        for j = 0 to n - 1 do
+          let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
+          let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
+          let r = z - (q * bp) - bp in
+          let r = r + (bp land (r asr 62)) - bp in
+          Array.unsafe_set out j (r + (bp land (r asr 62)))
+        done;
+        out)
+      a.rows
+  in
+  { tables = a.tables; rows; ntt = true }
+
+let mul_inplace a b =
+  if not (a.ntt && b.ntt) then invalid_arg "Rns_poly.mul_inplace: operands must be in NTT form";
+  check_compat "mul_inplace" a b;
+  Array.iteri
+    (fun i ra ->
+      let { Modarith.bp; bk; bmu; _ } = Ntt.barrett a.tables.(i) in
+      let rb = b.rows.(i) in
+      let n = Array.length ra in
+      for j = 0 to n - 1 do
+        let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
+        let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
+        let r = z - (q * bp) - bp in
+        let r = r + (bp land (r asr 62)) - bp in
+        Array.unsafe_set ra j (r + (bp land (r asr 62)))
+      done)
+    a.rows
 
 let iter2_inplace op f a b =
   check_compat op a b;
@@ -118,22 +156,37 @@ let mul_acc acc a b =
   check_compat "mul_acc" acc a;
   Array.iteri
     (fun i racc ->
-      let p = Ntt.modulus acc.tables.(i) in
+      let { Modarith.bp; bk; bmu; _ } = Ntt.barrett acc.tables.(i) in
       let ra = a.rows.(i) and rb = b.rows.(i) in
       let n = Array.length racc in
       for j = 0 to n - 1 do
-        let prod = Array.unsafe_get ra j * Array.unsafe_get rb j mod p in
-        Array.unsafe_set racc j (Modarith.add (Array.unsafe_get racc j) prod p)
+        let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
+        let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
+        let r = z - (q * bp) - bp in
+        let r = r + (bp land (r asr 62)) - bp in
+        let r = r + (bp land (r asr 62)) in
+        let s = Array.unsafe_get racc j + r - bp in
+        Array.unsafe_set racc j (s + (bp land (s asr 62)))
       done)
     acc.rows
 
+(* The reduced scalar is fixed per row: a Shoup multiply. *)
 let mul_scalar_int t k =
   let rows =
     Array.mapi
       (fun i row ->
         let p = Ntt.modulus t.tables.(i) in
         let kr = Modarith.reduce k p in
-        Array.map (fun x -> x * kr mod p) row)
+        let ks = Modarith.shoup kr p in
+        let n = Array.length row in
+        let out = Array.make n 0 in
+        for j = 0 to n - 1 do
+          let x = Array.unsafe_get row j in
+          let q = (x * ks) lsr 31 in
+          let r = (x * kr) - (q * p) - p in
+          Array.unsafe_set out j (r + (p land (r asr 62)))
+        done;
+        out)
       t.rows
   in
   { t with rows }
@@ -149,7 +202,10 @@ let drop_many t count =
   { t with tables = Array.sub t.tables 0 (k - count); rows = Array.sub t.rows 0 (k - count) }
 
 (* Divide the coefficient-form rows by the last prime with centered
-   rounding; mutates [rows] in place and returns one fewer row. *)
+   rounding; mutates [rows] in place and returns one fewer row. The
+   inner loop is division-free: the last prime's residue reduces with
+   the row's Barrett constant and the fixed inverse multiplies via its
+   Shoup companion. *)
 let rescale_rows_once tables rows =
   let k = Array.length rows in
   let p_last = Ntt.modulus tables.(k - 1) in
@@ -158,14 +214,28 @@ let rescale_rows_once tables rows =
   let n = Array.length last in
   for i = 0 to k - 2 do
     let p = Ntt.modulus tables.(i) in
-    let inv_last = Modarith.inv (p_last mod p) p in
+    let { Modarith.bp; bmu31; _ } = Ntt.barrett tables.(i) in
+    let p_last_mod = p_last mod p in
+    let inv_last = Modarith.inv p_last_mod p in
+    let inv_s = Modarith.shoup inv_last p in
     let row = rows.(i) in
     for j = 0 to n - 1 do
       (* Centered remainder keeps the rounding error at most 1/2. *)
       let c_last = Array.unsafe_get last j in
-      let centered = if c_last > half then c_last - p_last else c_last in
-      let diff = Modarith.sub (Array.unsafe_get row j) (Modarith.reduce centered p) p in
-      Array.unsafe_set row j (diff * inv_last mod p)
+      let q = (c_last * bmu31) lsr 31 in
+      let v = c_last - (q * bp) - bp in
+      let v = v + (bp land (v asr 62)) - bp in
+      let v = v + (bp land (v asr 62)) in
+      (* Subtract (p_last mod p) exactly when the centered remainder is
+         negative, again branchless: [sel] is -1 iff c_last > half. *)
+      let sel = (half - c_last) asr 62 in
+      let v = v - (p_last_mod land sel) in
+      let v = v + (p land (v asr 62)) in
+      let diff = Array.unsafe_get row j - v in
+      let diff = diff + (p land (diff asr 62)) in
+      let q = (diff * inv_s) lsr 31 in
+      let r = (diff * inv_last) - (q * p) - p in
+      Array.unsafe_set row j (r + (p land (r asr 62)))
     done
   done;
   Array.sub rows 0 (k - 1)
@@ -188,7 +258,7 @@ let rescale_last t = rescale_many t 1
 
 let galois_rows t g =
   let n = degree t in
-  let two_n = 2 * n in
+  let mask = (2 * n) - 1 in
   if g land 1 = 0 then invalid_arg "Rns_poly.galois: even exponent";
   let w = copy t in
   to_coeff w;
@@ -198,7 +268,7 @@ let galois_rows t g =
       let out = Array.make n 0 in
       for j = 0 to n - 1 do
         if row.(j) <> 0 then begin
-          let e = j * g mod two_n in
+          let e = j * g land mask in
           if e < n then out.(e) <- Modarith.add out.(e) row.(j) p
           else out.(e - n) <- Modarith.sub out.(e - n) row.(j) p
         end
@@ -209,9 +279,20 @@ let galois_rows t g =
 let galois t g =
   if t.ntt then begin
     (* Evaluation-domain fast path: a pure slot permutation, no NTT round
-       trip (validated against the coefficient path by property test). *)
+       trip (validated against the coefficient path by property test).
+       The permutation is cached inside Ntt keyed by (n, g). *)
     let perm = Ntt.galois_permutation t.tables.(0) g in
-    let rows = Array.map (fun row -> Array.map (fun j -> row.(j)) perm) t.rows in
+    let n = degree t in
+    let rows =
+      Array.map
+        (fun row ->
+          let out = Array.make n 0 in
+          for j = 0 to n - 1 do
+            Array.unsafe_set out j (Array.unsafe_get row (Array.unsafe_get perm j))
+          done;
+          out)
+        t.rows
+    in
     { tables = t.tables; rows; ntt = true }
   end
   else { tables = t.tables; rows = galois_rows t g; ntt = false }

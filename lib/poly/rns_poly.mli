@@ -1,7 +1,8 @@
 (** Polynomials in Z_q[X]/(X^N + 1) in double-CRT (RNS x NTT) form.
 
     The coefficient modulus q is a product of distinct NTT-friendly primes
-    below 2^31. A polynomial stores one residue vector per prime and a flag
+    below 2^30 (so the division-free Shoup/Barrett kernels' beta = 2^31
+    quotient estimates fit native 63-bit ints). A polynomial stores one residue vector per prime and a flag
     saying whether the vectors are in coefficient or evaluation (NTT) form.
     Binary operations require both operands to share the same prime chain
     (compared structurally), mirroring the "same coefficient modulus"
@@ -52,6 +53,13 @@ val mul : t -> t -> t
 
 val add_inplace : t -> t -> unit
 val sub_inplace : t -> t -> unit
+
+(** [mul_inplace a b] sets [a] to the pointwise product [a * b] (both
+    NTT form). The caller must own [a]'s rows: in a dataflow executor a
+    ciphertext value may be shared between consumers, so only buffers
+    created locally (a fresh product, a key-switch output) are safe to
+    overwrite. *)
+val mul_inplace : t -> t -> unit
 
 (** [mul_acc acc a b] adds [a * b] into [acc] (all NTT form). *)
 val mul_acc : t -> t -> t -> unit

@@ -9,19 +9,59 @@ let sub a b m =
 let neg a m = if a = 0 then 0 else m - a
 let mul a b m = a * b mod m
 
-(* Barrett-style reduction via a floating-point reciprocal: for
-   0 <= a, b < m < 2^31 the quotient estimate is off by at most 2, fixed
-   with conditional adjustments. Division is far slower than this on
-   current hardware; the NTT and pointwise kernels use it. *)
-let mul_fast a b ~m ~inv_m =
-  let x = a * b in
-  let q = int_of_float (float_of_int a *. float_of_int b *. inv_m) in
-  let r = x - (q * m) in
-  let r = if r < 0 then r + m else r in
-  let r = if r < 0 then r + m else r in
-  if r >= m then (if r - m >= m then r - m - m else r - m) else r
+(* ------------------------------------------------------------------ *)
+(* Division-free multiplication.                                       *)
+(*                                                                     *)
+(* Both primitives below assume the modulus is below 2^30 (the RNS     *)
+(* substrate's prime generator caps at 30 bits), which is what lets    *)
+(* every intermediate product fit OCaml's 63-bit native int.           *)
+(* ------------------------------------------------------------------ *)
 
-let inv_float m = 1.0 /. float_of_int m
+(* Shoup multiplication: when one factor [w] is fixed (an NTT twiddle, a
+   rescale inverse, a scalar), precompute w' = floor(w * 2^31 / p). Then
+   for any x, q = floor(x * w' / 2^31) underestimates floor(x * w / p)
+   by less than 1 + x/2^31, so for x < 2p < 2^31 the remainder
+   x*w - q*p lands in [0, 2p): one conditional subtraction fully
+   reduces, or the caller can stay lazy in [0, 2p). *)
+let shoup w p =
+  if w < 0 || w >= p then invalid_arg "Modarith.shoup: factor out of [0, p)";
+  (w lsl 31) / p
+
+let mul_shoup_lazy x w w_shoup p =
+  let q = (x * w_shoup) lsr 31 in
+  (x * w) - (q * p)
+
+let mul_shoup x w w_shoup p =
+  let r = mul_shoup_lazy x w w_shoup p in
+  if r >= p then r - p else r
+
+(* Barrett reduction: when both factors vary (pointwise ciphertext
+   products), precompute mu = floor(2^2k / p) with 2^(k-1) <= p < 2^k.
+   The HAC 14.42 quotient estimate floor((z >> (k-1)) * mu >> (k+1)) is
+   below the true quotient by at most 2 for any z < 2^2k, so two
+   conditional subtractions reduce fully. [bmu31] is a second constant
+   floor(2^31 / p) for reducing arbitrary values below 2^31 (used where
+   an input is known 31-bit but not a product of reduced factors). *)
+type barrett = { bp : int; bk : int; bmu : int; bmu31 : int }
+
+let barrett p =
+  if p < 2 || p >= 1 lsl 30 then invalid_arg "Modarith.barrett: modulus out of [2, 2^30)";
+  let rec bits k = if p < 1 lsl k then k else bits (k + 1) in
+  let bk = bits 1 in
+  { bp = p; bk; bmu = (1 lsl (2 * bk)) / p; bmu31 = (1 lsl 31) / p }
+
+let barrett_mul br x y =
+  let z = x * y in
+  let q = ((z lsr (br.bk - 1)) * br.bmu) lsr (br.bk + 1) in
+  let r = z - (q * br.bp) in
+  let r = if r >= br.bp then r - br.bp else r in
+  if r >= br.bp then r - br.bp else r
+
+let barrett_reduce31 br z =
+  let q = (z * br.bmu31) lsr 31 in
+  let r = z - (q * br.bp) in
+  let r = if r >= br.bp then r - br.bp else r in
+  if r >= br.bp then r - br.bp else r
 
 let pow a e m =
   let rec go acc a e =

@@ -15,13 +15,32 @@ val neg : int -> int -> int
 (** [mul a b m] for [0 <= a, b < m < 2^31]. *)
 val mul : int -> int -> int -> int
 
-(** [mul_fast a b ~m ~inv_m] equals [mul a b m] given
-    [inv_m = inv_float m]; it replaces hardware division with a
-    floating-point reciprocal plus correction and is what the NTT and
-    pointwise kernels use. *)
-val mul_fast : int -> int -> m:int -> inv_m:float -> int
+(** [shoup w p] is the Shoup companion constant [floor (w * 2^31 / p)]
+    for a fixed factor [0 <= w < p < 2^30]. *)
+val shoup : int -> int -> int
 
-val inv_float : int -> float
+(** [mul_shoup_lazy x w w_shoup p] is congruent to [x * w] modulo [p]
+    and lies in [0, 2p), given [x < 2p], [w < p < 2^30] and
+    [w_shoup = shoup w p]. The workhorse of the lazy-reduction NTT
+    butterflies: no division, no full correction. *)
+val mul_shoup_lazy : int -> int -> int -> int -> int
+
+(** [mul_shoup x w w_shoup p] is [x * w mod p] (fully reduced), same
+    preconditions as {!mul_shoup_lazy}. *)
+val mul_shoup : int -> int -> int -> int -> int
+
+(** Precomputed Barrett constants for a modulus in [2, 2^30); the record
+    is exposed so hot loops can hoist the field loads. *)
+type barrett = { bp : int; bk : int; bmu : int; bmu31 : int }
+
+val barrett : int -> barrett
+
+(** [barrett_mul br x y] is [x * y mod br.bp] for [0 <= x, y < br.bp],
+    division-free (both factors may vary, unlike {!mul_shoup}). *)
+val barrett_mul : barrett -> int -> int -> int
+
+(** [barrett_reduce31 br z] is [z mod br.bp] for any [0 <= z < 2^31]. *)
+val barrett_reduce31 : barrett -> int -> int
 
 (** [pow a e m] for [e >= 0]. *)
 val pow : int -> int -> int -> int

@@ -2,12 +2,17 @@ type table = {
   p : int;
   n : int;
   psi_rev : int array; (* psi^bitrev(i), i < n *)
+  psi_shoup : int array; (* Shoup companions of psi_rev *)
   psi_inv_rev : int array;
+  psi_inv_shoup : int array;
   n_inv : int;
+  n_inv_shoup : int;
+  br : Modarith.barrett;
 }
 
 let modulus t = t.p
 let size t = t.n
+let barrett t = t.br
 
 let bit_reverse ~bits i =
   let r = ref 0 in
@@ -18,6 +23,7 @@ let bit_reverse ~bits i =
 
 let make ~n p =
   if n land (n - 1) <> 0 || n < 2 then invalid_arg "Ntt.make: n must be a power of two";
+  if p >= 1 lsl 30 then invalid_arg "Ntt.make: modulus must be below 2^30";
   let bits =
     let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
     go n 0
@@ -35,17 +41,28 @@ let make ~n p =
     done;
     r
   in
-  { p; n; psi_rev = pow_table psi; psi_inv_rev = pow_table psi_inv; n_inv = Modarith.inv n p }
+  let psi_rev = pow_table psi and psi_inv_rev = pow_table psi_inv in
+  let n_inv = Modarith.inv n p in
+  {
+    p;
+    n;
+    psi_rev;
+    psi_shoup = Array.map (fun w -> Modarith.shoup w p) psi_rev;
+    psi_inv_rev;
+    psi_inv_shoup = Array.map (fun w -> Modarith.shoup w p) psi_inv_rev;
+    n_inv;
+    n_inv_shoup = Modarith.shoup n_inv p;
+    br = Modarith.barrett p;
+  }
 
 (* The CT/GS butterfly arrangement above evaluates the polynomial at
    psi^(2*bitrev(j)+1) in output slot j. The automorphism X -> X^g maps
    the evaluation at zeta to the evaluation at zeta^g, which is another
    point of the same set; the permutation below sends each output slot to
    the slot holding its g-th power's evaluation. *)
-let galois_permutation t g =
+let compute_galois_permutation t g =
   let n = t.n in
   let two_n = 2 * n in
-  if g land 1 = 0 then invalid_arg "Ntt.galois_permutation: even exponent";
   let bits =
     let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
     go n 0
@@ -57,55 +74,102 @@ let galois_permutation t g =
   done;
   Array.init n (fun j ->
       let e = (2 * bit_reverse ~bits j) + 1 in
-      let e' = e * g mod two_n in
+      let e' = e * g land (two_n - 1) in
       slot_of_exp.(e'))
 
-(* Cooley-Tukey, decimation in time, with merged psi powers. *)
+(* The permutation depends only on (n, g), not the prime, and Eval.rotate
+   asks for it once per ciphertext op, so it is cached. The mutex makes
+   the cache safe under the parallel executor's worker domains. *)
+let perm_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 16
+let perm_mutex = Mutex.create ()
+
+let galois_permutation t g =
+  if g land 1 = 0 then invalid_arg "Ntt.galois_permutation: even exponent";
+  let key = (t.n, g) in
+  Mutex.lock perm_mutex;
+  let perm =
+    match Hashtbl.find_opt perm_cache key with
+    | Some perm -> perm
+    | None ->
+        let perm = compute_galois_permutation t g in
+        Hashtbl.replace perm_cache key perm;
+        perm
+  in
+  Mutex.unlock perm_mutex;
+  perm
+
+(* Cooley-Tukey, decimation in time, with merged psi powers and Shoup
+   twiddle multiplication. Stage values stay lazily reduced in [0, 2p);
+   each butterfly reduces its own inputs to [0, p) (one conditional
+   subtraction each), so no stage output exceeds 2p and no hot
+   instruction divides. A single correction pass at the end restores the
+   [0, p) contract for the pointwise kernels. *)
 let forward t a =
   let p = t.p and n = t.n in
   if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  let psi = t.psi_rev and psi_s = t.psi_shoup in
   let tt = ref n and m = ref 1 in
   while !m < n do
     tt := !tt / 2;
     for i = 0 to !m - 1 do
       let j1 = 2 * i * !tt in
-      let s = Array.unsafe_get t.psi_rev (!m + i) in
+      let s = Array.unsafe_get psi (!m + i) in
+      let s' = Array.unsafe_get psi_s (!m + i) in
       for j = j1 to j1 + !tt - 1 do
-        let u = Array.unsafe_get a j in
-        let v = Array.unsafe_get a (j + !tt) * s mod p in
-        let x = u + v in
-        Array.unsafe_set a j (if x >= p then x - p else x);
-        let y = u - v in
-        Array.unsafe_set a (j + !tt) (if y < 0 then y + p else y)
+        (* Corrections are branchless ((x asr 62) is the sign mask):
+           the compare outcomes are data-dependent coin flips, so real
+           branches would mispredict half the time. *)
+        let u = Array.unsafe_get a j - p in
+        let u = u + (p land (u asr 62)) in
+        let v = Array.unsafe_get a (j + !tt) in
+        let q = (v * s') lsr 31 in
+        let w = (v * s) - (q * p) - p in
+        let w = w + (p land (w asr 62)) in
+        Array.unsafe_set a j (u + w);
+        Array.unsafe_set a (j + !tt) (u - w + p)
       done
     done;
     m := !m * 2
+  done;
+  for j = 0 to n - 1 do
+    let x = Array.unsafe_get a j - p in
+    Array.unsafe_set a j (x + (p land (x asr 62)))
   done
 
-(* Gentleman-Sande, decimation in frequency. *)
+(* Gentleman-Sande, decimation in frequency, same lazy [0, 2p)
+   discipline; the final multiply by n^-1 is a Shoup multiply whose
+   conditional subtraction doubles as the correction pass. *)
 let inverse t a =
   let p = t.p and n = t.n in
   if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  let two_p = 2 * p in
+  let psi = t.psi_inv_rev and psi_s = t.psi_inv_shoup in
   let tt = ref 1 and m = ref n in
   while !m > 1 do
     let j1 = ref 0 in
     let h = !m / 2 in
     for i = 0 to h - 1 do
-      let s = Array.unsafe_get t.psi_inv_rev (h + i) in
+      let s = Array.unsafe_get psi (h + i) in
+      let s' = Array.unsafe_get psi_s (h + i) in
       for j = !j1 to !j1 + !tt - 1 do
         let u = Array.unsafe_get a j in
         let v = Array.unsafe_get a (j + !tt) in
-        let x = u + v in
-        Array.unsafe_set a j (if x >= p then x - p else x);
+        let x = u + v - two_p in
+        Array.unsafe_set a j (x + (two_p land (x asr 62)));
         let d = u - v in
-        let d = if d < 0 then d + p else d in
-        Array.unsafe_set a (j + !tt) (d * s mod p)
+        let d = d + (two_p land (d asr 62)) in
+        let q = (d * s') lsr 31 in
+        Array.unsafe_set a (j + !tt) ((d * s) - (q * p))
       done;
       j1 := !j1 + (2 * !tt)
     done;
     tt := !tt * 2;
     m := h
   done;
+  let ni = t.n_inv and ni' = t.n_inv_shoup in
   for j = 0 to n - 1 do
-    a.(j) <- Modarith.mul a.(j) t.n_inv p
+    let x = Array.unsafe_get a j in
+    let q = (x * ni') lsr 31 in
+    let r = (x * ni) - (q * p) - p in
+    Array.unsafe_set a j (r + (p land (r asr 62)))
   done

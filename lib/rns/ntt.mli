@@ -15,7 +15,14 @@ val make : n:int -> int -> table
 val modulus : table -> int
 val size : table -> int
 
-(** In-place forward transform of a length-[n] coefficient vector. *)
+(** Precomputed Barrett constants for this table's modulus, shared with
+    the pointwise kernels so they never divide either. *)
+val barrett : table -> Modarith.barrett
+
+(** In-place forward transform of a length-[n] coefficient vector
+    (residues in [0, p)). Butterflies use Shoup twiddle multiplication
+    with values lazily reduced in [0, 2p); a final correction pass
+    restores [0, p). *)
 val forward : table -> int array -> unit
 
 (** In-place inverse transform. [inverse t (forward t a)] restores [a]. *)
@@ -27,5 +34,10 @@ val inverse : table -> int array -> unit
     [galois(a)] at index [j] is [b.(perm.(j))]. Evaluation points of this
     transform's output ordering are characterized empirically and
     verified by differential tests against the coefficient-domain
-    automorphism. *)
+    automorphism.
+
+    Results are cached keyed by [(n, g)] (the permutation is independent
+    of the prime) behind a mutex, so repeated rotations — one call per
+    ciphertext op, possibly from parallel executor domains — do not
+    rebuild it. Callers must treat the returned array as read-only. *)
 val galois_permutation : table -> int -> int array

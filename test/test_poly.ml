@@ -148,6 +148,60 @@ let test_sampling () =
     (fun c -> Alcotest.(check bool) "error bounded" true (abs (B.to_int_exn c) <= 21))
     (Rp.to_bigint_coeffs e)
 
+(* Schoolbook negacyclic product over the integers; coefficients are
+   small enough that native ints are exact, so this is an independent
+   reference for the NTT/Barrett path via to_bigint_coeffs. *)
+let schoolbook_negacyclic a b =
+  let n = Array.length a in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      if k < n then r.(k) <- r.(k) + (a.(i) * b.(j)) else r.(k - n) <- r.(k - n) - (a.(i) * b.(j))
+    done
+  done;
+  r
+
+let prop_mul_matches_schoolbook =
+  QCheck2.Test.make ~name:"poly mul matches schoolbook negacyclic" ~count:100
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let tb = tables () in
+      let st = Random.State.make [| seed; 77 |] in
+      let ca = Array.init n (fun _ -> Random.State.int st 2001 - 1000) in
+      let cb = Array.init n (fun _ -> Random.State.int st 2001 - 1000) in
+      let a = poly_of_ints ~tables:tb ca and b = poly_of_ints ~tables:tb cb in
+      Rp.to_ntt a;
+      Rp.to_ntt b;
+      ints_of_poly (Rp.mul a b) = schoolbook_negacyclic ca cb)
+
+let prop_mul_inplace_matches_mul =
+  QCheck2.Test.make ~name:"mul_inplace agrees with mul" ~count:50 QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let tb = tables () in
+      let st = Random.State.make [| seed; 78 |] in
+      let rand () = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 1000 - 500)) in
+      let a = rand () and b = rand () in
+      Rp.to_ntt a;
+      Rp.to_ntt b;
+      let expect = ints_of_poly (Rp.mul a b) in
+      Rp.mul_inplace a b;
+      ints_of_poly a = expect)
+
+let prop_mul_acc_matches =
+  QCheck2.Test.make ~name:"mul_acc agrees with add (mul)" ~count:50 QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let tb = tables () in
+      let st = Random.State.make [| seed; 79 |] in
+      let rand () = poly_of_ints ~tables:tb (Array.init n (fun _ -> Random.State.int st 1000 - 500)) in
+      let acc = rand () and a = rand () and b = rand () in
+      Rp.to_ntt acc;
+      Rp.to_ntt a;
+      Rp.to_ntt b;
+      let expect = ints_of_poly (Rp.add acc (Rp.mul a b)) in
+      Rp.mul_acc acc a b;
+      ints_of_poly acc = expect)
+
 let prop_mul_commutative =
   QCheck2.Test.make ~name:"poly mul commutes" ~count:50 QCheck2.Gen.(int_range 0 10000)
     (fun seed ->
@@ -198,5 +252,12 @@ let () =
           Alcotest.test_case "composition" `Quick test_galois_composition;
         ] );
       ("sampling", [ Alcotest.test_case "ternary and error" `Quick test_sampling ]);
-      ("property", [ qt prop_mul_commutative; qt prop_mul_distributes ]);
+      ( "property",
+        [
+          qt prop_mul_matches_schoolbook;
+          qt prop_mul_inplace_matches_mul;
+          qt prop_mul_acc_matches;
+          qt prop_mul_commutative;
+          qt prop_mul_distributes;
+        ] );
     ]

@@ -48,6 +48,71 @@ let test_primitive_root () =
   Alcotest.(check int) "order divides" 1 (M.pow r two_n p);
   Alcotest.(check int) "exact order" (p - 1) (M.pow r (two_n / 2) p)
 
+(* Every (x, w) pair below a handful of small moduli, with x ranging
+   over the full lazy domain [0, 2p): catches off-by-one errors in the
+   Shoup quotient estimate that random sampling could miss. *)
+let test_shoup_exhaustive () =
+  List.iter
+    (fun p ->
+      for w = 0 to p - 1 do
+        let w' = M.shoup w p in
+        for x = 0 to (2 * p) - 1 do
+          let expect = x * w mod p in
+          let lazy_r = M.mul_shoup_lazy x w w' p in
+          if lazy_r < 0 || lazy_r >= 2 * p then
+            Alcotest.failf "lazy out of [0,2p): p=%d w=%d x=%d r=%d" p w x lazy_r;
+          if lazy_r mod p <> expect then
+            Alcotest.failf "lazy wrong residue: p=%d w=%d x=%d" p w x;
+          if M.mul_shoup x w w' p <> expect then
+            Alcotest.failf "mul_shoup: p=%d w=%d x=%d" p w x
+        done
+      done)
+    [ 2; 3; 17; 97; 257 ]
+
+let test_barrett_exhaustive () =
+  List.iter
+    (fun p ->
+      let br = M.barrett p in
+      for x = 0 to p - 1 do
+        for y = 0 to p - 1 do
+          if M.barrett_mul br x y <> x * y mod p then Alcotest.failf "barrett_mul: p=%d x=%d y=%d" p x y
+        done
+      done)
+    [ 2; 3; 17; 97; 257 ]
+
+let test_shoup_barrett_random () =
+  (* ~30-bit primes exercise the top of the supported modulus range,
+     where the beta = 2^31 quotient estimates are tightest. *)
+  let st = Random.State.make [| 2024 |] in
+  List.iter
+    (fun bits ->
+      let p = P.gen ~bits ~two_n:64 ~avoid:(fun _ -> false) in
+      let br = M.barrett p in
+      for _ = 1 to 2000 do
+        (* Random.int caps its bound at 2^30, so build a lazy-domain
+           sample as residue + optional extra p. *)
+        let x = Random.State.int st p + (if Random.State.bool st then p else 0) in
+        let w = Random.State.int st p in
+        let w' = M.shoup w p in
+        let expect = M.mul (x mod p) w p in
+        Alcotest.(check int) "shoup vs mul" expect (M.mul_shoup x w w' p);
+        let lazy_r = M.mul_shoup_lazy x w w' p in
+        Alcotest.(check bool) "lazy bound" true (lazy_r >= 0 && lazy_r < 2 * p);
+        let a = Random.State.int st p and b = Random.State.int st p in
+        Alcotest.(check int) "barrett vs mul" (M.mul a b p) (M.barrett_mul br a b)
+      done;
+      (* barrett_reduce31 edge values across its whole z < 2^31 domain. *)
+      List.iter
+        (fun z -> Alcotest.(check int) (Printf.sprintf "reduce31 %d" z) (z mod p) (M.barrett_reduce31 br z))
+        [ 0; 1; p - 1; p; p + 1; (2 * p) - 1; 2 * p; (1 lsl 31) - 1 ])
+    [ 20; 28; 30 ]
+
+let test_shoup_guards () =
+  Alcotest.check_raises "shoup w >= p" (Invalid_argument "Modarith.shoup: factor out of [0, p)") (fun () ->
+      ignore (M.shoup 97 97));
+  Alcotest.check_raises "barrett modulus too big" (Invalid_argument "Modarith.barrett: modulus out of [2, 2^30)")
+    (fun () -> ignore (M.barrett (1 lsl 30)))
+
 let naive_negacyclic_mul a b p =
   let n = Array.length a in
   let r = Array.make n 0 in
@@ -86,6 +151,37 @@ let test_ntt_convolution () =
   let prod = Array.init n (fun i -> M.mul fa.(i) fb.(i) p) in
   Ntt.inverse tb prod;
   Alcotest.(check (array int)) "negacyclic convolution" expect prod
+
+let test_ntt_round_trip_chain () =
+  (* Round trip under every prime of a realistic chain, including 30-bit
+     primes where the lazy [0, 2p) bound is closest to overflowing. *)
+  let n = 64 in
+  let chain = P.gen_chain ~bit_sizes:[ 30; 30; 28; 25 ] ~two_n:(2 * n) in
+  let st = Random.State.make [| 99 |] in
+  List.iter
+    (fun p ->
+      let tb = Ntt.make ~n p in
+      let a = Array.init n (fun _ -> Random.State.int st p) in
+      let c = Array.copy a in
+      Ntt.forward tb c;
+      Array.iter (fun x -> Alcotest.(check bool) "forward reduced" true (x >= 0 && x < p)) c;
+      Ntt.inverse tb c;
+      Alcotest.(check (array int)) (Printf.sprintf "round trip mod %d" p) a c)
+    chain
+
+let test_galois_perm_cached () =
+  let n = 64 in
+  let chain = P.gen_chain ~bit_sizes:[ 25; 25 ] ~two_n:(2 * n) in
+  let ta = Ntt.make ~n (List.nth chain 0) and tb = Ntt.make ~n (List.nth chain 1) in
+  let p1 = Ntt.galois_permutation ta 5 in
+  let p2 = Ntt.galois_permutation ta 5 in
+  Alcotest.(check bool) "same call is cached" true (p1 == p2);
+  (* The permutation only depends on (n, g): a different prime hits the
+     same cache entry. *)
+  let p3 = Ntt.galois_permutation tb 5 in
+  Alcotest.(check bool) "cache is prime independent" true (p1 == p3);
+  let p4 = Ntt.galois_permutation ta 7 in
+  Alcotest.(check bool) "different g differs" false (p1 == p4)
 
 let test_crt_round_trip () =
   let primes = [ 1073741789; 1073741783; 536870909 ] in
@@ -150,6 +246,10 @@ let () =
           Alcotest.test_case "basics" `Quick test_modarith_basics;
           Alcotest.test_case "inverse" `Quick test_inv;
           Alcotest.test_case "is_prime" `Quick test_is_prime;
+          Alcotest.test_case "shoup exhaustive" `Quick test_shoup_exhaustive;
+          Alcotest.test_case "barrett exhaustive" `Quick test_barrett_exhaustive;
+          Alcotest.test_case "shoup/barrett random 30-bit" `Quick test_shoup_barrett_random;
+          Alcotest.test_case "guards" `Quick test_shoup_guards;
         ] );
       ( "primes",
         [
@@ -161,6 +261,8 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_ntt_round_trip;
           Alcotest.test_case "convolution theorem" `Quick test_ntt_convolution;
+          Alcotest.test_case "round trip over a chain" `Quick test_ntt_round_trip_chain;
+          Alcotest.test_case "galois permutation cache" `Quick test_galois_perm_cached;
         ] );
       ( "crt",
         [
