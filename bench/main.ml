@@ -630,6 +630,56 @@ let kernels () =
     log_ns
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection hook overhead                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel executor takes an optional fault-injection plan
+   (lib/schedule/fault.ml). The contract is that production runs pay
+   nothing for the hook: with [fault] absent no code runs, and even a
+   silent plan (Fault.none) costs one mutex-free match per instruction.
+   This experiment measures both against the same prepared engine. *)
+let faults () =
+  header "Fault-injection hook overhead (disabled hook must be free)";
+  let module Fault = Eva_schedule.Fault in
+  let b = B.create ~vec_size:64 () in
+  let x = B.input b ~scale:30 "x" in
+  (* A wide rotation fan joined pairwise: plenty of independent
+     instructions so the parallel scheduler is actually exercised. *)
+  let rots = List.init 16 (fun i -> B.rotate_left x (i + 1)) in
+  let rec join = function
+    | [] -> x
+    | [ v ] -> v
+    | a :: b :: rest -> join (rest @ [ B.add a b ])
+  in
+  let s = join rots in
+  B.output b "out" ~scale:30 (B.mul s s);
+  let c = Compile.run (B.program b) in
+  let bindings = [ ("x", Reference.Vec (Array.init 64 (fun i -> Float.sin (float_of_int i) /. 4.0))) ] in
+  let log_n = if !smoke then 10 else 12 in
+  let engine = Executor.prepare ~seed:7 ~ignore_security:true ~log_n c bindings in
+  let workers = 4 in
+  let reps = if !smoke then 2 else 20 in
+  let time_run ?fault () =
+    (* warm-up *)
+    ignore (Parallel.execute_on ?fault ~workers engine c);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Parallel.execute_on ?fault ~workers engine c)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let off = time_run () in
+  let silent = time_run ~fault:(Fault.none ()) () in
+  let injected_fault = Fault.random ~max_retries:8 ~seed:3 ~death_p:0.0 ~fail_p:0.3 ~corrupt_p:0.0 () in
+  let injected = time_run ~fault:injected_fault () in
+  Printf.printf "  %-34s %10.2f ms/run\n" "no fault hook" (off *. 1e3);
+  Printf.printf "  %-34s %10.2f ms/run  (%+.1f%% vs off)\n" "silent plan (Fault.none)" (silent *. 1e3)
+    (100.0 *. ((silent /. off) -. 1.0));
+  Printf.printf "  %-34s %10.2f ms/run  (%d retries injected)\n" "30% transient failures, retried"
+    (injected *. 1e3) (Fault.counters injected_fault).Fault.retries;
+  Printf.printf "\nDisabled-hook overhead target: ~0%% (one option match per instruction).\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -646,6 +696,7 @@ let experiments =
     ("ablation", ablation);
     ("micro", micro);
     ("kernels", kernels);
+    ("faults", faults);
   ]
 
 (* Every experiment reports its wall time in one uniform `name: X.Xs`

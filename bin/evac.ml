@@ -17,15 +17,24 @@ module Analysis = Eva_core.Analysis
 module Validate = Eva_core.Validate
 module Reference = Eva_core.Reference
 module Executor = Eva_core.Executor
+module Diag = Eva_diag.Diag
 
-let load path =
-  try Serialize.of_file path
+(* Every command body runs under this reporter: any classified error —
+   parse, validation, compilation, wire, execution or scheme-layer —
+   prints one [EVA-Exxx file:line:col message] line on stderr and exits
+   with the layer's distinct code (Parse 3, Validate 4, Compile 5,
+   Wire 6, Execute 7, Crypto 8). Foreign exceptions still escape as
+   crashes: anything reaching that path is a bug, not an input error. *)
+let reporting path f =
+  try f ()
   with e -> (
-    match Serialize.describe_error e with
-    | Some msg ->
-        Printf.eprintf "%s: %s\n" path msg;
-        exit 1
+    match Diag.classify e with
+    | Some d ->
+        Printf.eprintf "%s\n" (Diag.to_string ?file:path d);
+        exit (Diag.exit_code d.Diag.layer)
     | None -> raise e)
+
+let load path = Serialize.of_file path
 
 let policy_conv =
   Arg.conv
@@ -43,6 +52,7 @@ let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" 
 
 let info_cmd =
   let run path =
+    reporting (Some path) @@ fun () ->
     let p = load path in
     Printf.printf "program %S: vec_size %d, %d nodes\n" p.Ir.prog_name p.Ir.vec_size (Ir.node_count p);
     Printf.printf "multiplicative depth: %d\n" (Analysis.multiplicative_depth p);
@@ -75,18 +85,15 @@ let optimize_flag =
 
 let compile_cmd =
   let run path out policy waterline optimize =
+    reporting (Some path) @@ fun () ->
     let p = load path in
-    match Compile.run ?waterline ~policy ~optimize p with
-    | c ->
-        Format.printf "%a@." Params.pp c.Compile.params;
-        (match out with
-        | Some out ->
-            Serialize.to_file out c.Compile.program;
-            Printf.printf "wrote %s (%d nodes)\n" out (Ir.node_count c.Compile.program)
-        | None -> ())
-    | exception Validate.Validation_error msg ->
-        Printf.eprintf "validation error: %s\n" msg;
-        exit 1
+    let c = Compile.run ?waterline ~policy ~optimize p in
+    Format.printf "%a@." Params.pp c.Compile.params;
+    match out with
+    | Some out ->
+        Serialize.to_file out c.Compile.program;
+        Printf.printf "wrote %s (%d nodes)\n" out (Ir.node_count c.Compile.program)
+    | None -> ()
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the transformed program") in
   let policy = Arg.(value & opt policy_conv Eva_core.Passes.Eva & info [ "policy" ] ~doc:"Insertion policy: eva or lazy") in
@@ -99,15 +106,10 @@ let compile_cmd =
 
 let validate_cmd =
   let run path transformed =
+    reporting (Some path) @@ fun () ->
     let p = load path in
-    match if transformed then Validate.check_transformed p else Validate.check_input_program p with
-    | () -> print_endline "valid"
-    | exception Validate.Validation_error msg ->
-        Printf.eprintf "invalid: %s\n" msg;
-        exit 1
-    | exception Analysis.Analysis_error msg ->
-        Printf.eprintf "invalid: %s\n" msg;
-        exit 1
+    if transformed then Validate.check_transformed p else Validate.check_input_program p;
+    print_endline "valid"
   in
   let transformed =
     Arg.(value & flag & info [ "transformed" ] ~doc:"Check the constraints of a transformed program instead")
@@ -129,6 +131,7 @@ let random_bindings p seed =
 
 let estimate_cmd =
   let run path log_n magnitude =
+    reporting (Some path) @@ fun () ->
     let p = load path in
     let c = Compile.run p in
     let log_n = Option.value log_n ~default:c.Compile.params.Params.log_n in
@@ -149,6 +152,7 @@ let estimate_cmd =
 
 let run_cmd =
   let run path seed log_n reference workers optimize =
+    reporting (Some path) @@ fun () ->
     let p = load path in
     let bindings = random_bindings p seed in
     let show outputs =

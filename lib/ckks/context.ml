@@ -3,6 +3,9 @@ module Ntt = Eva_rns.Ntt
 module Primes = Eva_rns.Primes
 module Crt = Eva_rns.Crt
 module Rns_poly = Eva_poly.Rns_poly
+module Diag = Eva_diag.Diag
+
+let crypto_error code fmt = Diag.error ~layer:Diag.Crypto ~code fmt
 
 type element = { bits : int; prime_lo : int; prime_count : int (* 1 or 2 *) }
 
@@ -26,11 +29,13 @@ let split_bits ~min_b bits =
   else [ max min_b ((bits + 1) / 2); max min_b (bits / 2) ]
 
 let make ?(ignore_security = false) ~n ~data_bits ~special_bits () =
-  if n < 2 || n land (n - 1) <> 0 then invalid_arg "Context.make: degree must be a power of two";
+  if n < 2 || n land (n - 1) <> 0 then
+    crypto_error Diag.crypto_context "Context.make: degree %d must be a power of two" n;
   let two_n = 2 * n in
   let min_b = Primes.min_bits ~two_n in
   let check_bits b =
-    if b > 60 then invalid_arg (Printf.sprintf "Context.make: element of %d bits exceeds 60" b)
+    if b < 1 || b > 60 then
+      crypto_error Diag.crypto_context "Context.make: element of %d bits outside [1, 60]" b
   in
   List.iter check_bits data_bits;
   List.iter check_bits special_bits;
@@ -38,8 +43,8 @@ let make ?(ignore_security = false) ~n ~data_bits ~special_bits () =
   if not ignore_security then begin
     let bound = Security.max_log_q ~level:Security.Bits128 ~n in
     if total > bound then
-      invalid_arg
-        (Printf.sprintf "Context.make: log Q = %d exceeds the 128-bit security bound %d for N = %d" total bound n)
+      crypto_error Diag.crypto_security
+        "Context.make: log Q = %d exceeds the 128-bit security bound %d for N = %d" total bound n
   end;
   let seen = Hashtbl.create 32 in
   let gen_element bits =
@@ -48,7 +53,9 @@ let make ?(ignore_security = false) ~n ~data_bits ~special_bits () =
        back to slightly larger primes; scale bookkeeping uses exact prime
        values, so only log Q drifts by a bit or two. *)
     let rec gen_at pb =
-      if pb > 30 then raise Not_found
+      if pb > 30 then
+        crypto_error Diag.crypto_context
+          "Context.make: NTT-friendly prime pool exhausted for 2N = %d" two_n
       else
         match Primes.gen ~bits:pb ~two_n ~avoid:(Hashtbl.mem seen) with
         | p -> p
@@ -101,7 +108,9 @@ let total_log_q t =
   Array.fold_left (fun acc v -> acc +. Float.log2 v) log_p t.element_values
 
 let prime_count_for_level t level =
-  if level < 1 || level > Array.length t.elements then invalid_arg "Context.prime_count_for_level: bad level";
+  if level < 1 || level > Array.length t.elements then
+    crypto_error Diag.crypto_context "Context.prime_count_for_level: level %d outside [1, %d]" level
+      (Array.length t.elements);
   let e = t.elements.(level - 1) in
   e.prime_lo + e.prime_count
 
@@ -128,8 +137,10 @@ let galois_elt_conjugate t = (2 * t.n) - 1
 let encode_complex t ~level ~scale values =
   let len = Array.length values in
   if len = 0 || t.slots mod len <> 0 then
-    invalid_arg (Printf.sprintf "Context.encode: input size %d does not divide slot count %d" len t.slots);
-  if not (Float.is_finite scale && scale > 0.0) then invalid_arg "Context.encode: bad scale";
+    crypto_error Diag.crypto_context "Context.encode: input size %d does not divide slot count %d" len
+      t.slots;
+  if not (Float.is_finite scale && scale > 0.0) then
+    crypto_error Diag.crypto_context "Context.encode: scale %h is not finite and positive" scale;
   let z = Array.init t.slots (fun i -> values.(i mod len)) in
   Embedding.embed_inverse t.embedding z;
   let coeffs = Array.make t.n Bigint.zero in

@@ -1,9 +1,24 @@
 module Rns_poly = Eva_poly.Rns_poly
+module Diag = Eva_diag.Diag
 
 exception Level_mismatch of string
 exception Scale_mismatch of string
 exception Size_error of string
 exception Missing_galois_key of int
+
+(* The typed exceptions stay (they are this module's public contract and
+   what the validator proves unreachable); the classifier maps them into
+   the structured taxonomy so boundaries report EVA-E6xx codes. *)
+let () =
+  Diag.register_classifier (function
+    | Level_mismatch m -> Some (Diag.make ~layer:Diag.Crypto ~code:Diag.crypto_level m)
+    | Scale_mismatch m -> Some (Diag.make ~layer:Diag.Crypto ~code:Diag.crypto_scale m)
+    | Size_error m -> Some (Diag.make ~layer:Diag.Crypto ~code:Diag.crypto_size m)
+    | Missing_galois_key g ->
+        Some
+          (Diag.make ~layer:Diag.Crypto ~code:Diag.crypto_missing_key
+             (Printf.sprintf "missing Galois key for element %d" g))
+    | _ -> None)
 
 type ciphertext = { polys : Rns_poly.t array; level : int; scale : float }
 type plaintext = { poly : Rns_poly.t; pt_level : int; pt_scale : float }

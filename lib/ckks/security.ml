@@ -1,3 +1,5 @@
+module Diag = Eva_diag.Diag
+
 type level = Bits128 | Bits192 | Bits256
 
 (* HE Standard (HomomorphicEncryption.org, 2018), ternary secret tables,
@@ -11,11 +13,15 @@ let table = function Bits128 -> table_128 | Bits192 -> table_192 | Bits256 -> ta
 let max_log_q ~level ~n =
   match List.assoc_opt n (table level) with
   | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Security.max_log_q: unsupported degree %d" n)
+  | None ->
+      Diag.error ~layer:Diag.Crypto ~code:Diag.crypto_security
+        "Security.max_log_q: unsupported degree %d" n
 
 let min_degree ~level ~log_q =
   let rec go = function
-    | [] -> failwith (Printf.sprintf "Security.min_degree: log Q = %d exceeds every standard degree" log_q)
+    | [] ->
+        Diag.error ~layer:Diag.Crypto ~code:Diag.crypto_security
+          "Security.min_degree: log Q = %d exceeds every standard degree" log_q
     | (n, b) :: rest -> if log_q <= b then n else go rest
   in
   go (table level)

@@ -1,34 +1,74 @@
 module Rns_poly = Eva_poly.Rns_poly
+module Ntt = Eva_rns.Ntt
+module Diag = Eva_diag.Diag
 
 (* ------------------------------------------------------------------ *)
 (* A tiny whitespace-separated token reader                            *)
 (* ------------------------------------------------------------------ *)
 
-let read_token s ~pos =
+(* Errors carry a line:column computed from the character offset only
+   when a read actually fails — the happy path never pays for it. *)
+let line_col s at =
+  let stop = min at (String.length s) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to stop - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let wire_error s ~at ~code fmt =
+  Diag.error ~pos:(line_col s at) ~layer:Diag.Wire ~code fmt
+
+let is_ws c = c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+(* Returns the token and the offset it starts at, so a caller rejecting
+   the token can point at it rather than at wherever [pos] ended up. *)
+let read_token_at s ~pos =
   let n = String.length s in
   let i = ref !pos in
-  while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+  while !i < n && is_ws s.[!i] do
     incr i
   done;
-  if !i >= n then failwith "Wire: unexpected end of input";
+  if !i >= n then wire_error s ~at:n ~code:Diag.wire_truncated "unexpected end of input";
   let start = !i in
-  while !i < n && not (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+  while !i < n && not (is_ws s.[!i]) do
     incr i
   done;
   pos := !i;
-  String.sub s start (!i - start)
+  (String.sub s start (!i - start), start)
 
 let read_int s ~pos =
-  let t = read_token s ~pos in
-  match int_of_string_opt t with Some v -> v | None -> failwith (Printf.sprintf "Wire: expected integer, got %S" t)
+  let t, at = read_token_at s ~pos in
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> wire_error s ~at ~code:Diag.wire_token "expected integer, got %S" t
+
+(* Every count, length and range field read from untrusted input goes
+   through this bounded reader BEFORE it is used as an allocation size
+   or an index, so a spliced "999999999999" length field is a structured
+   EVA-E403, never a multi-gigabyte [Array.init] or an [Invalid_argument]. *)
+let read_int_in s ~pos ~what ~lo ~hi =
+  let t, at = read_token_at s ~pos in
+  match int_of_string_opt t with
+  | None -> wire_error s ~at ~code:Diag.wire_token "expected integer for %s, got %S" what t
+  | Some v ->
+      if v < lo || v > hi then
+        wire_error s ~at ~code:Diag.wire_length "%s = %d outside [%d, %d]" what v lo hi;
+      v
 
 let read_float s ~pos =
-  let t = read_token s ~pos in
-  match float_of_string_opt t with Some v -> v | None -> failwith (Printf.sprintf "Wire: expected float, got %S" t)
+  let t, at = read_token_at s ~pos in
+  match float_of_string_opt t with
+  | Some v -> v
+  | None -> wire_error s ~at ~code:Diag.wire_token "expected float, got %S" t
 
 let expect s ~pos tag =
-  let t = read_token s ~pos in
-  if t <> tag then failwith (Printf.sprintf "Wire: expected %S, got %S" tag t)
+  let t, at = read_token_at s ~pos in
+  if t <> tag then wire_error s ~at ~code:Diag.wire_token "expected %S, got %S" tag t
 
 let write_int_array buf a =
   Printf.bprintf buf "%d\n" (Array.length a);
@@ -39,17 +79,39 @@ let write_int_array buf a =
     a;
   Buffer.add_char buf '\n'
 
-let read_int_array s ~pos =
-  let n = read_int s ~pos in
-  Array.init n (fun _ -> read_int s ~pos)
+(* A residue row: its declared length must match the ring degree and
+   every residue must lie under the row's modulus, checked as the values
+   stream in (a corrupted residue is caught at its own offset). *)
+let read_row s ~pos ~len ~modulus =
+  let at0 = !pos in
+  let declared = read_int s ~pos in
+  if declared <> len then
+    wire_error s ~at:at0 ~code:Diag.wire_length "row of %d residues where the ring degree is %d"
+      declared len;
+  Array.init len (fun _ ->
+      let t, at = read_token_at s ~pos in
+      match int_of_string_opt t with
+      | None -> wire_error s ~at ~code:Diag.wire_token "expected residue, got %S" t
+      | Some v ->
+          if v < 0 || v >= modulus then
+            wire_error s ~at ~code:Diag.wire_length "residue %d outside [0, %d)" v modulus;
+          v)
 
 let write_rows buf rows =
   Printf.bprintf buf "%d\n" (Array.length rows);
   Array.iter (write_int_array buf) rows
 
-let read_rows s ~pos =
-  let n = read_int s ~pos in
-  Array.init n (fun _ -> read_int_array s ~pos)
+(* Rows of a polynomial: the declared row count must equal the number of
+   primes the context prescribes — validated before any allocation. *)
+let read_rows s ~pos ~tables =
+  let at0 = !pos in
+  let declared = read_int s ~pos in
+  let expected = Array.length tables in
+  if declared <> expected then
+    wire_error s ~at:at0 ~code:Diag.wire_mismatch "%d rows where the context has %d primes"
+      declared expected;
+  Array.init expected (fun i ->
+      read_row s ~pos ~len:(Ntt.size tables.(i)) ~modulus:(Ntt.modulus tables.(i)))
 
 (* ------------------------------------------------------------------ *)
 (* Context                                                             *)
@@ -63,12 +125,17 @@ let write_context buf ctx =
      s_f = 60 in this library). *)
   Printf.bprintf buf "%d\n" 60
 
-let read_context ?(ignore_security = false) s ~pos =
+let default_max_degree = 1 lsl 17
+
+let read_context ?(ignore_security = false) ?(max_degree = default_max_degree) s ~pos =
   expect s ~pos "context";
-  let n = read_int s ~pos in
-  let k = read_int s ~pos in
-  let data_bits = List.init k (fun _ -> read_int s ~pos) in
-  let special = read_int s ~pos in
+  let at_n = !pos in
+  let n = read_int_in s ~pos ~what:"ring degree" ~lo:2 ~hi:max_degree in
+  if n land (n - 1) <> 0 then
+    wire_error s ~at:at_n ~code:Diag.wire_length "ring degree %d is not a power of two" n;
+  let k = read_int_in s ~pos ~what:"modulus chain length" ~lo:1 ~hi:64 in
+  let data_bits = List.init k (fun _ -> read_int_in s ~pos ~what:"element bits" ~lo:1 ~hi:60) in
+  let special = read_int_in s ~pos ~what:"special element bits" ~lo:1 ~hi:60 in
   Context.make ~ignore_security ~n ~data_bits ~special_bits:[ special ] ()
 
 (* ------------------------------------------------------------------ *)
@@ -85,18 +152,22 @@ let write_ciphertext buf ct =
       write_rows buf (Rns_poly.rows p))
     ct.Eval.polys
 
+(* A well-formed evaluation never produces more than three polynomials
+   (size-2 inputs, size-3 between multiply and relinearize); 8 leaves
+   slack for exotic pipelines while still bounding the allocation. *)
+let max_ciphertext_polys = 8
+
 let read_ciphertext ctx s ~pos =
   expect s ~pos "ciphertext";
-  let level = read_int s ~pos in
+  let level = read_int_in s ~pos ~what:"ciphertext level" ~lo:1 ~hi:(Context.chain_length ctx) in
+  let at_scale = !pos in
   let scale = read_float s ~pos in
-  let count = read_int s ~pos in
+  if not (Float.is_finite scale && scale > 0.0) then
+    wire_error s ~at:at_scale ~code:Diag.wire_length "ciphertext scale %h is not finite and positive"
+      scale;
+  let count = read_int_in s ~pos ~what:"polynomial count" ~lo:1 ~hi:max_ciphertext_polys in
   let tables = Context.tables_for_level ctx level in
-  let polys =
-    Array.init count (fun _ ->
-        let rows = read_rows s ~pos in
-        if Array.length rows <> Array.length tables then failwith "Wire: ciphertext/context prime mismatch";
-        Rns_poly.of_ntt_rows ~tables rows)
-  in
+  let polys = Array.init count (fun _ -> Rns_poly.of_ntt_rows ~tables (read_rows s ~pos ~tables)) in
   { Eval.polys; level; scale }
 
 (* ------------------------------------------------------------------ *)
@@ -109,10 +180,16 @@ let write_switch_key buf k =
   Array.iter (write_rows buf) kb;
   Array.iter (write_rows buf) ka
 
-let read_switch_key s ~pos =
+let read_switch_key ctx s ~pos =
+  let full = Context.full_tables ctx in
+  let ne = Context.chain_length ctx in
+  let at0 = !pos in
   let digits = read_int s ~pos in
-  let kb = Array.init digits (fun _ -> read_rows s ~pos) in
-  let ka = Array.init digits (fun _ -> read_rows s ~pos) in
+  if digits <> ne then
+    wire_error s ~at:at0 ~code:Diag.wire_mismatch
+      "switch key with %d digits where the context has %d modulus elements" digits ne;
+  let kb = Array.init digits (fun _ -> read_rows s ~pos ~tables:full) in
+  let ka = Array.init digits (fun _ -> read_rows s ~pos ~tables:full) in
   Keys.switch_key_of_rows ~kb ~ka
 
 let write_eval_keys buf ks =
@@ -129,17 +206,27 @@ let write_eval_keys buf ks =
       write_switch_key buf k)
     (List.sort compare galois)
 
+(* A server holds one Galois key per distinct rotation; thousands would
+   already be extravagant, so the count is clamped before the table is
+   sized. *)
+let max_galois_keys = 4096
+
 let read_eval_keys ctx s ~pos =
   expect s ~pos "evalkeys";
   let data_tables = Context.tables_for_level ctx (Context.chain_length ctx) in
-  let b = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos) in
-  let a = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos) in
-  let relin = read_switch_key s ~pos in
-  let n_galois = read_int s ~pos in
+  let b = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos ~tables:data_tables) in
+  let a = Rns_poly.of_ntt_rows ~tables:data_tables (read_rows s ~pos ~tables:data_tables) in
+  let relin = read_switch_key ctx s ~pos in
+  let n_galois = read_int_in s ~pos ~what:"Galois key count" ~lo:0 ~hi:max_galois_keys in
   let galois = Hashtbl.create (max 1 n_galois) in
+  let two_n = 2 * Context.degree ctx in
   for _ = 1 to n_galois do
-    let g = read_int s ~pos in
-    Hashtbl.replace galois g (read_switch_key s ~pos)
+    let at_g = !pos in
+    let g = read_int_in s ~pos ~what:"Galois element" ~lo:1 ~hi:(two_n - 1) in
+    if g land 1 = 0 then
+      wire_error s ~at:at_g ~code:Diag.wire_mismatch
+        "Galois element %d is even (units mod 2N are odd)" g;
+    Hashtbl.replace galois g (read_switch_key ctx s ~pos)
   done;
   { Keys.public = Keys.public_of_parts ~b ~a; relin; galois }
 

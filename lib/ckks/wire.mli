@@ -9,16 +9,27 @@
     from the compact description.
 
     The format is whitespace-separated decimal text — simple, portable,
-    diffable; ciphertexts at demo sizes are a few hundred kilobytes. *)
+    diffable; ciphertexts at demo sizes are a few hundred kilobytes.
+
+    The readers treat their input as hostile: every count, length and
+    range field is validated against the context {e before} it is used
+    as an allocation size, every residue is checked against its row's
+    modulus as it streams in, and each rejection raises
+    [Eva_diag.Diag.Error] (layer [Wire], codes EVA-E401..E404) carrying
+    the line and column of the offending token. *)
 
 (** Context parameters sufficient to rebuild an identical context. *)
 val write_context : Buffer.t -> Context.t -> unit
 
-val read_context : ?ignore_security:bool -> string -> pos:int ref -> Context.t
+(** [max_degree] (default [2^17]) bounds the ring degree accepted from
+    the wire, so a corrupted header cannot request a multi-gigabyte
+    table build. *)
+val read_context : ?ignore_security:bool -> ?max_degree:int -> string -> pos:int ref -> Context.t
 
 val write_ciphertext : Buffer.t -> Eval.ciphertext -> unit
 
-(** Reading validates the component count against the context. *)
+(** Reading validates level, scale, polynomial count, row counts, row
+    lengths and residue ranges against the context. *)
 val read_ciphertext : Context.t -> string -> pos:int ref -> Eval.ciphertext
 
 (** Evaluation keys only: relinearization and Galois keys. The secret key

@@ -1,5 +1,11 @@
 exception Analysis_error of string
 
+let () =
+  Eva_diag.Diag.register_classifier (function
+    | Analysis_error m ->
+        Some (Eva_diag.Diag.make ~layer:Eva_diag.Diag.Validate ~code:Eva_diag.Diag.validate_structure m)
+    | _ -> None)
+
 let fail fmt = Format.kasprintf (fun s -> raise (Analysis_error s)) fmt
 
 type chain = int option list

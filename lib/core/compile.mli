@@ -13,8 +13,9 @@ type compiled = {
   s_f : int;
 }
 
-(** Raises {!Validate.Validation_error} (compiler bug or ill-formed
-    input), {!Analysis.Analysis_error}, or {!Params.Selection_error}.
+(** Raises [Eva_diag.Diag.Error] in the Validate layer (compiler bug or
+    ill-formed input), {!Analysis.Analysis_error}, or
+    {!Params.Selection_error}.
     [optimize] runs the semantics-preserving cleanup passes of
     {!Optimize} before the FHE-specific transformations (default off to
     keep compiled graphs predictable for inspection). *)

@@ -1,6 +1,7 @@
 module Ctx = Eva_ckks.Context
 module Keys = Eva_ckks.Keys
 module Eval = Eva_ckks.Eval
+module Diag = Eva_diag.Diag
 
 type timings = {
   context_seconds : float;
@@ -11,8 +12,6 @@ type timings = {
 }
 
 type result = { outputs : (string * float array) list; timings : timings }
-
-exception Missing_input of string
 
 type value = Ct of Eval.ciphertext | Plain of float array
 
@@ -31,6 +30,27 @@ type engine = {
 }
 
 let now = Unix.gettimeofday
+
+(* Resolve the binding list against the program's input set up front,
+   reporting EVERY missing name in one error rather than dying on the
+   first: a user fixing a long binding list gets the whole picture. *)
+let binding_fn p bindings =
+  let input_names =
+    List.filter_map
+      (fun n -> match n.Ir.op with Ir.Input (_, name) -> Some name | _ -> None)
+      p.Ir.all_nodes
+  in
+  let missing =
+    List.sort_uniq compare
+      (List.filter (fun name -> not (List.mem_assoc name bindings)) input_names)
+  in
+  (match missing with
+  | [] -> ()
+  | _ ->
+      Diag.error ~layer:Diag.Execute ~code:Diag.exec_missing_inputs "missing input binding%s %s"
+        (if List.length missing > 1 then "s" else "")
+        (String.concat ", " (List.map (Printf.sprintf "%S") missing)));
+  fun name -> List.assoc name bindings
 
 let plain_of_binding vs = function
   | Reference.Vec v -> Reference.tile vs v
@@ -98,7 +118,9 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
       ~special_bits:params.Params.special_bits ()
   in
   let slots = Ctx.slots ctx in
-  if slots < vs then invalid_arg "Executor: degree too small for the program vector size";
+  if slots < vs then
+    Diag.error ~layer:Diag.Execute ~code:Diag.exec_config
+      "Executor: degree %d gives %d slots, too small for vector size %d" (1 lsl log_n) slots vs;
   (* Ciphertexts are periodic in vec_size (inputs replicate), so any
      rotation step congruent mod vec_size acts identically; keys are
      generated for the same left-normalized steps the evaluator uses. *)
@@ -110,9 +132,7 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
   let secret, keyset = Keys.generate ctx rng ~galois_elts in
   let context_seconds = now () -. t0 in
   let top_level = Ctx.chain_length ctx in
-  let binding name =
-    match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
-  in
+  let binding = binding_fn p bindings in
   let encrypt_workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
   let t1 = now () in
   let inputs =
@@ -141,9 +161,7 @@ let rebind ?encrypt_workers e compiled bindings =
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let top_level = Ctx.chain_length e.ctx in
-  let binding name =
-    match List.assoc_opt name bindings with Some b -> b | None -> raise (Missing_input name)
-  in
+  let binding = binding_fn p bindings in
   let workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
   let t0 = now () in
   let inputs =
@@ -206,7 +224,9 @@ let eval_node e n parents =
       let elem = a.Eval.level - 1 in
       let bits = Float.log2 (Ctx.element_value e.ctx elem) in
       if Float.abs (bits -. float_of_int k) > 1.0 then
-        failwith (Printf.sprintf "Executor: rescale by 2^%d but next element has %.2f bits" k bits);
+        Diag.error ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op) ~layer:Diag.Execute
+          ~code:Diag.exec_rescale_mismatch
+          "rescale by 2^%d but the next chain element has %.2f bits" k bits;
       (* Paper footnote 1: the message is divided by the exact prime
          product but the tracked scale by 2^k, so paths reconciled by
          MODSWITCH (which leaves scales untouched) still match. The
@@ -215,7 +235,30 @@ let eval_node e n parents =
       Ct { ct' with Eval.scale = a.Eval.scale /. Float.ldexp 1.0 k }
   | (Ir.Relinearize | Ir.Mod_switch | Ir.Rescale _), [ Plain a ] -> Plain a
   | Ir.Output _, [ v ] -> v
-  | _ -> failwith (Printf.sprintf "Executor: bad operands for %s" (Ir.op_name n.Ir.op))
+  | _ ->
+      let kind = function Ct _ -> "cipher" | Plain _ -> "plain" in
+      Diag.error ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op) ~layer:Diag.Execute
+        ~code:Diag.exec_bad_operands "bad operands (%s) for %s"
+        (String.concat ", " (List.map kind parents))
+        (Ir.op_name n.Ir.op)
+
+(* Anchor a failure that surfaced while evaluating [n] to that node:
+   already-classified errors keep their code and gain the node context;
+   foreign exceptions are wrapped as EVA-E507. *)
+let node_failure n e =
+  let op = Ir.op_name n.Ir.op in
+  match Diag.classify e with
+  | Some d ->
+      Diag.Error
+        {
+          d with
+          Diag.node_id = Some (Option.value d.Diag.node_id ~default:n.Ir.id);
+          op = Some (Option.value d.Diag.op ~default:op);
+        }
+  | None ->
+      Diag.Error
+        (Diag.make ~node_id:n.Ir.id ~op ~layer:Diag.Execute ~code:Diag.exec_node_failed
+           (Printexc.to_string e))
 
 let read_output e = function
   | Plain a -> a
@@ -233,7 +276,7 @@ type run_stats = {
    Remaining-use counts drive buffer release (memory reuse): a value is
    dropped as soon as its last consumer has run, and the high-water mark
    of simultaneously stored values is recorded. *)
-let run_graph ?(record_per_node = false) e compiled =
+let run_graph ?(record_per_node = false) ?interpose e compiled =
   let p = compiled.Compile.program in
   let t0 = now () in
   let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
@@ -256,7 +299,8 @@ let run_graph ?(record_per_node = false) e compiled =
       | _ ->
           let tn = if record_per_node then now () else 0.0 in
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
-          let v = eval_node e n parents in
+          let eval () = eval_node e n parents in
+          let v = match interpose with None -> eval () | Some f -> f n eval in
           (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
           Hashtbl.replace values n.Ir.id v;
           if Hashtbl.length values > !peak then peak := Hashtbl.length values;

@@ -23,8 +23,6 @@ type timings = {
 
 type result = { outputs : (string * float array) list; timings : timings }
 
-exception Missing_input of string
-
 (** A runtime value: an encrypted vector or a plaintext vector of
     [vec_size] floats (scalars are broadcast at binding time). *)
 type value = Ct of Eva_ckks.Eval.ciphertext | Plain of float array
@@ -38,7 +36,8 @@ type engine
     domains (default: the recommended domain count); each input draws a
     private RNG from the seed sequentially, so ciphertexts do not depend
     on the worker count. See {!execute} for [seed], [ignore_security],
-    [log_n]. *)
+    [log_n]. Unbound input names raise one [Eva_diag.Diag.Error]
+    (EVA-E501) listing {e every} missing binding. *)
 val prepare :
   ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int -> Compile.compiled ->
   (string * Reference.binding) list -> engine
@@ -64,8 +63,14 @@ type run_stats = {
 }
 
 (** [run_graph e c] evaluates the graph single-threaded on a prepared
-    engine. Both {!run_on} and {!execute} are wrappers over this loop. *)
-val run_graph : ?record_per_node:bool -> engine -> Compile.compiled -> run_stats
+    engine. Both {!run_on} and {!execute} are wrappers over this loop.
+    [interpose n eval] (when given) is called instead of [eval] for
+    every non-input node and must return the node's value — the seam
+    fault-injection harnesses use to kill, delay, fail or corrupt
+    individual node evaluations without the executor knowing. *)
+val run_graph :
+  ?record_per_node:bool -> ?interpose:(Ir.node -> (unit -> value) -> value) -> engine ->
+  Compile.compiled -> run_stats
 
 (** Run a compiled program on a prepared engine (single-threaded),
     returning decrypted outputs and the execute wall time. *)
@@ -78,6 +83,12 @@ val eval_node : engine -> Ir.node -> value list -> value
 
 val engine_context_seconds : engine -> float
 val engine_encrypt_seconds : engine -> float
+
+(** [node_failure n e] anchors an exception raised while evaluating [n]
+    to that node: an already-classified error keeps its code and gains
+    the node id and opcode; a foreign exception is wrapped as an
+    Execute-layer EVA-E507. Always returns [Eva_diag.Diag.Error _]. *)
+val node_failure : Ir.node -> exn -> exn
 
 (** Decrypt (or pass through) an output value. *)
 val read_output : engine -> value -> float array

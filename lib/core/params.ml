@@ -9,6 +9,12 @@ type t = {
 
 exception Selection_error of string
 
+let () =
+  Eva_diag.Diag.register_classifier (function
+    | Selection_error m ->
+        Some (Eva_diag.Diag.make ~layer:Eva_diag.Diag.Compile ~code:Eva_diag.Diag.compile_selection m)
+    | _ -> None)
+
 let fail fmt = Format.kasprintf (fun s -> raise (Selection_error s)) fmt
 
 (* Factorize a log2 magnitude into element bit sizes: all s_f except a

@@ -1,3 +1,8 @@
+module Diag = Eva_diag.Diag
+
+let pass_invariant what =
+  Diag.error ~layer:Diag.Compile ~code:Diag.compile_pass_state "Passes: unregistered node in %s" what
+
 let default_s_f = 60
 
 let waterline p =
@@ -13,7 +18,7 @@ let make_type_state p =
   let is_cipher n =
     match Hashtbl.find_opt ty n.Ir.id with
     | Some t -> t = Ir.Cipher
-    | None -> failwith "Passes: unregistered node in type state"
+    | None -> pass_invariant "type state"
   in
   let register n t = Hashtbl.replace ty n.Ir.id t in
   (is_cipher, register)
@@ -23,7 +28,7 @@ let make_scale_state () =
   let get n =
     match Hashtbl.find_opt tbl n.Ir.id with
     | Some s -> s
-    | None -> failwith "Passes: unregistered node in scale state"
+    | None -> pass_invariant "scale state"
   in
   let set n s = Hashtbl.replace tbl n.Ir.id s in
   (get, set)
@@ -62,7 +67,7 @@ let make_level_state () =
   let get n =
     match Hashtbl.find_opt tbl n.Ir.id with
     | Some l -> l
-    | None -> failwith "Passes: unregistered node in level state"
+    | None -> pass_invariant "level state"
   in
   let set n l = Hashtbl.replace tbl n.Ir.id l in
   (get, set)
@@ -111,7 +116,7 @@ let eager_modswitch p =
   let is_cipher, register_type = make_type_state p in
   let rl : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let rlevel n =
-    match Hashtbl.find_opt rl n.Ir.id with Some v -> v | None -> failwith "Passes.eager_modswitch: missing rlevel"
+    match Hashtbl.find_opt rl n.Ir.id with Some v -> v | None -> Diag.error ~layer:Diag.Compile ~code:Diag.compile_pass_state "Passes.eager_modswitch: missing rlevel"
   in
   let changed = ref false in
   let equalize_children n self =

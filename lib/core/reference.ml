@@ -2,6 +2,14 @@ type binding = Vec of float array | Scal of float
 
 exception Missing_input of string
 
+let () =
+  Eva_diag.Diag.register_classifier (function
+    | Missing_input name ->
+        Some
+          (Eva_diag.Diag.make ~layer:Eva_diag.Diag.Execute ~code:Eva_diag.Diag.exec_missing_inputs
+             (Printf.sprintf "missing input binding %S" name))
+    | _ -> None)
+
 let tile vec_size v =
   let len = Array.length v in
   if len = 0 || vec_size mod len <> 0 then

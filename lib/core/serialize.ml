@@ -1,4 +1,12 @@
-exception Parse_error of { line : int; col : int; message : string }
+module Diag = Eva_diag.Diag
+
+exception Parse_error of { line : int; col : int; code : int; message : string }
+
+let () =
+  Diag.register_classifier (function
+    | Parse_error { line; col; code; message } ->
+        Some (Diag.make ~pos:(line, col) ~layer:Diag.Parse ~code message)
+    | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                             *)
@@ -72,7 +80,8 @@ type token =
 
 type lexer = { src : string; mutable pos : int; mutable line : int; mutable col : int }
 
-let lex_error lx message = raise (Parse_error { line = lx.line; col = lx.col; message })
+let lex_error ?(code = Diag.parse_syntax) lx message =
+  raise (Parse_error { line = lx.line; col = lx.col; code; message })
 
 let advance lx =
   if lx.pos < String.length lx.src then begin
@@ -187,7 +196,7 @@ let next_token lx =
       | None -> (
           match float_of_string_opt s with
           | Some f -> Number f
-          | None -> lex_error lx (Printf.sprintf "malformed number %S" s)))
+          | None -> lex_error ~code:Diag.parse_number lx (Printf.sprintf "malformed number %S" s)))
   | Some c -> lex_error lx (Printf.sprintf "unexpected character %C" c)
 
 (* ------------------------------------------------------------------ *)
@@ -196,7 +205,8 @@ let next_token lx =
 
 type parser_state = { lx : lexer; mutable tok : token }
 
-let parse_error st message = raise (Parse_error { line = st.lx.line; col = st.lx.col; message })
+let parse_error ?(code = Diag.parse_syntax) st message =
+  raise (Parse_error { line = st.lx.line; col = st.lx.col; code; message })
 let advance_tok st = st.tok <- next_token st.lx
 
 let expect_ident st =
@@ -262,7 +272,7 @@ let parse_vector st =
 let lookup st env name =
   match Hashtbl.find_opt env name with
   | Some n -> n
-  | None -> parse_error st (Printf.sprintf "unknown node %S" name)
+  | None -> parse_error ~code:Diag.parse_unknown_name st (Printf.sprintf "unknown node %S" name)
 
 let parse_statement st p env =
   match st.tok with
@@ -274,7 +284,8 @@ let parse_statement st p env =
       ignore (Ir.add_node ~decl_scale:scale p (Ir.Output out_name) [ src ])
   | Ident _ ->
       let lhs = expect_ident st in
-      if Hashtbl.mem env lhs then parse_error st (Printf.sprintf "node %S defined twice" lhs);
+      if Hashtbl.mem env lhs then
+        parse_error ~code:Diag.parse_duplicate st (Printf.sprintf "node %S defined twice" lhs);
       expect st Equals "expected '='";
       let opname = expect_ident st in
       let node =
@@ -285,7 +296,9 @@ let parse_statement st p env =
               | "cipher" -> Ir.Cipher
               | "vector" -> Ir.Vector
               | "scalar" -> Ir.Scalar
-              | other -> parse_error st (Printf.sprintf "unknown input type %S" other)
+              | other ->
+                  parse_error ~code:Diag.parse_unknown_name st
+                    (Printf.sprintf "unknown input type %S" other)
             in
             let nm = expect_string st in
             let scale = parse_scale st in
@@ -300,7 +313,9 @@ let parse_statement st p env =
                 let v = expect_number st in
                 let scale = parse_scale st in
                 Ir.add_node ~decl_scale:scale p (Ir.Constant (Ir.Const_scalar v)) []
-            | other -> parse_error st (Printf.sprintf "unknown constant kind %S" other)
+            | other ->
+                parse_error ~code:Diag.parse_unknown_name st
+                  (Printf.sprintf "unknown constant kind %S" other)
           end
         | "negate" -> Ir.add_node p Ir.Negate [ lookup st env (expect_ident st) ]
         | "relinearize" -> Ir.add_node p Ir.Relinearize [ lookup st env (expect_ident st) ]
@@ -320,7 +335,7 @@ let parse_statement st p env =
               | _ -> Ir.Rescale k
             in
             Ir.add_node p op [ a ]
-        | other -> parse_error st (Printf.sprintf "unknown opcode %S" other)
+        | other -> parse_error ~code:Diag.parse_unknown_name st (Printf.sprintf "unknown opcode %S" other)
       in
       Hashtbl.replace env lhs node
   | _ -> parse_error st "expected a statement"
@@ -335,7 +350,7 @@ let of_string src =
   let vec_size = expect_int st in
   let p =
     try Ir.create_program ~name ~vec_size ()
-    with Invalid_argument msg -> parse_error st msg
+    with Invalid_argument msg -> parse_error ~code:Diag.parse_structure st msg
   in
   expect st Lbrace "expected '{'";
   let env = Hashtbl.create 64 in
@@ -347,7 +362,9 @@ let of_string src =
   in
   stmts ();
   expect st Rbrace "expected '}'";
-  (match st.tok with Eof -> () | _ -> parse_error st "trailing input after program");
+  (match st.tok with
+  | Eof -> ()
+  | _ -> parse_error ~code:Diag.parse_structure st "trailing input after program");
   p
 
 let of_file path =
@@ -357,5 +374,6 @@ let of_file path =
     (fun () -> of_string (really_input_string ic (in_channel_length ic)))
 
 let describe_error = function
-  | Parse_error { line; col; message } -> Some (Printf.sprintf "parse error at line %d, column %d: %s" line col message)
+  | Parse_error { line; col; message; _ } ->
+      Some (Printf.sprintf "parse error at line %d, column %d: %s" line col message)
   | _ -> None

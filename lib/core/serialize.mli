@@ -23,7 +23,12 @@
     Scales are written in log2, matching the in-memory representation.
     [of_string (to_string p)] reproduces [p] up to node identity. *)
 
-exception Parse_error of { line : int; col : int; message : string }
+(** [code] is the stable taxonomy number ({!Eva_diag.Diag}, Parse layer:
+    101 syntax, 102 malformed number, 103 unknown name, 104 duplicate
+    definition, 105 program structure). The exception is registered with
+    [Eva_diag.Diag.classify], so boundaries that only speak the taxonomy
+    translate it without matching on this type. *)
+exception Parse_error of { line : int; col : int; code : int; message : string }
 
 val to_string : Ir.program -> string
 val of_string : string -> Ir.program

@@ -1,6 +1,6 @@
-exception Validation_error of string
+module Diag = Eva_diag.Diag
 
-let fail fmt = Format.kasprintf (fun s -> raise (Validation_error s)) fmt
+let fail ?node_id ~code fmt = Diag.error ?node_id ~layer:Diag.Validate ~code fmt
 
 let arity = function
   | Ir.Constant _ | Ir.Input _ -> 0
@@ -13,18 +13,21 @@ let check_well_formed p =
     (fun n ->
       let expect = arity n.Ir.op in
       if Array.length n.Ir.parms <> expect then
-        fail "node %d (%s): expected %d parameters, got %d" n.Ir.id (Ir.op_name n.Ir.op) expect
-          (Array.length n.Ir.parms);
+        fail ~node_id:n.Ir.id ~code:Diag.validate_arity "node %d (%s): expected %d parameters, got %d"
+          n.Ir.id (Ir.op_name n.Ir.op) expect (Array.length n.Ir.parms);
       match n.Ir.op with
       | Ir.Constant (Ir.Const_vector v) ->
           let len = Array.length v in
           if len = 0 || p.Ir.vec_size mod len <> 0 then
-            fail "node %d: constant vector size %d does not divide vec_size %d" n.Ir.id len p.Ir.vec_size
+            fail ~node_id:n.Ir.id ~code:Diag.validate_structure
+              "node %d: constant vector size %d does not divide vec_size %d" n.Ir.id len p.Ir.vec_size
       | Ir.Output _ ->
-          if n.Ir.uses <> [] then fail "node %d: output nodes must be leaves" n.Ir.id
+          if n.Ir.uses <> [] then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_structure "node %d: output nodes must be leaves"
+              n.Ir.id
       | _ -> ())
     p.Ir.all_nodes;
-  if Ir.outputs p = [] then fail "program has no outputs";
+  if Ir.outputs p = [] then fail ~code:Diag.validate_structure "program has no outputs";
   (* Type sanity: table construction raises on Cipher constants. *)
   ignore (Analysis.types p)
 
@@ -33,7 +36,8 @@ let check_input_program p =
   List.iter
     (fun n ->
       if Ir.is_fhe_specific n.Ir.op then
-        fail "node %d: %s is not allowed in input programs" n.Ir.id (Ir.op_name n.Ir.op))
+        fail ~node_id:n.Ir.id ~code:Diag.validate_structure
+          "node %d: %s is not allowed in input programs" n.Ir.id (Ir.op_name n.Ir.op))
     p.Ir.all_nodes
 
 let check_transformed ?(s_f = Passes.default_s_f) p =
@@ -43,7 +47,9 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
   (* Constraint 1: chain computation raises on non-conforming or unequal
      operand chains. *)
   let chains =
-    try Analysis.chains p with Analysis.Analysis_error msg -> fail "constraint 1 violated: %s" msg
+    try Analysis.chains p
+    with Analysis.Analysis_error msg ->
+      fail ~code:Diag.validate_structure "constraint 1 violated: %s" msg
   in
   ignore chains;
   (* Constraint 2: ADD/SUB cipher operands at equal scale. *)
@@ -55,7 +61,8 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
       | Ir.Add | Ir.Sub ->
           let a = n.Ir.parms.(0) and b = n.Ir.parms.(1) in
           if is_cipher a && is_cipher b && scale a <> scale b then
-            fail "constraint 2 violated: node %d (%s) operands at scales 2^%d and 2^%d" n.Ir.id
+            fail ~node_id:n.Ir.id ~code:Diag.validate_scale
+              "constraint 2 violated: node %d (%s) operands at scales 2^%d and 2^%d" n.Ir.id
               (Ir.op_name n.Ir.op) (scale a) (scale b)
       | _ -> ())
     p.Ir.all_nodes;
@@ -69,12 +76,15 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
           Array.iter
             (fun parent ->
               if is_cipher parent && polys parent <> 2 then
-                fail "constraint 3 violated: node %d multiplies a ciphertext with %d polynomials" n.Ir.id
+                fail ~node_id:n.Ir.id ~code:Diag.validate_poly_count
+                  "constraint 3 violated: node %d multiplies a ciphertext with %d polynomials" n.Ir.id
                   (polys parent))
             n.Ir.parms
       | Ir.Relinearize ->
           if polys n.Ir.parms.(0) <> 3 then
-            fail "node %d: relinearize expects a 3-polynomial ciphertext, got %d" n.Ir.id (polys n.Ir.parms.(0))
+            fail ~node_id:n.Ir.id ~code:Diag.validate_poly_count
+              "node %d: relinearize expects a 3-polynomial ciphertext, got %d" n.Ir.id
+              (polys n.Ir.parms.(0))
       | _ -> ())
     p.Ir.all_nodes;
   (* Constraint 4: rescale divisors bounded by s_f. *)
@@ -82,12 +92,15 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
     (fun n ->
       match n.Ir.op with
       | Ir.Rescale k ->
-          if k > s_f then fail "constraint 4 violated: node %d rescales by 2^%d > 2^%d" n.Ir.id k s_f;
-          if k <= 0 then fail "node %d: rescale by 2^%d" n.Ir.id k
+          if k > s_f then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_rescale
+              "constraint 4 violated: node %d rescales by 2^%d > 2^%d" n.Ir.id k s_f;
+          if k <= 0 then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_rescale "node %d: rescale by 2^%d" n.Ir.id k
       | _ -> ())
     p.Ir.all_nodes;
   (* Scales must stay positive (message would be destroyed otherwise). *)
   Hashtbl.iter
     (fun id s ->
-      if s < 0 then fail "node %d: negative scale 2^%d" id s)
+      if s < 0 then fail ~node_id:id ~code:Diag.validate_scale "node %d: negative scale 2^%d" id s)
     scales

@@ -10,9 +10,12 @@
 
     In addition the input-program well-formedness rules of Section 3 are
     enforced (arities, no Cipher constants, no FHE-specific instructions
-    reachable in input programs, vector sizes). *)
+    reachable in input programs, vector sizes).
 
-exception Validation_error of string
+    Violations raise [Eva_diag.Diag.Error] in the [Validate] layer with
+    one stable code per constraint class (EVA-E201 arity, E202 scale,
+    E203 polynomial count, E204 rescale bound, E205 structure), anchored
+    to the offending IR node. *)
 
 (** Check a frontend-produced input program (no FHE-specific ops). *)
 val check_input_program : Ir.program -> unit

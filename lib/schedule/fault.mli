@@ -1,0 +1,85 @@
+(** Deterministic fault injection for the executors.
+
+    The parallel executor's failure semantics (worker death, transient
+    node failures, timeouts, corrupted intermediates) are impossible to
+    exercise from the outside — real domain crashes are not schedulable
+    from a test. This module is the seam: a fault plan decides, per node
+    and per attempt, whether the evaluation proceeds, the worker dies,
+    the attempt fails transiently, the node is delayed or times out, or
+    the produced ciphertext is tampered with. {!Parallel.execute} and
+    {!Eva_core.Executor.run_graph} (through {!interpose}) consult the
+    plan at every node; with no plan supplied the hook is absent and
+    costs nothing.
+
+    Under any plan the contract is: the executor completes bit-exact
+    after retries, or raises a structured [Eva_diag.Diag.Error] — it
+    never deadlocks, and buffer release (the peak-live-value bound)
+    holds on every surviving path. *)
+
+type kind =
+  | Wrong_level  (** tamper the ciphertext's declared chain level *)
+  | Wrong_scale  (** tamper the ciphertext's tracked scale *)
+
+type action =
+  | Proceed  (** evaluate normally *)
+  | Die  (** the worker domain executing this node dies mid-node *)
+  | Fail  (** one transient evaluation failure (retryable) *)
+  | Delay of float  (** sleep this many seconds, then evaluate normally *)
+  | Timeout of float  (** sleep, then count the attempt as timed out (retryable) *)
+  | Corrupt of kind  (** evaluate, then tamper the result *)
+
+(** Everything the plan injected, for assertions. [retries] counts
+    re-executions granted after [Fail]/[Timeout]/sequential [Die]. *)
+type counters = {
+  mutable deaths : int;
+  mutable failures : int;
+  mutable delays : int;
+  mutable timeouts : int;
+  mutable corruptions : int;
+  mutable retries : int;
+}
+
+type t
+
+(** [plan actions] is a scripted plan: for node id [i], the [j]-th
+    attempt performs the [j]-th action of its list ([Proceed] once the
+    list is exhausted, so a single [Fail] means "fail once, then
+    succeed"). [max_retries] (default 3) bounds re-execution per node. *)
+val plan : ?max_retries:int -> (int * action list) list -> t
+
+(** A seeded random plan: each attempt independently draws [Die], [Fail]
+    or [Corrupt Wrong_scale] with the given probabilities (remaining
+    mass proceeds). Deterministic given the seed and the sequence of
+    draws. *)
+val random :
+  ?max_retries:int -> seed:int -> death_p:float -> fail_p:float -> corrupt_p:float -> unit -> t
+
+(** A plan that injects nothing — for measuring hook overhead. *)
+val none : unit -> t
+
+val max_retries : t -> int
+val counters : t -> counters
+
+(** Draw the next action for an attempt at [node_id]. Thread-safe;
+    counters are updated at draw time. *)
+val next_action : t -> node_id:int -> action
+
+(** [note_retry t ~node_id] records one more re-execution of the node;
+    [`Exhausted] once the per-node budget is spent. Thread-safe. *)
+val note_retry : t -> node_id:int -> [ `Retry | `Exhausted ]
+
+(** Tamper a value per [kind]. Plain values pass through unchanged —
+    only ciphertexts carry level/scale metadata to corrupt. *)
+val corrupt_value : kind -> Eva_core.Executor.value -> Eva_core.Executor.value
+
+(** Transient-failure exception raised inside an injected [Fail]
+    attempt (internal to the executors' retry loops; it never escapes —
+    exhaustion surfaces as EVA-E506). *)
+exception Injected of int
+
+(** Adapter for the sequential executor:
+    [Executor.run_graph ~interpose:(Fault.interpose plan)]. [Fail] and
+    [Timeout] retry in place up to the budget (then EVA-E506/E505);
+    [Die] behaves like [Fail] — a sequential run has no other worker to
+    requeue onto, so death-and-pickup degenerates to retry. *)
+val interpose : t -> Eva_core.Ir.node -> (unit -> Eva_core.Executor.value) -> Eva_core.Executor.value

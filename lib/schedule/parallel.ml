@@ -1,6 +1,7 @@
 module Ir = Eva_core.Ir
 module Executor = Eva_core.Executor
 module Fheap = Makespan.Fheap
+module Diag = Eva_diag.Diag
 
 type result = {
   outputs : (string * float array) list;
@@ -18,10 +19,11 @@ type shared = {
   mutable peak_live : int;
   mutable per_node : (int * Ir.op * float) list;
   mutable outstanding : int;  (** instructions not yet finished *)
+  mutable live_workers : int;
   mutable failure : exn option;
 }
 
-let execute_on ?cost ~workers engine compiled =
+let execute_on ?cost ?fault ~workers engine compiled =
   if workers < 1 then invalid_arg "Parallel.execute_on: workers >= 1";
   let p = compiled.Eva_core.Compile.program in
   let cost =
@@ -46,6 +48,7 @@ let execute_on ?cost ~workers engine compiled =
       peak_live = 0;
       per_node = [];
       outstanding = List.length instructions;
+      live_workers = workers;
       failure = None;
     }
   in
@@ -74,6 +77,14 @@ let execute_on ?cost ~workers engine compiled =
       | _ -> ())
     p.Ir.all_nodes;
   Mutex.unlock sh.mutex;
+  (* Completing a node under a fault plan: a worker ordered to [Die]
+     requeues its claimed node and exits — safe, because parent values
+     are only released on completion, so whichever worker picks the node
+     up re-reads identical inputs (bit-exact re-execution). Transient
+     failures and timeouts requeue within the retry budget and become
+     structured EVA-E506/E505 beyond it; if every worker has died with
+     work outstanding the run ends in EVA-E504 instead of deadlocking
+     (each state change broadcasts, so no waiter is stranded). *)
   let worker () =
     let rec loop () =
       Mutex.lock sh.mutex;
@@ -92,13 +103,66 @@ let execute_on ?cost ~workers engine compiled =
       | Some n ->
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find sh.values m.Ir.id) n.Ir.parms) in
           Mutex.unlock sh.mutex;
-          let tn = Unix.gettimeofday () in
-          let result = try Ok (Executor.eval_node engine n parents) with e -> Error e in
-          let dt = Unix.gettimeofday () -. tn in
-          Mutex.lock sh.mutex;
-          (match result with
-          | Error e -> sh.failure <- Some e
-          | Ok v ->
+          let action =
+            match fault with None -> Fault.Proceed | Some f -> Fault.next_action f ~node_id:n.Ir.id
+          in
+          if action = Fault.Die then begin
+            Mutex.lock sh.mutex;
+            push n;
+            sh.live_workers <- sh.live_workers - 1;
+            if sh.live_workers = 0 && sh.outstanding > 0 && sh.failure = None then
+              sh.failure <-
+                Some
+                  (Diag.Error
+                     (Diag.make ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op) ~layer:Diag.Execute
+                        ~code:Diag.exec_workers_died
+                        (Printf.sprintf "all %d workers died with %d instructions outstanding"
+                           workers sh.outstanding)));
+            Condition.broadcast sh.cond;
+            Mutex.unlock sh.mutex
+            (* the domain exits here: death is permanent, never respawned *)
+          end
+          else begin
+            let tn = Unix.gettimeofday () in
+            let result =
+              match action with
+              | Fault.Die -> assert false
+              | Fault.Fail -> Error `Transient
+              | Fault.Timeout dt ->
+                  Unix.sleepf dt;
+                  Error `Timeout
+              | Fault.Proceed | Fault.Delay _ | Fault.Corrupt _ -> (
+                  (match action with Fault.Delay dt -> Unix.sleepf dt | _ -> ());
+                  try
+                    let v = Executor.eval_node engine n parents in
+                    Ok (match action with Fault.Corrupt k -> Fault.corrupt_value k v | _ -> v)
+                  with e -> Error (`Fatal (Executor.node_failure n e)))
+            in
+            let dt = Unix.gettimeofday () -. tn in
+            Mutex.lock sh.mutex;
+            (match result with
+            | Error (`Fatal e) -> if sh.failure = None then sh.failure <- Some e
+            | Error ((`Transient | `Timeout) as what) -> (
+                let f = Option.get fault in
+                match Fault.note_retry f ~node_id:n.Ir.id with
+                | `Retry -> push n
+                | `Exhausted ->
+                    if sh.failure = None then
+                      sh.failure <-
+                        Some
+                          (Diag.Error
+                             (Diag.make ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op)
+                                ~layer:Diag.Execute
+                                ~code:
+                                  (match what with
+                                  | `Transient -> Diag.exec_retry_exhausted
+                                  | `Timeout -> Diag.exec_timeout)
+                                (Printf.sprintf "node %d %s beyond the %d-retry budget" n.Ir.id
+                                   (match what with
+                                   | `Transient -> "failed transiently"
+                                   | `Timeout -> "timed out")
+                                   (Fault.max_retries f)))))
+            | Ok v ->
               Hashtbl.replace sh.values n.Ir.id v;
               if Hashtbl.length sh.values > sh.peak_live then sh.peak_live <- Hashtbl.length sh.values;
               sh.per_node <- (n.Ir.id, n.Ir.op, dt) :: sh.per_node;
@@ -124,9 +188,10 @@ let execute_on ?cost ~workers engine compiled =
                   Hashtbl.replace sh.pending_parents c.Ir.id d;
                   if d = 0 then push c)
                 n.Ir.uses);
-          Condition.broadcast sh.cond;
-          Mutex.unlock sh.mutex;
-          loop ()
+            Condition.broadcast sh.cond;
+            Mutex.unlock sh.mutex;
+            loop ()
+          end
     in
     loop ()
   in
@@ -152,8 +217,8 @@ let execute_on ?cost ~workers engine compiled =
     peak_live_values = sh.peak_live;
   }
 
-let execute ?seed ?ignore_security ?log_n ?cost ~workers compiled bindings =
+let execute ?seed ?ignore_security ?log_n ?cost ?fault ~workers compiled bindings =
   let engine =
     Executor.prepare ?seed ?ignore_security ?log_n ~encrypt_workers:workers compiled bindings
   in
-  execute_on ?cost ~workers engine compiled
+  execute_on ?cost ?fault ~workers engine compiled

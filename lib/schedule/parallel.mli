@@ -20,9 +20,18 @@ type result = {
 (** [execute_on ~workers engine c] evaluates an already-prepared engine
     (context, keys and encrypted inputs reused across calls). [cost]
     overrides the ready-priority cost model (default: the analytic
-    {!Cost} model at the compiled parameters). *)
+    {!Cost} model at the compiled parameters).
+
+    [fault] injects deterministic faults (see {!Fault}): a worker told
+    to die requeues its node and exits permanently (all workers dead
+    with work outstanding is EVA-E504); transient failures and timeouts
+    requeue within the plan's retry budget (EVA-E506/E505 beyond it);
+    node evaluation errors are anchored to their node via
+    {!Eva_core.Executor.node_failure}. With [fault] absent, no hook
+    runs. *)
 val execute_on :
   ?cost:(Eva_core.Ir.node -> float) ->
+  ?fault:Fault.t ->
   workers:int ->
   Eva_core.Executor.engine ->
   Eva_core.Compile.compiled ->
@@ -36,6 +45,7 @@ val execute :
   ?ignore_security:bool ->
   ?log_n:int ->
   ?cost:(Eva_core.Ir.node -> float) ->
+  ?fault:Fault.t ->
   workers:int ->
   Eva_core.Compile.compiled ->
   (string * Eva_core.Reference.binding) list ->

@@ -28,7 +28,7 @@ let test_context_rejects_insecure () =
     (try
        ignore (Ctx.make ~n:1024 ~data_bits:[ 30; 30 ] ~special_bits:[ 30 ] ());
        false
-     with Invalid_argument _ -> true)
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.code = Eva_diag.Diag.crypto_security)
 
 let test_embedding_round_trip () =
   let e = Emb.make ~slots:32 in

@@ -166,7 +166,7 @@ let test_validate_rejects_fhe_ops_in_input () =
     (try
        Compile.run p |> ignore;
        false
-     with Validate.Validation_error _ -> true)
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.layer = Eva_diag.Diag.Validate)
 
 let test_validate_catches_scale_mismatch () =
   (* Hand-build an invalid transformed program: add of operands at
@@ -180,7 +180,9 @@ let test_validate_catches_scale_mismatch () =
     (try
        Validate.check_transformed p;
        false
-     with Validate.Validation_error msg -> String.length msg > 0 && String.sub msg 0 12 = "constraint 2")
+     with Eva_diag.Diag.Error d ->
+       d.Eva_diag.Diag.code = Eva_diag.Diag.validate_scale
+       && String.sub d.Eva_diag.Diag.message 0 12 = "constraint 2")
 
 let test_validate_catches_unrelinearized () =
   let p = Ir.create_program ~vec_size:8 () in
@@ -192,7 +194,9 @@ let test_validate_catches_unrelinearized () =
     (try
        Validate.check_transformed p;
        false
-     with Validate.Validation_error msg -> String.sub msg 0 12 = "constraint 3")
+     with Eva_diag.Diag.Error d ->
+       d.Eva_diag.Diag.code = Eva_diag.Diag.validate_poly_count
+       && String.sub d.Eva_diag.Diag.message 0 12 = "constraint 3")
 
 let test_validate_catches_big_rescale () =
   let p = Ir.create_program ~vec_size:8 () in
@@ -203,7 +207,9 @@ let test_validate_catches_big_rescale () =
     (try
        Validate.check_transformed p;
        false
-     with Validate.Validation_error msg -> String.sub msg 0 12 = "constraint 4")
+     with Eva_diag.Diag.Error d ->
+       d.Eva_diag.Diag.code = Eva_diag.Diag.validate_rescale
+       && String.sub d.Eva_diag.Diag.message 0 12 = "constraint 4")
 
 let test_compile_is_nondestructive () =
   let p = fig2_input () in

@@ -1,0 +1,97 @@
+(* Golden-code corpus: every file under corpus/ is a malformed .eva
+   program or wire object whose filename carries the structured error
+   code it must produce (e.g. e403-ct-poly-count-huge.wire). The runner
+   feeds each to the matching reader and checks that it raises a
+   classified error with exactly that code — no bare Failure, no crash,
+   no silent acceptance. *)
+
+module Serialize = Eva_core.Serialize
+module Ctx = Eva_ckks.Context
+module Wire = Eva_ckks.Wire
+module Diag = Eva_diag.Diag
+
+let corpus_dir = "corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The context the ciphertext/key corpus entries are framed against:
+   the same parameters test_wire uses (6 data primes at level 3). *)
+let wire_ctx =
+  lazy (Ctx.make ~ignore_security:true ~n:512 ~data_bits:[ 60; 40; 40 ] ~special_bits:[ 60 ] ())
+
+let expected_code name =
+  (* "e403-ct-..." -> 403 *)
+  if String.length name < 5 || name.[0] <> 'e' then
+    Alcotest.failf "corpus file %S: name must start with e<code>-" name;
+  match int_of_string_opt (String.sub name 1 3) with
+  | Some c -> c
+  | None -> Alcotest.failf "corpus file %S: malformed code prefix" name
+
+let feed name body =
+  if Filename.check_suffix name ".eva" then ignore (Serialize.of_string body)
+  else if Filename.check_suffix name ".wire" then begin
+    let contains sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length name && (String.sub name i n = sub || go (i + 1)) in
+      go 0
+    in
+    let pos = ref 0 in
+    if contains "-ctx-" then ignore (Wire.read_context ~ignore_security:true body ~pos)
+    else if contains "-ct-" then ignore (Wire.read_ciphertext (Lazy.force wire_ctx) body ~pos)
+    else if contains "-keys-" then ignore (Wire.read_eval_keys (Lazy.force wire_ctx) body ~pos)
+    else Alcotest.failf "corpus file %S: unknown wire kind (want -ctx-/-ct-/-keys-)" name
+  end
+  else Alcotest.failf "corpus file %S: unknown extension" name
+
+let test_corpus () =
+  let files = Sys.readdir corpus_dir in
+  Array.sort compare files;
+  Alcotest.(check bool) "corpus has at least 30 entries" true (Array.length files >= 30);
+  Array.iter
+    (fun name ->
+      let body = read_file (Filename.concat corpus_dir name) in
+      let want = expected_code name in
+      match feed name body with
+      | () -> Alcotest.failf "%s: accepted, expected EVA-E%03d" name want
+      | exception e -> (
+          match Diag.classify e with
+          | Some d ->
+              if d.Diag.code <> want then
+                Alcotest.failf "%s: got EVA-E%03d (%s), expected EVA-E%03d" name d.Diag.code
+                  d.Diag.message want
+          | None -> Alcotest.failf "%s: unclassified exception %s" name (Printexc.to_string e)))
+    files
+
+(* Positions must be present and meaningful on wire errors: the huge
+   degree sits on line 1 of the context header. *)
+let test_wire_error_position () =
+  match Wire.read_context ~ignore_security:true "context\n1048576\n3 60 40 40\n60\n" ~pos:(ref 0) with
+  | _ -> Alcotest.fail "accepted a 2^20 degree"
+  | exception Diag.Error d -> (
+      Alcotest.(check int) "code" Diag.wire_length d.Diag.code;
+      match d.Diag.pos with
+      | Some (line, _) -> Alcotest.(check int) "line of the offending token" 2 line
+      | None -> Alcotest.fail "no position on a wire error")
+
+(* Exit codes are part of the CLI contract: one per layer, disjoint from
+   cmdliner's own 123-125 range. *)
+let test_exit_codes_distinct () =
+  let layers = [ Diag.Parse; Diag.Validate; Diag.Compile; Diag.Wire; Diag.Execute; Diag.Crypto ] in
+  let codes = List.map Diag.exit_code layers in
+  Alcotest.(check int) "distinct" (List.length codes) (List.length (List.sort_uniq compare codes));
+  List.iter (fun c -> Alcotest.(check bool) "outside cmdliner range" true (c < 123)) codes
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "malformed inputs",
+        [
+          Alcotest.test_case "golden error codes" `Quick test_corpus;
+          Alcotest.test_case "wire errors carry positions" `Quick test_wire_error_position;
+          Alcotest.test_case "exit codes distinct" `Quick test_exit_codes_distinct;
+        ] );
+    ]

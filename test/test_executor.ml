@@ -150,8 +150,13 @@ let test_missing_input () =
   let x = B.input b ~scale:30 "x" in
   B.output b "out" ~scale:30 x;
   let c = Compile.run (B.program b) in
-  Alcotest.check_raises "missing" (Executor.Missing_input "x") (fun () ->
-      ignore (Executor.execute ~ignore_security:true ~log_n:10 c []))
+  Alcotest.(check bool) "missing reported as EVA-E501" true
+    (try
+       ignore (Executor.execute ~ignore_security:true ~log_n:10 c []);
+       false
+     with Eva_diag.Diag.Error d ->
+       d.Eva_diag.Diag.code = Eva_diag.Diag.exec_missing_inputs
+       && d.Eva_diag.Diag.layer = Eva_diag.Diag.Execute)
 
 let test_timings_recorded () =
   let b = B.create ~vec_size:16 () in

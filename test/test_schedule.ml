@@ -206,7 +206,7 @@ let test_parallel_propagates_failure () =
     (try
        ignore (Parallel.execute ~ignore_security:true ~log_n:10 ~workers:2 compiled bindings);
        false
-     with Eva_ckks.Eval.Scale_mismatch _ -> true)
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.code = Eva_diag.Diag.crypto_scale)
 
 (* A failure in the middle of the graph — with healthy work scheduled
    both before and after it — must propagate out of every worker
@@ -229,7 +229,9 @@ let test_parallel_midgraph_failure_no_deadlock () =
     (try
        ignore (Parallel.execute ~ignore_security:true ~log_n:10 ~workers:4 compiled bindings);
        false
-     with Eva_ckks.Eval.Scale_mismatch _ -> true)
+     with Eva_diag.Diag.Error d ->
+       (* the scheme-layer mismatch, anchored to the failing node *)
+       d.Eva_diag.Diag.code = Eva_diag.Diag.crypto_scale && d.Eva_diag.Diag.node_id <> None)
 
 let prop_makespan_bounds_random =
   QCheck2.Test.make ~name:"makespan bounds on random DAGs" ~count:40 QCheck2.Gen.(int_range 0 100000)

@@ -110,11 +110,11 @@ let test_truncated_input_fails_cleanly () =
   let ct = Eval.encrypt c ks st (Eval.encode c ~level:3 ~scale:(Float.ldexp 1.0 40) v) in
   let s = Wire.to_string Wire.write_ciphertext ct in
   let truncated = String.sub s 0 (String.length s / 2) in
-  Alcotest.(check bool) "fails with Failure" true
+  Alcotest.(check bool) "fails with a Wire-layer error" true
     (try
        ignore (Wire.read_ciphertext c truncated ~pos:(ref 0));
        false
-     with Failure _ -> true)
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.layer = Eva_diag.Diag.Wire)
 
 let () =
   Alcotest.run "wire"
