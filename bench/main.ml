@@ -626,8 +626,87 @@ let kernels () =
       let level = Ctx.chain_length ctx in
       let c = Rp.sample_uniform rng ~tables:(Ctx.tables_for_level ctx level) in
       report "key_switch r=6+2"
-        (time_one ~budget:0.4 (fun () -> ignore (Keys.switch ctx ks.Keys.relin ~level c))))
+        (time_one ~budget:0.4 (fun () -> ignore (Keys.switch ctx ks.Keys.relin ~level c)));
+      (* Hoisted split: decompose is the hoistable prefix, apply the
+         per-key suffix. Allocation discipline target: apply reuses the
+         decomposition's scratch, so its words/op stay flat in the digit
+         count (no per-apply digit re-extraction). *)
+      report "ks_decompose" (time_one ~budget:0.4 (fun () -> ignore (Keys.decompose ctx ~level c)));
+      let d = Keys.decompose ctx ~level c in
+      let g = Ctx.galois_elt_rotate ctx 1 in
+      report "ks_apply (galois)"
+        (time_one ~budget:0.4 (fun () -> ignore (Keys.apply_decomposed ~galois:g ctx ks.Keys.relin d))))
     log_ns
+
+(* ------------------------------------------------------------------ *)
+(* Hoisted rotations: decompose once, rotate many                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Halevi-Shoup hoisting: k rotations of one ciphertext share a single
+   digit decomposition, so the per-rotation marginal cost drops from
+   decompose + apply to apply alone. This experiment measures the naive
+   loop (k independent Eval.rotate calls) against Eval.rotate_hoisted
+   for growing k, checks bit-exactness on every run, and reports the
+   speedup the RotateMany executor path realizes. Acceptance target:
+   >= 1.5x at k = 16, N = 2^12. *)
+let rotations () =
+  header "Hoisted rotations: naive k x rotate vs decompose-once (measured)";
+  let module Ctx = Eva_ckks.Context in
+  let module Keys = Eva_ckks.Keys in
+  let module Eval = Eva_ckks.Eval in
+  let module Rp = Eva_poly.Rns_poly in
+  let log_n = if !smoke then 8 else 12 in
+  let n = 1 lsl log_n in
+  let ctx = Ctx.make ~ignore_security:true ~n ~data_bits:[ 60; 60; 60 ] ~special_bits:[ 60 ] () in
+  let rng = Random.State.make [| 31; log_n |] in
+  let steps_all = List.init 16 (fun i -> i + 1) in
+  let galois_elts = List.map (Ctx.galois_elt_rotate ctx) steps_all in
+  let _, ks = Keys.generate ctx rng ~galois_elts in
+  let v = Array.init (Ctx.slots ctx) (fun i -> Float.sin (float_of_int i)) in
+  let pt = Eval.encode ctx ~level:(Ctx.chain_length ctx) ~scale:(Float.ldexp 1.0 40) v in
+  let ct = Eval.encrypt ctx ks rng pt in
+  (* Best-of-[reps]: the minimum rejects GC slices and scheduler noise,
+     which at container sizes dwarf the effect under measurement. *)
+  let time_loop reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Printf.printf "N = 2^%d, 3x60-bit chain + special:\n" log_n;
+  Printf.printf "  %-6s | %10s | %10s | %7s\n" "k" "naive (ms)" "hoisted(ms)" "speedup";
+  let final_speedup = ref 0.0 in
+  List.iter
+    (fun k ->
+      let steps = List.filteri (fun i _ -> i < k) steps_all in
+      (* Bit-exactness first: the hoisted path must equal the sequential
+         rotations residue for residue. *)
+      let naive = List.map (fun s -> Eval.rotate ctx ks ct s) steps in
+      let hoisted = Eval.rotate_hoisted ctx ks ct steps in
+      List.iter2
+        (fun a b ->
+          assert (a.Eval.level = b.Eval.level && a.Eval.scale = b.Eval.scale);
+          Array.iteri
+            (fun i pa ->
+              Array.iteri (fun j row -> assert (row = (Rp.rows b.Eval.polys.(i)).(j))) (Rp.rows pa))
+            a.Eval.polys)
+        naive hoisted;
+      let reps = if !smoke then 1 else 5 in
+      (* warm-up, then quiesce the GC so a major slice triggered by the
+         bit-exactness check above is not billed to either side *)
+      ignore (Eval.rotate_hoisted ctx ks ct steps);
+      Gc.full_major ();
+      let t_naive = time_loop reps (fun () -> List.iter (fun s -> ignore (Eval.rotate ctx ks ct s)) steps) in
+      let t_hoisted = time_loop reps (fun () -> ignore (Eval.rotate_hoisted ctx ks ct steps)) in
+      let speedup = t_naive /. t_hoisted in
+      if k = 16 then final_speedup := speedup;
+      Printf.printf "  %-6d | %10.2f | %10.2f | %6.2fx\n" k (t_naive *. 1e3) (t_hoisted *. 1e3) speedup)
+    [ 1; 4; 16 ];
+  Printf.printf "\nAll hoisted outputs bit-exact vs sequential Eval.rotate.\n";
+  Printf.printf "Acceptance: speedup at k=16 is %.2fx (target >= 1.5x at N=2^12).\n" !final_speedup
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection hook overhead                                       *)
@@ -696,6 +775,7 @@ let experiments =
     ("ablation", ablation);
     ("micro", micro);
     ("kernels", kernels);
+    ("rotations", rotations);
     ("faults", faults);
   ]
 

@@ -175,4 +175,36 @@ let rotate ctx ks ct steps =
   let steps = ((steps mod Context.slots ctx) + Context.slots ctx) mod Context.slots ctx in
   if steps = 0 then ct else apply_galois ctx ks ct (Context.galois_elt_rotate ctx steps)
 
+let rotate_hoisted ctx ks ct steps =
+  if size ct <> 2 then raise (Size_error "rotate_hoisted: size-2 ciphertext required");
+  let slots = Context.slots ctx in
+  let normed = List.map (fun s -> ((s mod slots) + slots) mod slots) steps in
+  if List.for_all (fun s -> s = 0) normed then List.map (fun _ -> ct) normed
+  else begin
+    (* Resolve every key before paying for the decomposition. *)
+    let keys =
+      List.map
+        (fun s ->
+          if s = 0 then None
+          else
+            let g = Context.galois_elt_rotate ctx s in
+            match Keys.find_galois ks g with
+            | Some key -> Some (g, key)
+            | None -> raise (Missing_galois_key g))
+        normed
+    in
+    let d = Keys.decompose ctx ~level:ct.level ct.polys.(1) in
+    List.map
+      (function
+        | None -> ct
+        | Some (g, key) ->
+            let d0, d1 = Keys.apply_decomposed ~galois:g ctx key d in
+            (* Same tail as [apply_galois]: the permuted c0 is fresh,
+               safe to fold the correction into. *)
+            let c0g = Rns_poly.galois ct.polys.(0) g in
+            Rns_poly.add_inplace c0g d0;
+            { ct with polys = [| c0g; d1 |] })
+      keys
+  end
+
 let conjugate ctx ks ct = apply_galois ctx ks ct (Context.galois_elt_conjugate ctx)

@@ -57,6 +57,15 @@ val mod_switch : Context.t -> ciphertext -> ciphertext
     {!Missing_galois_key} when the keyset lacks the step's key. *)
 val rotate : Context.t -> Keys.keyset -> ciphertext -> int -> ciphertext
 
+(** [rotate_hoisted ctx ks ct steps] rotates [ct] by every step of the
+    list, decomposing [ct] once (Halevi–Shoup hoisting) and applying
+    each step's Galois key to the shared decomposition. Bit-exact with
+    mapping {!rotate} over [steps] — residue for residue — but the
+    per-rotation cost drops to an inner product once the shared
+    decomposition is paid for. Raises {!Missing_galois_key} before any
+    work if a step's key is absent. *)
+val rotate_hoisted : Context.t -> Keys.keyset -> ciphertext -> int list -> ciphertext list
+
 (** Complex-conjugate every slot (the Galois element X -> X^(2N-1));
     raises {!Missing_galois_key} when the conjugation key is absent. *)
 val conjugate : Context.t -> Keys.keyset -> ciphertext -> ciphertext

@@ -94,16 +94,34 @@ let switch_key_rows k = (k.kb, k.ka)
 let switch_key_of_rows ~kb ~ka = { kb; ka }
 let public_of_parts ~b ~a = { pk_b = b; pk_a = a }
 
-(* The integer value of a digit (the residues of one modulus element),
-   via Garner within the pair: D = ra + qa * ((rb - ra) / qa mod qb),
-   which fits a native int (below 2^61). Exact — no approximate base
-   extension needed. For one-prime elements D is the residue itself
-   (the row is returned as-is; callers only read). Two-prime digits are
-   written into [buf] so one scratch array serves every element. *)
+(* The *centered* integer value of a digit (the residues of one modulus
+   element), via Garner within the pair — D = ra + qa * ((rb - ra) / qa
+   mod qb), which fits a native int (below 2^61) — then shifted into the
+   symmetric range (-Q_e/2, Q_e/2). Q_e is odd, so the range is exact
+   and the map is odd: D(-c) = -D(c), including 0. That oddness is what
+   makes digit extraction commute with the Galois automorphism's
+   coefficient negations, the property hoisted key switching relies on
+   (permuting NTT-domain digit rows must equal decomposing the permuted
+   polynomial). Centered digits also halve the worst-case digit
+   magnitude, the standard noise win. Exact — no approximate base
+   extension needed. Digits are written into [buf] so one scratch array
+   serves every element. *)
 let digit_values_into ~full ~lo ~count rows buf =
-  if count = 1 then rows.(lo)
+  if count = 1 then begin
+    let qa = Ntt.modulus full.(lo) in
+    let half = qa / 2 in
+    let ra = rows.(lo) in
+    for k = 0 to Array.length buf - 1 do
+      let r = ra.(k) in
+      (* r - qa iff r > half, branchless: (half - r) asr 62 is -1 then. *)
+      buf.(k) <- r - (qa land ((half - r) asr 62))
+    done;
+    buf
+  end
   else begin
     let qa = Ntt.modulus full.(lo) and qb = Ntt.modulus full.(lo + 1) in
+    let qe = qa * qb in
+    let half = qe / 2 in
     let br_b = Ntt.barrett full.(lo + 1) in
     let inv_qa = Modarith.inv (qa mod qb) qb in
     let inv_s = Modarith.shoup inv_qa qb in
@@ -112,58 +130,135 @@ let digit_values_into ~full ~lo ~count rows buf =
       (* ra.(k) < qa < 2^30, so the 31-bit Barrett constant reduces it. *)
       let ra_b = Modarith.barrett_reduce31 br_b ra.(k) in
       let t = Modarith.mul_shoup (Modarith.sub rb.(k) ra_b qb) inv_qa inv_s qb in
-      buf.(k) <- ra.(k) + (qa * t)
+      let d = ra.(k) + (qa * t) in
+      buf.(k) <- d - (qe land ((half - d) asr 62))
     done;
     buf
   end
 
-let switch ctx key ~level c =
+(* A hoistable decomposition: every digit of the input, spread over the
+   key-switch target chain and forward-transformed, plus the scratch an
+   [apply_decomposed] call needs. Producing this is the expensive shared
+   prefix of a key switch (Garner reconstruction + one forward NTT per
+   target row per element); applying a key to it is cheap (pointwise
+   inner products + the modulus-down correction). The scratch fields
+   make [apply_decomposed] allocation-light but also mean a [decomposed]
+   value must not be shared across threads. *)
+type decomposed = {
+  d_level : int;
+  d_m : int;  (* data primes at this level *)
+  d_target : Ntt.table array;  (* level tables ++ special tables *)
+  d_elems : int array;  (* live modulus-element indices *)
+  d_digits : int array array array;  (* per live element: tm rows, NTT form *)
+  mutable d_perm_scratch : int array array;  (* lazily built: tm rows for permuted digits *)
+  d_kb : int array array;  (* key-row pointer scratch, reused per apply *)
+  d_ka : int array array;
+}
+
+let decompose ctx ~level c =
   let level_tables = Context.tables_for_level ctx level in
   let m = Array.length level_tables in
   let target = Context.ks_tables ctx level in
   let tm = Array.length target in
-  let nd = Context.num_data_primes ctx in
   let full = Context.full_tables ctx in
-  let acc0 = Rns_poly.zero ~tables:target in
-  let acc1 = Rns_poly.zero ~tables:target in
-  let w = if Rns_poly.is_ntt c then Rns_poly.copy c else c in
+  (* NTT input: work on an owned copy whose rows the digits may keep.
+     Coefficient input: the caller keeps ownership, so in-range rows are
+     copied before the in-place forward transform. *)
+  let owned = Rns_poly.is_ntt c in
+  let w = if owned then Rns_poly.copy c else c in
   Rns_poly.to_coeff w;
   let w_rows = Rns_poly.rows w in
   let n = Rns_poly.degree c in
   let ranges = Context.element_prime_ranges ctx in
-  (* Scratch shared across elements: the digit's residue rows (mutated in
-     place by the forward NTT, then fully overwritten for the next
-     element), the Garner buffer, and the key-row pointer arrays. *)
-  let digit_rows = Array.init tm (fun _ -> Array.make n 0) in
+  let live = ref [] in
+  Array.iteri (fun e (lo, count) -> if lo + count <= m then live := (e, lo, count) :: !live) ranges;
+  let live = Array.of_list (List.rev !live) in
   let d_buf = Array.make n 0 in
-  let kb_rows = Array.make tm [||] and ka_rows = Array.make tm [||] in
-  Array.iteri
-    (fun e (lo, count) ->
-      if lo + count <= m then begin
+  let digits =
+    Array.map
+      (fun (_, lo, count) ->
         let d = digit_values_into ~full ~lo ~count w_rows d_buf in
-        for j = 0 to tm - 1 do
-          let row = digit_rows.(j) in
-          if j >= lo && j < lo + count then Array.blit w_rows.(j) 0 row 0 n
-          else begin
-            let p = Ntt.modulus target.(j) in
-            for k = 0 to n - 1 do
-              row.(k) <- d.(k) mod p
-            done
-          end
-        done;
-        let digit = Rns_poly.of_coeff_residues ~tables:target digit_rows in
-        Rns_poly.to_ntt digit;
-        for j = 0 to tm - 1 do
-          let src = if j < m then j else nd + (j - m) in
-          kb_rows.(j) <- key.kb.(e).(src);
-          ka_rows.(j) <- key.ka.(e).(src)
-        done;
-        let kb = Rns_poly.of_ntt_rows ~tables:target kb_rows in
-        let ka = Rns_poly.of_ntt_rows ~tables:target ka_rows in
-        Rns_poly.mul_acc acc0 digit kb;
-        Rns_poly.mul_acc acc1 digit ka
-      end)
-    ranges;
+        Array.init tm (fun j ->
+            if j >= lo && j < lo + count then begin
+              (* The element's own primes: the digit is congruent to the
+                 residue row itself (centering shifts by a multiple of
+                 Q_e). *)
+              let row = if owned then w_rows.(j) else Array.copy w_rows.(j) in
+              Ntt.forward target.(j) row;
+              row
+            end
+            else begin
+              let p = Ntt.modulus target.(j) in
+              let row = Array.make n 0 in
+              for k = 0 to n - 1 do
+                (* OCaml [mod] truncates toward zero: normalize the
+                   centered digit's residue into [0, p). *)
+                let r = d.(k) mod p in
+                row.(k) <- r + (p land (r asr 62))
+              done;
+              Ntt.forward target.(j) row;
+              row
+            end))
+      live
+  in
+  {
+    d_level = level;
+    d_m = m;
+    d_target = target;
+    d_elems = Array.map (fun (e, _, _) -> e) live;
+    d_digits = digits;
+    d_perm_scratch = [||];
+    d_kb = Array.make tm [||];
+    d_ka = Array.make tm [||];
+  }
+
+let decomposed_level d = d.d_level
+
+let apply_decomposed ?galois ctx key d =
+  let target = d.d_target in
+  let tm = Array.length target in
+  let m = d.d_m in
+  let nd = Context.num_data_primes ctx in
+  let n = Ntt.size target.(0) in
+  let acc0 = Rns_poly.zero ~tables:target in
+  let acc1 = Rns_poly.zero ~tables:target in
+  let perm =
+    match galois with
+    | None -> None
+    | Some g ->
+        if Array.length d.d_perm_scratch = 0 then
+          d.d_perm_scratch <- Array.init tm (fun _ -> Array.make n 0);
+        (* The permutation only depends on (n, g), not the prime. *)
+        Some (Ntt.galois_permutation target.(0) g)
+  in
+  Array.iteri
+    (fun i e ->
+      let digit_rows = d.d_digits.(i) in
+      let rows =
+        match perm with
+        | None -> digit_rows
+        | Some perm ->
+            (* Apply the automorphism in the evaluation domain: a pure
+               index permutation per row, into reused scratch. *)
+            for j = 0 to tm - 1 do
+              let src = digit_rows.(j) and dst = d.d_perm_scratch.(j) in
+              for k = 0 to n - 1 do
+                Array.unsafe_set dst k (Array.unsafe_get src (Array.unsafe_get perm k))
+              done
+            done;
+            d.d_perm_scratch
+      in
+      let digit = Rns_poly.of_ntt_rows ~tables:target rows in
+      for j = 0 to tm - 1 do
+        let src = if j < m then j else nd + (j - m) in
+        d.d_kb.(j) <- key.kb.(e).(src);
+        d.d_ka.(j) <- key.ka.(e).(src)
+      done;
+      Rns_poly.mul_acc acc0 digit (Rns_poly.of_ntt_rows ~tables:target d.d_kb);
+      Rns_poly.mul_acc acc1 digit (Rns_poly.of_ntt_rows ~tables:target d.d_ka))
+    d.d_elems;
   (* Divide by the special modulus P with rounding. *)
   let ns = Context.num_special_primes ctx in
   (Rns_poly.rescale_many acc0 ns, Rns_poly.rescale_many acc1 ns)
+
+let switch ctx key ~level c = apply_decomposed ctx key (decompose ctx ~level c)

@@ -39,10 +39,44 @@ val secret_at_level : Context.t -> secret -> level:int -> Eva_poly.Rns_poly.t
 (** Public key components (over the full data chain, NTT form). *)
 val public_parts : public_key -> Eva_poly.Rns_poly.t * Eva_poly.Rns_poly.t
 
+(** {2 Hoisted key switching (Halevi–Shoup)}
+
+    A key switch is a shared expensive prefix — the RNS digit
+    decomposition of the input, spread over the extended chain and
+    forward-transformed — followed by a cheap per-key suffix (pointwise
+    inner products against the key, then the modulus-down correction).
+    {!decompose} computes the prefix once; {!apply_decomposed} runs the
+    suffix for one key, optionally permuting the cached digits by a
+    Galois element first. Digits are *centered* (symmetric range, odd in
+    the input), so the NTT-domain permutation of the cached digits is
+    bit-identical to decomposing the permuted polynomial — which is why
+    {!Eval.rotate_hoisted} agrees residue-for-residue with sequential
+    rotation. *)
+
+type decomposed
+
+(** [decompose ctx ~level c] digit-decomposes [c] over the key-switch
+    target chain (level tables plus special), NTT form. [c] may be in
+    either form and is not modified. The result owns per-apply scratch,
+    so it must not be shared across threads. *)
+val decompose : Context.t -> level:int -> Eva_poly.Rns_poly.t -> decomposed
+
+val decomposed_level : decomposed -> int
+
+(** [apply_decomposed ?galois ctx key d] finishes the key switch for one
+    key: [(d0, d1)] over the first [level] elements with
+    [d0 + d1*s ~ w*s'] where [w] is the decomposed polynomial ([galois]
+    permutes the cached digits by that element first, so [w] is then the
+    automorphism image of the decomposed input) and [s'] is the key's
+    source secret. Allocation-light: only the result pair is fresh. *)
+val apply_decomposed :
+  ?galois:int -> Context.t -> switch_key -> decomposed -> Eva_poly.Rns_poly.t * Eva_poly.Rns_poly.t
+
 (** [switch ctx key ~level c] returns [(d0, d1)] over the first [level]
     elements with [d0 + d1*s ~ c*s'] where [s'] is the key's source
     secret. [c] may be in either form (coefficient form avoids one NTT
-    round trip; [c] is not modified either way). *)
+    round trip; [c] is not modified either way). Exactly
+    [apply_decomposed ctx key (decompose ctx ~level c)]. *)
 val switch : Context.t -> switch_key -> level:int -> Eva_poly.Rns_poly.t -> Eva_poly.Rns_poly.t * Eva_poly.Rns_poly.t
 
 (** {2 Raw access for the wire format} *)

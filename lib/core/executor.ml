@@ -9,11 +9,15 @@ type timings = {
   execute_seconds : float;
   decrypt_seconds : float;
   per_node : (int * Ir.op * float) list;
+  pt_cache_hits : int;
+  pt_cache_misses : int;
 }
 
 type result = { outputs : (string * float array) list; timings : timings }
 
 type value = Ct of Eval.ciphertext | Plain of float array
+
+type pt_cache_stats = { mutable hits : int; mutable misses : int; mutable entries : int }
 
 type engine = {
   ctx : Ctx.t;
@@ -22,7 +26,8 @@ type engine = {
   rng : Random.State.t;
   vec_size : int;
   node_scales : (int, int) Hashtbl.t;
-  pt_cache : (int * int * float, Eval.plaintext) Hashtbl.t;
+  pt_cache : (int * int * float, (float array * Eval.plaintext) list) Hashtbl.t;
+  pt_stats : pt_cache_stats;
   pt_lock : Mutex.t;
   inputs : (int * value) list;
   context_seconds : float;
@@ -147,6 +152,7 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
     vec_size = vs;
     node_scales = Analysis.scales p;
     pt_cache = Hashtbl.create 32;
+    pt_stats = { hits = 0; misses = 0; entries = 0 };
     pt_lock = Mutex.create ();
     inputs;
     context_seconds;
@@ -167,18 +173,67 @@ let rebind ?encrypt_workers e compiled bindings =
   let inputs =
     encrypt_inputs e.ctx e.keyset e.rng ~vs ~top_level ~workers ~binding p.Ir.all_nodes
   in
-  { e with inputs; encrypt_seconds = now () -. t0; pt_cache = Hashtbl.create 32 }
+  {
+    e with
+    inputs;
+    encrypt_seconds = now () -. t0;
+    pt_cache = Hashtbl.create 32;
+    pt_stats = { hits = 0; misses = 0; entries = 0 };
+  }
 
-(* Encode a plaintext operand, caching by (node, level, scale). The plain
-   value is snapshotted into [plain_values] the first time. *)
-let encode_cached e n plain ~level ~scale =
+(* The encoding cache is keyed by plaintext *content* — the same mask
+   vector reaching the executor through different IR nodes (BSGS kernels
+   re-emit identical diagonal masks per block) encodes once. Hash
+   collisions are resolved by a bitwise compare of the slot values
+   (Int64 bit patterns, so NaN payloads and -0.0 are distinguished and
+   float [=] pitfalls avoided). Bounded: at [pt_cache_capacity] entries
+   the table is flushed wholesale — the common case is a working set far
+   below the bound, and a flush only costs re-encoding. *)
+let pt_cache_capacity = 512
+
+let digest_floats (a : float array) =
+  let h = ref (5381 + Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    let b = Int64.to_int (Int64.bits_of_float (Array.unsafe_get a i)) in
+    h := ((!h lsl 5) + !h) lxor b
+  done;
+  !h land max_int
+
+let floats_bitwise_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then ok := false
+  done;
+  !ok
+
+let pt_cache_counters e =
   Mutex.lock e.pt_lock;
+  let r = (e.pt_stats.hits, e.pt_stats.misses) in
+  Mutex.unlock e.pt_lock;
+  r
+
+let encode_cached e plain ~level ~scale =
+  Mutex.lock e.pt_lock;
+  let key = (digest_floats plain, level, scale) in
+  let bucket = Option.value (Hashtbl.find_opt e.pt_cache key) ~default:[] in
   let pt =
-    match Hashtbl.find_opt e.pt_cache (n.Ir.id, level, scale) with
-    | Some pt -> pt
+    match List.find_opt (fun (v, _) -> floats_bitwise_equal v plain) bucket with
+    | Some (_, pt) ->
+        e.pt_stats.hits <- e.pt_stats.hits + 1;
+        pt
     | None ->
+        e.pt_stats.misses <- e.pt_stats.misses + 1;
         let pt = Eval.encode e.ctx ~level ~scale plain in
-        Hashtbl.replace e.pt_cache (n.Ir.id, level, scale) pt;
+        if e.pt_stats.entries >= pt_cache_capacity then begin
+          Hashtbl.reset e.pt_cache;
+          e.pt_stats.entries <- 0
+        end;
+        (* Re-read the bucket: the flush above may have emptied it. *)
+        let bucket = Option.value (Hashtbl.find_opt e.pt_cache key) ~default:[] in
+        Hashtbl.replace e.pt_cache key ((Array.copy plain, pt) :: bucket);
+        e.pt_stats.entries <- e.pt_stats.entries + 1;
         pt
   in
   Mutex.unlock e.pt_lock;
@@ -200,19 +255,19 @@ let eval_node e n parents =
   | Ir.Negate, [ Ct a ] -> Ct (Eval.negate a)
   | Ir.Negate, [ Plain a ] -> Plain (Array.map (fun x -> -.x) a)
   | Ir.Add, [ Ct a; Ct b ] -> Ct (Eval.add a b)
-  | Ir.Add, [ Ct a; Plain p ] -> Ct (Eval.add_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:a.Eval.scale))
-  | Ir.Add, [ Plain p; Ct b ] -> Ct (Eval.add_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:b.Eval.scale))
+  | Ir.Add, [ Ct a; Plain p ] -> Ct (Eval.add_plain a (encode_cached e p ~level:a.Eval.level ~scale:a.Eval.scale))
+  | Ir.Add, [ Plain p; Ct b ] -> Ct (Eval.add_plain b (encode_cached e p ~level:b.Eval.level ~scale:b.Eval.scale))
   | Ir.Add, [ Plain a; Plain b ] -> Plain (plain2 ( +. ) a b)
   | Ir.Sub, [ Ct a; Ct b ] -> Ct (Eval.sub a b)
-  | Ir.Sub, [ Ct a; Plain p ] -> Ct (Eval.sub_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:a.Eval.scale))
+  | Ir.Sub, [ Ct a; Plain p ] -> Ct (Eval.sub_plain a (encode_cached e p ~level:a.Eval.level ~scale:a.Eval.scale))
   | Ir.Sub, [ Plain p; Ct b ] ->
-      Ct (Eval.negate (Eval.sub_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:b.Eval.scale)))
+      Ct (Eval.negate (Eval.sub_plain b (encode_cached e p ~level:b.Eval.level ~scale:b.Eval.scale)))
   | Ir.Sub, [ Plain a; Plain b ] -> Plain (plain2 ( -. ) a b)
   | Ir.Multiply, [ Ct a; Ct b ] -> Ct (Eval.multiply a b)
   | Ir.Multiply, [ Ct a; Plain p ] ->
-      Ct (Eval.multiply_plain a (encode_cached e n.Ir.parms.(1) p ~level:a.Eval.level ~scale:(scale_of e n.Ir.parms.(1))))
+      Ct (Eval.multiply_plain a (encode_cached e p ~level:a.Eval.level ~scale:(scale_of e n.Ir.parms.(1))))
   | Ir.Multiply, [ Plain p; Ct b ] ->
-      Ct (Eval.multiply_plain b (encode_cached e n.Ir.parms.(0) p ~level:b.Eval.level ~scale:(scale_of e n.Ir.parms.(0))))
+      Ct (Eval.multiply_plain b (encode_cached e p ~level:b.Eval.level ~scale:(scale_of e n.Ir.parms.(0))))
   | Ir.Multiply, [ Plain a; Plain b ] -> Plain (plain2 ( *. ) a b)
   | Ir.Rotate_left k, [ Ct a ] -> Ct (rotate_ct a k)
   | Ir.Rotate_left k, [ Plain a ] -> Plain (Array.init vs (fun i -> a.((((i + k) mod vs) + vs) mod vs)))
@@ -241,6 +296,28 @@ let eval_node e n parents =
         ~code:Diag.exec_bad_operands "bad operands (%s) for %s"
         (String.concat ", " (List.map kind parents))
         (Ir.op_name n.Ir.op)
+
+(* Evaluate a RotateMany hoist group as one unit: digit-decompose the
+   shared source once and apply every member's Galois key to the cached
+   decomposition (Eval.rotate_hoisted). Each output is returned under
+   its own member node, in member order, so callers publish them under
+   the original ids — downstream consumers never see the grouping. The
+   step normalization matches [eval_node]'s rotate path exactly, keeping
+   grouped and ungrouped execution bit-identical. *)
+let eval_rotation_group e g src =
+  let vs = e.vec_size in
+  let members = g.Optimize.hoist_rotations in
+  match src with
+  | Plain _ -> List.map (fun m -> (m, eval_node e m [ src ])) members
+  | Ct a ->
+      let step_of m =
+        match m.Ir.op with
+        | Ir.Rotate_left k -> ((k mod vs) + vs) mod vs
+        | Ir.Rotate_right k -> ((-k mod vs) + vs) mod vs
+        | _ -> invalid_arg "Executor.eval_rotation_group: member is not a rotation"
+      in
+      let cts = Eval.rotate_hoisted e.ctx e.keyset a (List.map step_of members) in
+      List.map2 (fun m ct -> (m, Ct ct)) members cts
 
 (* Anchor a failure that surfaced while evaluating [n] to that node:
    already-classified errors keep their code and gain the node context;
@@ -275,10 +352,23 @@ type run_stats = {
    thin wrappers so the timed and untimed paths cannot drift.
    Remaining-use counts drive buffer release (memory reuse): a value is
    dropped as soon as its last consumer has run, and the high-water mark
-   of simultaneously stored values is recorded. *)
-let run_graph ?(record_per_node = false) ?interpose e compiled =
+   of simultaneously stored values is recorded.
+
+   With [hoist] (the default) RotateMany groups evaluate as a unit the
+   first time any member is reached: the whole group's outputs are
+   computed via the shared decomposition and parked; each later member
+   consumes its parked value. An [interpose] retry of a member before
+   its value is consumed re-computes the entire group from the (still
+   live) source — bit-exact, since grouped evaluation is. *)
+let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
   let p = compiled.Compile.program in
   let t0 = now () in
+  let group_of : (int, Optimize.hoist_group) Hashtbl.t = Hashtbl.create 8 in
+  if hoist then
+    List.iter
+      (fun g -> List.iter (fun m -> Hashtbl.replace group_of m.Ir.id g) g.Optimize.hoist_rotations)
+      (Optimize.rotation_groups p);
+  let parked : (int, value) Hashtbl.t = Hashtbl.create 8 in
   let values : (int, value) Hashtbl.t = Hashtbl.create 64 in
   List.iter (fun (id, v) -> Hashtbl.replace values id v) e.inputs;
   let remaining = Hashtbl.create 64 in
@@ -299,7 +389,23 @@ let run_graph ?(record_per_node = false) ?interpose e compiled =
       | _ ->
           let tn = if record_per_node then now () else 0.0 in
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
-          let eval () = eval_node e n parents in
+          let eval () =
+            match Hashtbl.find_opt group_of n.Ir.id with
+            | None -> eval_node e n parents
+            | Some g -> (
+                match Hashtbl.find_opt parked n.Ir.id with
+                | Some v ->
+                    Hashtbl.remove parked n.Ir.id;
+                    v
+                | None ->
+                    let mine = ref None in
+                    List.iter
+                      (fun (m, v) ->
+                        if m.Ir.id = n.Ir.id then mine := Some v
+                        else Hashtbl.replace parked m.Ir.id v)
+                      (eval_rotation_group e g (List.hd parents));
+                    Option.get !mine)
+          in
           let v = match interpose with None -> eval () | Some f -> f n eval in
           (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
           Hashtbl.replace values n.Ir.id v;
@@ -324,6 +430,7 @@ let execute ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings =
   let t1 = now () in
   let decrypted = List.map (fun (name, v) -> (name, read_output e v)) s.raw_outputs in
   let decrypt_seconds = now () -. t1 in
+  let pt_cache_hits, pt_cache_misses = pt_cache_counters e in
   {
     outputs = decrypted;
     timings =
@@ -333,6 +440,8 @@ let execute ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings =
         execute_seconds = s.elapsed_seconds;
         decrypt_seconds;
         per_node = s.node_seconds;
+        pt_cache_hits;
+        pt_cache_misses;
       };
   }
 

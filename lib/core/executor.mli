@@ -19,6 +19,8 @@ type timings = {
   execute_seconds : float;
   decrypt_seconds : float;
   per_node : (int * Ir.op * float) list;  (** node id, opcode, seconds *)
+  pt_cache_hits : int;  (** plaintext-encoding cache hits (content-keyed) *)
+  pt_cache_misses : int;
 }
 
 type result = { outputs : (string * float array) list; timings : timings }
@@ -67,10 +69,13 @@ type run_stats = {
     [interpose n eval] (when given) is called instead of [eval] for
     every non-input node and must return the node's value — the seam
     fault-injection harnesses use to kill, delay, fail or corrupt
-    individual node evaluations without the executor knowing. *)
+    individual node evaluations without the executor knowing. [hoist]
+    (default true) evaluates {!Optimize.rotation_groups} as units —
+    decompose once, rotate many — bit-identical to ungrouped
+    evaluation; disable it to measure the naive path. *)
 val run_graph :
-  ?record_per_node:bool -> ?interpose:(Ir.node -> (unit -> value) -> value) -> engine ->
-  Compile.compiled -> run_stats
+  ?record_per_node:bool -> ?interpose:(Ir.node -> (unit -> value) -> value) -> ?hoist:bool ->
+  engine -> Compile.compiled -> run_stats
 
 (** Run a compiled program on a prepared engine (single-threaded),
     returning decrypted outputs and the execute wall time. *)
@@ -81,8 +86,23 @@ val run_on : engine -> Compile.compiled -> (string * float array) list * float
     {!prepare}); the plaintext-encoding cache is internally locked. *)
 val eval_node : engine -> Ir.node -> value list -> value
 
+(** [eval_rotation_group e g src] evaluates a RotateMany hoist group as
+    one unit from its shared source value: the source is digit-
+    decomposed once and every member's Galois key applied to the cached
+    decomposition. Returns each member paired with its value, in member
+    order — bit-identical to calling {!eval_node} per member. A plain
+    source falls back to per-member evaluation. Not thread-safe per
+    group (the shared decomposition carries scratch); distinct calls
+    are independent. *)
+val eval_rotation_group :
+  engine -> Optimize.hoist_group -> value -> (Ir.node * value) list
+
 val engine_context_seconds : engine -> float
 val engine_encrypt_seconds : engine -> float
+
+(** Plaintext-encoding cache counters (hits, misses) accumulated on this
+    engine since {!prepare}/{!rebind}. *)
+val pt_cache_counters : engine -> int * int
 
 (** [node_failure n e] anchors an exception raised while evaluating [n]
     to that node: an already-classified error keeps its code and gains

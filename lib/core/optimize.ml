@@ -142,3 +142,39 @@ let strength_reduce p =
 let run p =
   Rewrite.until_quiescence
     [ (fun () -> cse p); (fun () -> fold_constants p); (fun () -> strength_reduce p) ]
+
+type hoist_group = { hoist_source : Ir.node; hoist_rotations : Ir.node list }
+
+(* RotateMany grouping: a scheduling annotation, not new IR surface (the
+   .eva serialization is untouched). Every ciphertext rotation of one
+   source shares that source's chain level by construction, so grouping
+   by source node is grouping "same source, same level". Members are in
+   ascending id order, so the head is the group's topologically first
+   member — the leader both executors key the group on. *)
+let rotation_groups p =
+  let ty = Analysis.types p in
+  let by_src : (int, Ir.node list) Hashtbl.t = Hashtbl.create 16 in
+  let srcs = ref [] in
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | (Ir.Rotate_left _ | Ir.Rotate_right _) when Hashtbl.find ty n.Ir.id = Ir.Cipher ->
+          let s = n.Ir.parms.(0) in
+          (match Hashtbl.find_opt by_src s.Ir.id with
+          | None ->
+              srcs := s :: !srcs;
+              Hashtbl.replace by_src s.Ir.id [ n ]
+          | Some ms -> Hashtbl.replace by_src s.Ir.id (n :: ms))
+      | _ -> ())
+    p.Ir.all_nodes;
+  List.filter_map
+    (fun s ->
+      match Hashtbl.find by_src s.Ir.id with
+      | [] | [ _ ] -> None (* a lone rotation hoists nothing *)
+      | ms ->
+          Some
+            {
+              hoist_source = s;
+              hoist_rotations = List.sort (fun a b -> compare a.Ir.id b.Ir.id) ms;
+            })
+    (List.rev !srcs)

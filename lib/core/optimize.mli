@@ -29,3 +29,25 @@ val strength_reduce : Ir.program -> bool
 
 (** All of the above, to quiescence. *)
 val run : Ir.program -> unit
+
+(** {2 RotateMany hoist grouping}
+
+    Sets of ciphertext [Rotate_left]/[Rotate_right] nodes sharing one
+    source (hence one chain level) are hoist groups: the executors
+    evaluate each group as a unit — digit-decompose the source once
+    ({!Keys.decompose}), then apply every member's Galois key to the
+    shared decomposition — and the cost model prices it as
+    [decompose + k * apply] instead of [k * switch]. This is a
+    scheduling annotation computed on demand; the IR and the [.eva]
+    serialization are unchanged, and each member's output keeps its own
+    node id, so downstream consumers and fault-injection requeue paths
+    are untouched. *)
+
+type hoist_group = {
+  hoist_source : Ir.node;
+  hoist_rotations : Ir.node list;  (** >= 2 members, ascending id; head = leader *)
+}
+
+(** Hoist groups of a program (groups of at least two rotations).
+    Plaintext rotations are never grouped. *)
+val rotation_groups : Ir.program -> hoist_group list

@@ -46,11 +46,36 @@ let calibrate ?(log_n = 12) () =
   let c_encode = t_encode /. fn in
   { c_linear; c_mul; c_ntt; c_encode }
 
+(* Hybrid key switching split into its hoistable prefix and per-key
+   suffix, at a level with [e] modulus elements (= digits), [m] machine
+   primes and [m + s] target primes:
+
+   - decompose: one inverse NTT per current prime (to coefficient form)
+     plus one forward NTT per (digit, target-prime) pair;
+   - apply: the per-digit pointwise inner products against the key and
+     the modulus-down correction's NTT round trips (2 components over
+     the target chain in, m primes back out).
+
+   A naive switch is [decompose + apply]; a hoisted rotation group of k
+   members is [decompose + k * apply] — the pricing the executors'
+   RotateMany grouping realizes. *)
+let switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level ~level =
+  let fn = float_of_int (1 lsl log_n) in
+  let flog = float_of_int log_n in
+  let m = float_of_int (primes_of_level level) in
+  let s = float_of_int special_primes in
+  let e = float_of_int level in
+  let t = m +. s in
+  let decompose = coeffs.c_ntt *. (m +. (e *. t)) *. fn *. flog in
+  let apply =
+    (coeffs.c_ntt *. 2.0 *. (t +. m) *. fn *. flog) +. (coeffs.c_mul *. 2.0 *. e *. t *. fn)
+  in
+  (decompose, apply)
+
 let node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n =
   let fn = float_of_int (1 lsl log_n) in
   let flog = float_of_int log_n in
   let m = float_of_int (primes_of_level (level_of n)) in
-  let s = float_of_int special_primes in
   match n.Ir.op with
   | Ir.Input _ | Ir.Constant _ | Ir.Output _ -> 0.0
   | Ir.Negate -> coeffs.c_linear *. 2.0 *. m *. fn
@@ -64,10 +89,13 @@ let node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n =
       coeffs.c_ntt *. 2.0 *. m *. fn *. flog
   | Ir.Mod_switch -> coeffs.c_linear *. m *. fn
   | Ir.Relinearize | Ir.Rotate_left _ | Ir.Rotate_right _ ->
-      (* Hybrid key switching: m digits x (m + s) target primes. *)
-      coeffs.c_ntt *. m *. (m +. s) *. fn *. flog
+      (* Full hybrid key switch: the hoistable prefix plus one apply. *)
+      let d, a =
+        switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level ~level:(level_of n)
+      in
+      d +. a
 
-let program_costs ?log_n coeffs compiled =
+let program_costs ?log_n ?(hoist = true) coeffs compiled =
   let p = compiled.Compile.program in
   let params = compiled.Compile.params in
   let log_n = Option.value log_n ~default:params.Params.log_n in
@@ -92,6 +120,17 @@ let program_costs ?log_n coeffs compiled =
     | Some c -> total_elements - List.length c
     | None -> total_elements
   in
+  (* Under hoisted execution a group's non-leader rotations reuse the
+     leader's decomposition, so they are priced at the apply suffix
+     only. *)
+  let satellites = Hashtbl.create 8 in
+  if hoist then
+    List.iter
+      (fun g ->
+        match g.Eva_core.Optimize.hoist_rotations with
+        | _leader :: rest -> List.iter (fun m -> Hashtbl.replace satellites m.Ir.id ()) rest
+        | [] -> ())
+      (Eva_core.Optimize.rotation_groups p);
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun n ->
@@ -99,6 +138,10 @@ let program_costs ?log_n coeffs compiled =
         if Hashtbl.find ty n.Ir.id <> Ir.Cipher then
           (* Plaintext arithmetic is vector work at vec_size. *)
           coeffs.c_linear *. float_of_int p.Ir.vec_size
+        else if Hashtbl.mem satellites n.Ir.id then
+          snd
+            (switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level
+               ~level:(level_of n))
         else node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n
       in
       Hashtbl.replace tbl n.Ir.id cost)

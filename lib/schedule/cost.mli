@@ -29,6 +29,20 @@ val default_coefficients : coefficients
     four coefficients. *)
 val calibrate : ?log_n:int -> unit -> coefficients
 
+(** [switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level
+    ~level] prices one hybrid key switch at a chain level as its
+    [(decompose, apply)] halves: the hoistable digit-decomposition
+    prefix and the per-key inner-product + modulus-down suffix. A naive
+    switch costs [decompose +. apply]; a RotateMany hoist group of [k]
+    rotations costs [decompose +. k *. apply]. *)
+val switch_split_cost :
+  coefficients ->
+  log_n:int ->
+  special_primes:int ->
+  primes_of_level:(int -> int) ->
+  level:int ->
+  float * float
+
 (** [node_cost coeffs ~log_n ~special_primes ~primes_of_level ~levels n]
     is the modeled seconds for node [n], where [primes_of_level] maps a
     chain level (elements remaining) to machine-prime count and [levels]
@@ -43,6 +57,9 @@ val node_cost :
   float
 
 (** [program_costs coeffs compiled] precomputes a per-node cost table for
-    a compiled program at its selected parameters (or [log_n] override). *)
+    a compiled program at its selected parameters (or [log_n] override).
+    With [hoist] (the default, matching the executors), non-leader
+    members of each {!Eva_core.Optimize.rotation_groups} group are
+    priced at the apply suffix only. *)
 val program_costs :
-  ?log_n:int -> coefficients -> Eva_core.Compile.compiled -> (int, float) Hashtbl.t
+  ?log_n:int -> ?hoist:bool -> coefficients -> Eva_core.Compile.compiled -> (int, float) Hashtbl.t

@@ -115,12 +115,60 @@ let stats_of ~workers (makespan, work, critical_path) =
     busy_fraction = (if makespan > 0.0 then work /. (makespan *. float_of_int workers) else 1.0);
   }
 
-let simulate p ~cost ~workers =
+let hoist_clusters groups =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      match g.Eva_core.Optimize.hoist_rotations with
+      | leader :: _ as members ->
+          List.iter (fun m -> Hashtbl.replace tbl m.Ir.id leader.Ir.id) members
+      | [] -> ())
+    groups;
+  tbl
+
+let simulate ?clusters p ~cost ~workers =
   if workers < 1 then invalid_arg "Makespan.simulate: workers >= 1";
   let nodes = Ir.topological p in
-  let parents_in n = Array.to_list n.Ir.parms in
-  let children_in n = n.Ir.uses in
-  stats_of ~workers (schedule_nodes nodes ~cost ~workers ~parents_in ~children_in)
+  match clusters with
+  | None ->
+      let parents_in n = Array.to_list n.Ir.parms in
+      let children_in n = n.Ir.uses in
+      stats_of ~workers (schedule_nodes nodes ~cost ~workers ~parents_in ~children_in)
+  | Some cl ->
+      (* Coarsened DAG: every cluster collapses onto its representative,
+         which runs the whole cluster's work on one worker (that is what
+         the parallel executor does for a hoist group — satellites are
+         never separately claimable). External edges are re-pointed at
+         representatives and deduplicated so indegrees stay exact;
+         representative order inherits the topological order, so the
+         coarse node list stays dependency-closed. *)
+      let rep_id n = Option.value (Hashtbl.find_opt cl n.Ir.id) ~default:n.Ir.id in
+      let members : (int, Ir.node list) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun n ->
+          let r = rep_id n in
+          Hashtbl.replace members r (n :: Option.value (Hashtbl.find_opt members r) ~default:[]))
+        (List.rev nodes);
+      let reps = List.filter (fun n -> rep_id n = n.Ir.id) nodes in
+      let node_by_id = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace node_by_id n.Ir.id n) reps;
+      let cluster_cost n =
+        List.fold_left (fun acc m -> acc +. cost m) 0.0 (Hashtbl.find members n.Ir.id)
+      in
+      let neighbors proj n =
+        Hashtbl.find members n.Ir.id
+        |> List.concat_map (fun m ->
+               List.filter_map
+                 (fun q ->
+                   let r = rep_id q in
+                   if r = n.Ir.id then None else Some r)
+                 (proj m))
+        |> List.sort_uniq compare
+        |> List.map (Hashtbl.find node_by_id)
+      in
+      let parents_in n = neighbors (fun m -> Array.to_list m.Ir.parms) n in
+      let children_in n = neighbors (fun m -> m.Ir.uses) n in
+      stats_of ~workers (schedule_nodes reps ~cost:cluster_cost ~workers ~parents_in ~children_in)
 
 let simulate_bulk_synchronous p ~cost ~workers ~group =
   if workers < 1 then invalid_arg "Makespan.simulate_bulk_synchronous: workers >= 1";

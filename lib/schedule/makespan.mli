@@ -39,9 +39,21 @@ type stats = {
   busy_fraction : float;  (** work / (makespan * workers) *)
 }
 
+(** [hoist_clusters groups] maps every member of each RotateMany hoist
+    group (leader included) to the group's leader id — the [clusters]
+    argument {!simulate} expects. *)
+val hoist_clusters : Eva_core.Optimize.hoist_group list -> (int, int) Hashtbl.t
+
 (** [simulate p ~cost ~workers] models the paper's dynamic whole-program
-    scheduler. *)
-val simulate : Eva_core.Ir.program -> cost:(Eva_core.Ir.node -> float) -> workers:int -> stats
+    scheduler. With [clusters] (member node id -> representative node
+    id, identity for unlisted nodes) each cluster is scheduled as one
+    atomic task on one worker whose cost is the sum of its members —
+    how the executors run a RotateMany hoist group; pair it with
+    {!Cost.program_costs}[ ~hoist:true] so members are priced
+    [decompose + k * apply]. *)
+val simulate :
+  ?clusters:(int, int) Hashtbl.t ->
+  Eva_core.Ir.program -> cost:(Eva_core.Ir.node -> float) -> workers:int -> stats
 
 (** [simulate_bulk_synchronous p ~cost ~workers ~group] models a
     CHET-style runtime: nodes run grouped by kernel index [group n],

@@ -23,16 +23,34 @@ type shared = {
   mutable failure : exn option;
 }
 
-let execute_on ?cost ?fault ~workers engine compiled =
+let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
   if workers < 1 then invalid_arg "Parallel.execute_on: workers >= 1";
   let p = compiled.Eva_core.Compile.program in
   let cost =
     match cost with
     | Some c -> c
     | None ->
-        let costs = Cost.program_costs Cost.default_coefficients compiled in
+        let costs = Cost.program_costs ~hoist Cost.default_coefficients compiled in
         fun n -> Option.value (Hashtbl.find_opt costs n.Ir.id) ~default:0.0
   in
+  (* RotateMany hoist groups run as one unit on one worker: only the
+     leader (lowest-id member) enters the ready heap; claiming it
+     evaluates the whole group via the shared decomposition and
+     publishes every member's value under its own id. Satellites are
+     never separately claimable, so a worker dying mid-group requeues
+     just the leader and the surviving workers re-execute the group
+     bit-exactly (parent values release only on completion). *)
+  let groups = if hoist then Eva_core.Optimize.rotation_groups p else [] in
+  let group_of_leader : (int, Eva_core.Optimize.hoist_group) Hashtbl.t = Hashtbl.create 8 in
+  let satellite : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      match g.Eva_core.Optimize.hoist_rotations with
+      | leader :: rest ->
+          Hashtbl.replace group_of_leader leader.Ir.id g;
+          List.iter (fun m -> Hashtbl.replace satellite m.Ir.id ()) rest
+      | [] -> ())
+    groups;
   (* Ready list is a max-heap on bottom level (critical path first), the
      same priority the makespan model schedules by. *)
   let bottom = Makespan.bottom_levels p ~cost in
@@ -52,7 +70,9 @@ let execute_on ?cost ?fault ~workers engine compiled =
       failure = None;
     }
   in
-  let push n = Fheap.push sh.ready (-.Hashtbl.find bottom n.Ir.id) n in
+  let push n =
+    if not (Hashtbl.mem satellite n.Ir.id) then Fheap.push sh.ready (-.Hashtbl.find bottom n.Ir.id) n
+  in
   List.iter (fun (id, v) -> Hashtbl.replace sh.values id v) (Executor.input_values engine);
   sh.peak_live <- Hashtbl.length sh.values;
   List.iter (fun n -> Hashtbl.replace sh.remaining_uses n.Ir.id (List.length n.Ir.uses)) p.Ir.all_nodes;
@@ -103,8 +123,27 @@ let execute_on ?cost ?fault ~workers engine compiled =
       | Some n ->
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find sh.values m.Ir.id) n.Ir.parms) in
           Mutex.unlock sh.mutex;
-          let action =
-            match fault with None -> Fault.Proceed | Some f -> Fault.next_action f ~node_id:n.Ir.id
+          let group = Hashtbl.find_opt group_of_leader n.Ir.id in
+          let members =
+            match group with Some g -> g.Eva_core.Optimize.hoist_rotations | None -> [ n ]
+          in
+          (* The plan is consulted for every member of a claimed group,
+             in member order; the first non-Proceed action fires and is
+             attributed to that member (so a Die scripted at a satellite
+             still kills the worker mid-group). Later members' scripts
+             are not consumed by the aborted attempt. *)
+          let action, action_node =
+            match fault with
+            | None -> (Fault.Proceed, n)
+            | Some f ->
+                let rec first = function
+                  | [] -> (Fault.Proceed, n)
+                  | m :: rest -> (
+                      match Fault.next_action f ~node_id:m.Ir.id with
+                      | Fault.Proceed -> first rest
+                      | a -> (a, m))
+                in
+                first members
           in
           if action = Fault.Die then begin
             Mutex.lock sh.mutex;
@@ -134,9 +173,20 @@ let execute_on ?cost ?fault ~workers engine compiled =
               | Fault.Proceed | Fault.Delay _ | Fault.Corrupt _ -> (
                   (match action with Fault.Delay dt -> Unix.sleepf dt | _ -> ());
                   try
-                    let v = Executor.eval_node engine n parents in
-                    Ok (match action with Fault.Corrupt k -> Fault.corrupt_value k v | _ -> v)
-                  with e -> Error (`Fatal (Executor.node_failure n e)))
+                    let vs =
+                      match group with
+                      | None -> [ (n, Executor.eval_node engine n parents) ]
+                      | Some g -> Executor.eval_rotation_group engine g (List.hd parents)
+                    in
+                    Ok
+                      (match action with
+                      | Fault.Corrupt k ->
+                          List.map
+                            (fun (m, v) ->
+                              (m, if m.Ir.id = action_node.Ir.id then Fault.corrupt_value k v else v))
+                            vs
+                      | _ -> vs)
+                  with e -> Error (`Fatal (Executor.node_failure action_node e)))
             in
             let dt = Unix.gettimeofday () -. tn in
             Mutex.lock sh.mutex;
@@ -144,50 +194,60 @@ let execute_on ?cost ?fault ~workers engine compiled =
             | Error (`Fatal e) -> if sh.failure = None then sh.failure <- Some e
             | Error ((`Transient | `Timeout) as what) -> (
                 let f = Option.get fault in
-                match Fault.note_retry f ~node_id:n.Ir.id with
+                match Fault.note_retry f ~node_id:action_node.Ir.id with
                 | `Retry -> push n
                 | `Exhausted ->
                     if sh.failure = None then
                       sh.failure <-
                         Some
                           (Diag.Error
-                             (Diag.make ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op)
-                                ~layer:Diag.Execute
+                             (Diag.make ~node_id:action_node.Ir.id
+                                ~op:(Ir.op_name action_node.Ir.op) ~layer:Diag.Execute
                                 ~code:
                                   (match what with
                                   | `Transient -> Diag.exec_retry_exhausted
                                   | `Timeout -> Diag.exec_timeout)
-                                (Printf.sprintf "node %d %s beyond the %d-retry budget" n.Ir.id
+                                (Printf.sprintf "node %d %s beyond the %d-retry budget"
+                                   action_node.Ir.id
                                    (match what with
                                    | `Transient -> "failed transiently"
                                    | `Timeout -> "timed out")
                                    (Fault.max_retries f)))))
-            | Ok v ->
-              Hashtbl.replace sh.values n.Ir.id v;
+            | Ok vs ->
+              (* Publish every produced value under its own node id (one
+                 for a plain node, the whole group for a leader); the
+                 wall time is attributed to the claimed node. *)
+              List.iter
+                (fun (m, v) ->
+                  Hashtbl.replace sh.values m.Ir.id v;
+                  sh.per_node <- (m.Ir.id, m.Ir.op, if m.Ir.id = n.Ir.id then dt else 0.0) :: sh.per_node;
+                  sh.outstanding <- sh.outstanding - 1;
+                  match m.Ir.op with
+                  | Ir.Output name -> outputs := (name, v) :: !outputs
+                  | _ -> ())
+                vs;
               if Hashtbl.length sh.values > sh.peak_live then sh.peak_live <- Hashtbl.length sh.values;
-              sh.per_node <- (n.Ir.id, n.Ir.op, dt) :: sh.per_node;
-              sh.outstanding <- sh.outstanding - 1;
-              (match n.Ir.op with
-              | Ir.Output name -> outputs := (name, v) :: !outputs
-              | _ -> ());
               (* Release parents whose last consumer just ran: drop their
                  stored value so peak memory follows DAG width, not
                  program size. Output values stay live for decryption. *)
-              Array.iter
-                (fun parent ->
-                  let r = Hashtbl.find sh.remaining_uses parent.Ir.id - 1 in
-                  Hashtbl.replace sh.remaining_uses parent.Ir.id r;
-                  if r = 0 then
-                    match parent.Ir.op with
-                    | Ir.Output _ -> ()
-                    | _ -> Hashtbl.remove sh.values parent.Ir.id)
-                n.Ir.parms;
               List.iter
-                (fun c ->
-                  let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
-                  Hashtbl.replace sh.pending_parents c.Ir.id d;
-                  if d = 0 then push c)
-                n.Ir.uses);
+                (fun (m, _) ->
+                  Array.iter
+                    (fun parent ->
+                      let r = Hashtbl.find sh.remaining_uses parent.Ir.id - 1 in
+                      Hashtbl.replace sh.remaining_uses parent.Ir.id r;
+                      if r = 0 then
+                        match parent.Ir.op with
+                        | Ir.Output _ -> ()
+                        | _ -> Hashtbl.remove sh.values parent.Ir.id)
+                    m.Ir.parms;
+                  List.iter
+                    (fun c ->
+                      let d = Hashtbl.find sh.pending_parents c.Ir.id - 1 in
+                      Hashtbl.replace sh.pending_parents c.Ir.id d;
+                      if d = 0 then push c)
+                    m.Ir.uses)
+                vs);
             Condition.broadcast sh.cond;
             Mutex.unlock sh.mutex;
             loop ()
@@ -204,6 +264,7 @@ let execute_on ?cost ?fault ~workers engine compiled =
   let t1 = Unix.gettimeofday () in
   let outputs = List.rev_map (fun (name, v) -> (name, Executor.read_output engine v)) !outputs in
   let decrypt_seconds = Unix.gettimeofday () -. t1 in
+  let pt_cache_hits, pt_cache_misses = Executor.pt_cache_counters engine in
   {
     outputs;
     timings =
@@ -213,12 +274,14 @@ let execute_on ?cost ?fault ~workers engine compiled =
         execute_seconds;
         decrypt_seconds;
         per_node = List.sort (fun (a, _, _) (b, _, _) -> compare a b) sh.per_node;
+        pt_cache_hits;
+        pt_cache_misses;
       };
     peak_live_values = sh.peak_live;
   }
 
-let execute ?seed ?ignore_security ?log_n ?cost ?fault ~workers compiled bindings =
+let execute ?seed ?ignore_security ?log_n ?cost ?fault ?hoist ~workers compiled bindings =
   let engine =
     Executor.prepare ?seed ?ignore_security ?log_n ~encrypt_workers:workers compiled bindings
   in
-  execute_on ?cost ?fault ~workers engine compiled
+  execute_on ?cost ?fault ?hoist ~workers engine compiled

@@ -28,10 +28,19 @@ type result = {
     requeue within the plan's retry budget (EVA-E506/E505 beyond it);
     node evaluation errors are anchored to their node via
     {!Eva_core.Executor.node_failure}. With [fault] absent, no hook
-    runs. *)
+    runs.
+
+    [hoist] (default true) executes each RotateMany hoist group
+    ({!Eva_core.Optimize.rotation_groups}) as one unit on one worker:
+    only the group leader is claimable, and completing it publishes
+    every member's value under its own node id — so worker death
+    mid-group requeues the leader and the group re-executes bit-exactly.
+    When a fault plan is given, each claim of a group consults the plan
+    for every member in order and fires the first non-Proceed action. *)
 val execute_on :
   ?cost:(Eva_core.Ir.node -> float) ->
   ?fault:Fault.t ->
+  ?hoist:bool ->
   workers:int ->
   Eva_core.Executor.engine ->
   Eva_core.Compile.compiled ->
@@ -46,6 +55,7 @@ val execute :
   ?log_n:int ->
   ?cost:(Eva_core.Ir.node -> float) ->
   ?fault:Fault.t ->
+  ?hoist:bool ->
   workers:int ->
   Eva_core.Compile.compiled ->
   (string * Eva_core.Reference.binding) list ->

@@ -5,10 +5,36 @@ module Reference = Eva_core.Reference
 
 type mode = [ `Eva | `Chet ]
 
-type ctx = { builder : B.t; weight_scale : int; mask_scale : int; cipher_scale : int; s_f : int; mode : mode }
+type ctx = {
+  builder : B.t;
+  weight_scale : int;
+  mask_scale : int;
+  cipher_scale : int;
+  s_f : int;
+  mode : mode;
+  rot_memo : (int * int, B.expr) Hashtbl.t;
+}
 
 let make_ctx ?(s_f = 60) ?(mask_scale = 15) ~mode ~weight_scale ~cipher_scale builder =
-  { builder; weight_scale; mask_scale; cipher_scale; s_f; mode }
+  { builder; weight_scale; mask_scale; cipher_scale; s_f; mode; rot_memo = Hashtbl.create 64 }
+
+(* Emit each distinct rotation of a source at most once, keyed by
+   (source node id, step). Compile.run leaves CSE off by default, so
+   without the memo a layer would emit duplicate Rotate nodes and the
+   executor's RotateMany hoist grouping (decompose once, rotate many)
+   would pay a key switch per duplicate. Rotations created here all
+   fan out of their shared source, exactly the shape rotation_groups
+   looks for. *)
+let rotate_shared ctx x rot =
+  if rot = 0 then x
+  else
+    let key = ((B.ir_node x).Ir.id, rot) in
+    match Hashtbl.find_opt ctx.rot_memo key with
+    | Some e -> e
+    | None ->
+        let e = B.rotate_left x rot in
+        Hashtbl.replace ctx.rot_memo key e;
+        e
 
 type layout = {
   channels : int;
@@ -113,7 +139,7 @@ module Groups = struct
     Hashtbl.iter
       (fun (src_ct, dst_ct, rot) mask ->
         let x = srcs.(src_ct) in
-        let rotated = if rot = 0 then x else B.rotate_left x rot in
+        let rotated = rotate_shared ctx x rot in
         let term = B.mul rotated (B.const_vector ctx.builder ~scale mask) in
         per_dst.(dst_ct) <- term :: per_dst.(dst_ct))
       g.masks;
@@ -166,19 +192,20 @@ let conv2d ctx img ~weights ~stride =
   finish_kernel ctx { exprs; layout = out_layout }
 
 (* Sum x over [count] offsets of a fixed [step]; doubling when count is a
-   power of two. *)
-let sum_offsets x ~count ~step =
+   power of two. The non-power-of-two path rotates the same source
+   [count - 1] times, so its rotations form one hoist group. *)
+let sum_offsets ctx x ~count ~step =
   if count = 1 then x
   else if count land (count - 1) = 0 then begin
     let rec go acc reach =
-      if reach >= count then acc else go (B.add acc (B.rotate_left acc (reach * step))) (reach * 2)
+      if reach >= count then acc else go (B.add acc (rotate_shared ctx acc (reach * step))) (reach * 2)
     in
     go x 1
   end
   else begin
     let acc = ref x in
     for t = 1 to count - 1 do
-      acc := B.add !acc (B.rotate_left x (t * step))
+      acc := B.add !acc (rotate_shared ctx x (t * step))
     done;
     !acc
   end
@@ -193,7 +220,7 @@ let pool_general ctx img ~kh ~kw =
   let exprs =
     Array.mapi
       (fun t x ->
-        let summed = sum_offsets (sum_offsets x ~count:kw ~step:l.sj) ~count:kh ~step:(l.si * l.gw) in
+        let summed = sum_offsets ctx (sum_offsets ctx x ~count:kw ~step:l.sj) ~count:kh ~step:(l.si * l.gw) in
         (* Average factor and garbage suppression in one mask. *)
         let mask = Array.make vs 0.0 in
         let ch_lo = t * l.cpc and ch_hi = min l.channels ((t + 1) * l.cpc) - 1 in
@@ -251,7 +278,7 @@ let restride_dense ctx img =
             let terms =
               Hashtbl.fold
                 (fun rot mask acc ->
-                  let rotated = if rot = 0 then x else B.rotate_left x rot in
+                  let rotated = rotate_shared ctx x rot in
                   B.mul rotated (B.const_vector ctx.builder ~scale:ctx.mask_scale mask) :: acc)
                 groups []
             in
@@ -305,7 +332,9 @@ let bsgs_matvec ctx x ~w ~m ~f =
         let i = (((s - shift) mod m') + m') mod m' in
         w' i ((i + d) mod m'))
   in
-  let baby = Array.init n1 (fun j -> if j = 0 then x else B.rotate_left x j) in
+  (* Baby steps: n1 rotations of the one input ciphertext — the hoist
+     group the executor decomposes once. *)
+  let baby = Array.init n1 (fun j -> rotate_shared ctx x j) in
   let giant =
     List.init n2 (fun gstep ->
         let shift = gstep * n1 in
@@ -319,7 +348,7 @@ let bsgs_matvec ctx x ~w ~m ~f =
         | [] -> None
         | t :: rest ->
             let inner = List.fold_left B.add t rest in
-            Some (if shift = 0 then inner else B.rotate_left inner shift))
+            Some (rotate_shared ctx inner shift))
   in
   match List.filter_map Fun.id giant with
   | [] -> None

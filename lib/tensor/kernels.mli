@@ -29,6 +29,10 @@ type ctx = {
   cipher_scale : int;  (** the waterline the Chet mode normalizes to *)
   s_f : int;
   mode : mode;
+  rot_memo : (int * int, Eva_core.Builder.expr) Hashtbl.t;
+      (** (source node id, step) -> rotation, so each distinct rotation of
+          a ciphertext is emitted once and fans out of its source — the
+          shape {!Eva_core.Optimize.rotation_groups} hoists. *)
 }
 
 val make_ctx :

@@ -168,6 +168,24 @@ let test_timings_recorded () =
   Alcotest.(check bool) "per-node entries" true (List.length t.Executor.per_node >= Ir.node_count c.Compile.program - 1);
   Alcotest.(check bool) "execute time positive" true (t.Executor.execute_seconds >= 0.0)
 
+(* The content-keyed plaintext cache: two runs on one engine encode each
+   distinct (values, level, scale) plaintext once, so the second run is
+   all hits and the miss count does not grow. *)
+let test_pt_cache_counters () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let m = B.const_vector b ~scale:30 (Array.init 16 (fun i -> if i land 1 = 0 then 1.0 else 0.0)) in
+  B.output b "out" ~scale:30 (B.add (B.mul x m) (B.mul (B.rotate_left x 1) m));
+  let c = Compile.run (B.program b) in
+  let e = Executor.prepare ~ignore_security:true ~log_n:10 c [ ("x", vec 16 (fun _ -> 0.5)) ] in
+  ignore (Executor.run_on e c);
+  let h1, m1 = Executor.pt_cache_counters e in
+  Alcotest.(check bool) "first run misses" true (m1 > 0);
+  ignore (Executor.run_on e c);
+  let h2, m2 = Executor.pt_cache_counters e in
+  Alcotest.(check int) "second run adds no misses" m1 m2;
+  Alcotest.(check bool) "second run hits" true (h2 > h1)
+
 let test_rebind_reuses_keys () =
   (* One keygen, many inputs: rebind must give the same results as fresh
      prepare for each image. *)
@@ -243,6 +261,7 @@ let () =
           Alcotest.test_case "rebind reuses keys" `Quick test_rebind_reuses_keys;
           Alcotest.test_case "missing input" `Quick test_missing_input;
           Alcotest.test_case "timings" `Quick test_timings_recorded;
+          Alcotest.test_case "pt cache counters" `Quick test_pt_cache_counters;
         ] );
       ("property", [ qt prop_random_end_to_end ]);
     ]

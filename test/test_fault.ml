@@ -212,6 +212,39 @@ let test_random_plans_never_crash () =
           Alcotest.failf "seed %d: unclassified exception %s" seed (Printexc.to_string e))
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* RotateMany under worker death: a fan of 16 rotations of one source is
+   executed as one hoist group on one worker. Death while holding the
+   group requeues the leader, and the survivor re-runs the WHOLE group
+   bit-exactly — whether the scripted death was drawn at the leader or
+   at a satellite (satellites are never separately claimable, so their
+   plans fire on the group claim). *)
+let test_rotate_many_under_death () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let rots = List.init 8 (fun i -> B.rotate_left x (i + 1)) in
+  let s = List.fold_left B.add (List.hd rots) (List.tl rots) in
+  B.output b "out" ~scale:30 (B.mul s s);
+  let c = Compile.run (B.program b) in
+  let groups = Eva_core.Optimize.rotation_groups c.Compile.program in
+  Alcotest.(check int) "one hoist group" 1 (List.length groups);
+  let members = (List.hd groups).Eva_core.Optimize.hoist_rotations in
+  Alcotest.(check int) "eight rotations grouped" 8 (List.length members);
+  let leader = List.hd members and satellite = List.nth members 3 in
+  let engine = Executor.prepare ~seed:7 ~ignore_security:true ~log_n:10 c bindings in
+  let baseline = Parallel.execute_on ~workers:2 engine c in
+  (* Hoisting itself changes no output bits. *)
+  let unhoisted = Parallel.execute_on ~hoist:false ~workers:2 engine c in
+  check_outputs_equal "hoist on vs off" unhoisted.Parallel.outputs baseline.Parallel.outputs;
+  List.iter
+    (fun (what, target) ->
+      let fault = Fault.plan [ (target.Ir.id, [ Fault.Die ]) ] in
+      let r = Parallel.execute_on ~fault ~workers:2 engine c in
+      check_outputs_equal (Printf.sprintf "death at %s" what) baseline.Parallel.outputs r.Parallel.outputs;
+      Alcotest.(check int)
+        (Printf.sprintf "one death at %s" what)
+        1 (Fault.counters fault).Fault.deaths)
+    [ ("group leader", leader); ("group satellite", satellite) ]
+
 let () =
   Alcotest.run "fault"
     [
@@ -227,5 +260,6 @@ let () =
           Alcotest.test_case "peak live holds under injection" `Quick test_peak_live_holds_under_injection;
           Alcotest.test_case "silent plan invisible" `Quick test_silent_plan_is_invisible;
           Alcotest.test_case "random plans never crash" `Quick test_random_plans_never_crash;
+          Alcotest.test_case "RotateMany group under death" `Quick test_rotate_many_under_death;
         ] );
     ]

@@ -74,6 +74,42 @@ let test_bulk_rejects_bad_groups () =
        false
      with Invalid_argument _ -> true)
 
+(* Hoist-group regression: one source fanned into 16 rotations. The
+   grouping pass must find exactly one 16-member group; the hoisted cost
+   model must price satellites strictly below the leader (apply-only vs
+   decompose + apply); and the clustered makespan — the whole group
+   serial on one worker, members priced hoisted — must beat the
+   ungrouped naive schedule at one worker, matching the measured
+   single-core ordering of bench `rotations`. *)
+let test_hoist_group_makespan () =
+  let b = B.create ~vec_size:64 () in
+  let x = B.input b ~scale:30 "x" in
+  let rots = List.init 16 (fun i -> B.rotate_left x (i + 1)) in
+  B.output b "out" ~scale:30 (List.fold_left B.add (List.hd rots) (List.tl rots));
+  let c = Compile.run (B.program b) in
+  let groups = Eva_core.Optimize.rotation_groups c.Compile.program in
+  Alcotest.(check int) "one group" 1 (List.length groups);
+  let members = (List.hd groups).Eva_core.Optimize.hoist_rotations in
+  Alcotest.(check int) "sixteen members" 16 (List.length members);
+  let coeffs = Cost.default_coefficients in
+  let hoisted = Cost.program_costs coeffs c
+  and naive = Cost.program_costs ~hoist:false coeffs c in
+  let leader = List.hd members and sat = List.nth members 5 in
+  let cost_in tbl n = Hashtbl.find tbl n.Ir.id in
+  Alcotest.(check bool) "satellite priced below leader" true
+    (cost_in hoisted sat < cost_in hoisted leader);
+  Alcotest.(check (float 1e-12)) "leader priced as full switch" (cost_in naive leader)
+    (cost_in hoisted leader);
+  let clusters = Makespan.hoist_clusters groups in
+  let ms tbl ?clusters () =
+    let cost n = Option.value (Hashtbl.find_opt tbl n.Ir.id) ~default:0.0 in
+    (Makespan.simulate ?clusters c.Compile.program ~cost ~workers:1).Makespan.makespan
+  in
+  let grouped = ms hoisted ~clusters () and ungrouped = ms naive () in
+  Alcotest.(check bool)
+    (Printf.sprintf "grouped %.4fs beats ungrouped %.4fs at 1 worker" grouped ungrouped)
+    true (grouped < ungrouped)
+
 let test_cost_model_orders_ops () =
   let c = Compile.run (wide_program 2 2) in
   let costs = Cost.program_costs Cost.default_coefficients c in
@@ -271,6 +307,7 @@ let () =
       ( "cost model",
         [
           Alcotest.test_case "op ordering" `Quick test_cost_model_orders_ops;
+          Alcotest.test_case "hoist group beats naive at 1 worker" `Quick test_hoist_group_makespan;
           Alcotest.test_case "grows with N" `Quick test_cost_model_grows_with_n;
           Alcotest.test_case "calibration" `Quick test_calibration_positive;
         ] );
