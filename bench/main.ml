@@ -709,6 +709,121 @@ let rotations () =
   Printf.printf "Acceptance: speedup at k=16 is %.2fx (target >= 1.5x at N=2^12).\n" !final_speedup
 
 (* ------------------------------------------------------------------ *)
+(* Lazy relinearization: one key switch per reduction tree             *)
+(* ------------------------------------------------------------------ *)
+
+(* Addition commutes with relinearization, so the compiler's default
+   lazy placement carries size-3 ciphertexts through reduction trees and
+   relinearizes once at each dominance frontier; the paper's eager rule
+   (--eager-relin) pays one key switch per ciphertext multiply. This
+   experiment A/Bs both placements on the two shapes that matter — a
+   k-term dot product (k cipher x cipher multiplies into one
+   accumulator) and a conv layer with encrypted weights (one accumulator
+   per output ciphertext) — checking static and executed relin counts
+   and decrypt-accuracy parity against Reference on every run.
+   Acceptance target: k -> 1 relins on the k = 16 dot product and
+   >= 1.2x measured wall-clock speedup. *)
+let relin () =
+  header "Lazy relinearization: relin count and wall-clock, eager vs lazy";
+  let module K = Eva_tensor.Kernels in
+  let log_n = if !smoke then 8 else 12 in
+  let reps = if !smoke then 2 else 5 in
+  let time_loop reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let relins p = count p (function Ir.Relinearize -> true | _ -> false) in
+  let st = Random.State.make [| 47 |] in
+  let rand_vec n = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  (* Measure one placement of one program: compile, check parity against
+     the reference semantics, then time the evaluation loop alone on a
+     prepared engine. Returns (static relins, executed relins, seconds). *)
+  let measure ~eager_relin p bindings =
+    let c = Compile.run ~eager_relin p in
+    let engine = Executor.prepare ~seed:11 ~ignore_security:true ~log_n c bindings in
+    let outputs, _ = Executor.run_on engine c in
+    let err = Executor.max_abs_error outputs (Reference.execute p bindings) in
+    assert (err < 0.05);
+    let s = Executor.run_graph engine c in
+    Gc.full_major ();
+    let secs = time_loop reps (fun () -> ignore (Executor.run_graph engine c)) in
+    (relins c.Compile.program, s.Executor.op_counts.Executor.relinearizations, secs, err)
+  in
+  let report title p bindings =
+    Printf.printf "%s\n" title;
+    Printf.printf "  %-10s | %13s | %11s | %9s | %9s\n" "placement" "relins static" "relins run"
+      "time (ms)" "max err";
+    let se, re, te, ee = measure ~eager_relin:true p bindings in
+    let sl, rl, tl, el = measure ~eager_relin:false p bindings in
+    Printf.printf "  %-10s | %13d | %11d | %9.2f | %9.1e\n" "eager" se re (te *. 1e3) ee;
+    Printf.printf "  %-10s | %13d | %11d | %9.2f | %9.1e\n" "lazy" sl rl (tl *. 1e3) el;
+    Printf.printf "  speedup: %.2fx\n\n" (te /. tl);
+    ((se, sl), te /. tl)
+  in
+  (* k-term encrypted dot product: k = 16 pairwise products, balanced
+     add tree, one output. *)
+  let k = 16 in
+  let vs = 64 in
+  let b = B.create ~name:"dot16" ~vec_size:vs () in
+  let xs = Array.init k (fun i -> B.input b ~scale:30 (Printf.sprintf "x%d" i)) in
+  let ys = Array.init k (fun i -> B.input b ~scale:30 (Printf.sprintf "y%d" i)) in
+  B.output b "out" ~scale:30 (K.dot xs ys);
+  let dot_p = B.program b in
+  let dot_bindings =
+    List.init k (fun i -> (Printf.sprintf "x%d" i, Reference.Vec (rand_vec vs)))
+    @ List.init k (fun i -> (Printf.sprintf "y%d" i, Reference.Vec (rand_vec vs)))
+  in
+  let (dot_eager, dot_lazy), dot_speedup =
+    report
+      (Printf.sprintf "%d-term dot product (vec %d, N = 2^%d):" k vs log_n)
+      dot_p dot_bindings
+  in
+  (* Conv layer with encrypted weights: 2 -> 2 channels, 8x8 image, 3x3
+     taps. 36 cipher x cipher products accumulate into 2 output
+     ciphertexts, so lazy placement needs exactly 2 relins. *)
+  let channels = 2 and h = 8 and w = 8 and kk = 3 in
+  let b = B.create ~name:"convc" ~vec_size:vs () in
+  let kctx = K.make_ctx ~mode:`Eva ~weight_scale:30 ~cipher_scale:30 b in
+  let img = K.input_image kctx ~scale:30 ~name:"img" ~channels ~height:h ~width:w in
+  let wname o c di dj = Printf.sprintf "w_%d_%d_%d_%d" o c di dj in
+  let weights =
+    Array.init channels (fun o ->
+        Array.init channels (fun c ->
+            Array.init kk (fun di ->
+                Array.init kk (fun dj -> B.input b ~scale:30 (wname o c di dj)))))
+  in
+  let out = K.conv2d_cipher kctx img ~weights in
+  K.output_image kctx ~scale:30 ~name:"out" out;
+  let conv_p = B.program b in
+  let conv_bindings =
+    K.image_bindings ~vs ~layout:img.K.layout ~name:"img" (rand_vec (channels * h * w))
+    @ List.concat_map
+        (fun (o, c) ->
+          List.concat_map
+            (fun di ->
+              List.init kk (fun dj ->
+                  (wname o c di dj, Reference.Scal (Random.State.float st 1.0 -. 0.5))))
+            (List.init kk Fun.id))
+        (List.concat_map (fun o -> List.init channels (fun c -> (o, c))) (List.init channels Fun.id))
+  in
+  let (conv_eager, conv_lazy), conv_speedup =
+    report
+      (Printf.sprintf "conv2d_cipher %d->%d channels, %dx%d image, %dx%d taps (N = 2^%d):" channels
+         channels h w kk kk log_n)
+      conv_p conv_bindings
+  in
+  assert (dot_eager = k && dot_lazy = 1);
+  assert (conv_eager = channels * channels * kk * kk && conv_lazy = K.num_cts out.K.layout);
+  Printf.printf "Acceptance: dot-product relins %d -> %d (k = %d), speedup %.2fx (target >= 1.2x);\n"
+    dot_eager dot_lazy k dot_speedup;
+  Printf.printf "            conv relins %d -> %d, speedup %.2fx.\n" conv_eager conv_lazy conv_speedup
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection hook overhead                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -776,6 +891,7 @@ let experiments =
     ("micro", micro);
     ("kernels", kernels);
     ("rotations", rotations);
+    ("relin", relin);
     ("faults", faults);
   ]
 

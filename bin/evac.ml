@@ -1,10 +1,10 @@
 (* evac: command-line driver for the EVA compiler.
 
    evac info PROGRAM.eva
-   evac compile PROGRAM.eva -o OUT.eva [--policy eva|lazy] [--waterline K] [--optimize]
+   evac compile PROGRAM.eva -o OUT.eva [--policy eva|lazy] [--waterline K] [--eager-relin] [--optimize]
    evac validate PROGRAM.eva [--transformed]
    evac estimate PROGRAM.eva [--log-n K] [--magnitude M]
-   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--optimize]
+   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--eager-relin] [--stats] [--optimize]
 *)
 
 open Cmdliner
@@ -83,11 +83,19 @@ let info_cmd =
 let optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc:"Run CSE, constant folding and strength reduction first")
 
+let eager_relin_flag =
+  Arg.(
+    value & flag
+    & info [ "eager-relin" ]
+        ~doc:
+          "Place RELINEARIZE at every ciphertext multiply (the paper's eager rule) instead of the \
+           default lazy dominance-frontier placement")
+
 let compile_cmd =
-  let run path out policy waterline optimize =
+  let run path out policy waterline eager_relin optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
-    let c = Compile.run ?waterline ~policy ~optimize p in
+    let c = Compile.run ?waterline ~policy ~eager_relin ~optimize p in
     Format.printf "%a@." Params.pp c.Compile.params;
     match out with
     | Some out ->
@@ -100,7 +108,7 @@ let compile_cmd =
   let waterline = Arg.(value & opt (some int) None & info [ "waterline" ] ~docv:"K" ~doc:"Override the waterline (log2)") in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an input program: insert FHE instructions, select parameters")
-    Term.(const run $ file_arg $ out $ policy $ waterline $ optimize_flag)
+    Term.(const run $ file_arg $ out $ policy $ waterline $ eager_relin_flag $ optimize_flag)
 
 (* --- validate --------------------------------------------------------- *)
 
@@ -151,7 +159,7 @@ let estimate_cmd =
     Term.(const run $ file_arg $ log_n $ magnitude)
 
 let run_cmd =
-  let run path seed log_n reference workers optimize =
+  let run path seed log_n reference workers eager_relin stats optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
     let bindings = random_bindings p seed in
@@ -164,9 +172,20 @@ let run_cmd =
             (if Array.length v > k then "; ..." else ""))
         outputs
     in
+    let show_stats (t : Executor.timings) =
+      let oc = t.Executor.op_counts in
+      Printf.printf "fhe ops: %d multiply, %d relinearize, %d rescale, %d rotate\n"
+        oc.Executor.multiplies oc.Executor.relinearizations oc.Executor.rescales
+        oc.Executor.rotations;
+      Printf.printf
+        "timings: context %.3fs, encrypt %.3fs, execute %.3fs, decrypt %.3fs (pt-cache %d hits, \
+         %d misses)\n"
+        t.Executor.context_seconds t.Executor.encrypt_seconds t.Executor.execute_seconds
+        t.Executor.decrypt_seconds t.Executor.pt_cache_hits t.Executor.pt_cache_misses
+    in
     if reference then show (Reference.execute p bindings)
     else begin
-      let c = Compile.run ~optimize p in
+      let c = Compile.run ~eager_relin ~optimize p in
       Format.printf "%a@." Params.pp c.Compile.params;
       let outputs =
         if workers > 1 then begin
@@ -174,10 +193,12 @@ let run_cmd =
           Printf.printf "parallel execute: %.3fs on %d workers (peak live values %d)\n"
             r.Eva_schedule.Parallel.timings.Executor.execute_seconds workers
             r.Eva_schedule.Parallel.peak_live_values;
+          if stats then show_stats r.Eva_schedule.Parallel.timings;
           r.Eva_schedule.Parallel.outputs
         end
         else begin
           let r = Executor.execute ~seed ~ignore_security:(log_n <> None) ?log_n c bindings in
+          if stats then show_stats r.Executor.timings;
           r.Executor.outputs
         end
       in
@@ -192,9 +213,12 @@ let run_cmd =
   in
   let reference = Arg.(value & flag & info [ "reference" ] ~doc:"Run the id-scheme reference semantics only") in
   let workers = Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Worker domains for parallel execution") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print per-op kernel counts and phase timings")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
-    Term.(const run $ file_arg $ seed $ log_n $ reference $ workers $ optimize_flag)
+    Term.(const run $ file_arg $ seed $ log_n $ reference $ workers $ eager_relin_flag $ stats $ optimize_flag)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in

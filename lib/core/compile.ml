@@ -1,15 +1,16 @@
 type compiled = { program : Ir.program; params : Params.t; policy : Passes.policy; s_f : int }
 
-let run ?(s_f = Passes.default_s_f) ?waterline ?(policy = Passes.Eva) ?(optimize = false) input =
+let run ?(s_f = Passes.default_s_f) ?waterline ?(policy = Passes.Eva) ?(eager_relin = false)
+    ?(optimize = false) input =
   Validate.check_input_program input;
   let program = Ir.copy input in
   if optimize then Optimize.run program;
-  Passes.transform ~s_f ?waterline ~policy program;
+  Passes.transform ~s_f ?waterline ~policy ~eager_relin program;
   Validate.check_transformed ~s_f program;
   let params = Params.select ~s_f program in
   { program; params; policy; s_f }
 
-let run_timed ?s_f ?waterline ?policy ?optimize input =
+let run_timed ?s_f ?waterline ?policy ?eager_relin ?optimize input =
   let t0 = Unix.gettimeofday () in
-  let c = run ?s_f ?waterline ?policy ?optimize input in
+  let c = run ?s_f ?waterline ?policy ?eager_relin ?optimize input in
   (c, Unix.gettimeofday () -. t0)

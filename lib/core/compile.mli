@@ -18,8 +18,25 @@ type compiled = {
     {!Params.Selection_error}.
     [optimize] runs the semantics-preserving cleanup passes of
     {!Optimize} before the FHE-specific transformations (default off to
-    keep compiled graphs predictable for inspection). *)
-val run : ?s_f:int -> ?waterline:int -> ?policy:Passes.policy -> ?optimize:bool -> Ir.program -> compiled
+    keep compiled graphs predictable for inspection).
+    [eager_relin] places a RELINEARIZE at every cipher-cipher multiply
+    (the paper's rule) instead of the default lazy dominance-frontier
+    placement. *)
+val run :
+  ?s_f:int ->
+  ?waterline:int ->
+  ?policy:Passes.policy ->
+  ?eager_relin:bool ->
+  ?optimize:bool ->
+  Ir.program ->
+  compiled
 
 (** Compilation time of [run], in seconds, alongside the result. *)
-val run_timed : ?s_f:int -> ?waterline:int -> ?policy:Passes.policy -> ?optimize:bool -> Ir.program -> compiled * float
+val run_timed :
+  ?s_f:int ->
+  ?waterline:int ->
+  ?policy:Passes.policy ->
+  ?eager_relin:bool ->
+  ?optimize:bool ->
+  Ir.program ->
+  compiled * float

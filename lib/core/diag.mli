@@ -56,6 +56,10 @@ val validate_rescale : int  (** 204: rescale divisor out of bounds *)
 
 val validate_structure : int  (** 205: structural/type/chain violation *)
 
+val validate_relin_placement : int
+(** 206: a size-3 ciphertext reaches a ROTATE or OUTPUT (missing
+    relinearize on that path) *)
+
 (* Compile (3xx) *)
 val compile_pass_state : int  (** 301: pass bookkeeping invariant broken *)
 

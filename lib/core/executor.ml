@@ -3,6 +3,25 @@ module Keys = Eva_ckks.Keys
 module Eval = Eva_ckks.Eval
 module Diag = Eva_diag.Diag
 
+type op_counts = {
+  multiplies : int;
+  relinearizations : int;
+  rescales : int;
+  rotations : int;
+}
+
+let zero_op_counts = { multiplies = 0; relinearizations = 0; rescales = 0; rotations = 0 }
+
+(* Count only ciphertext results: the same opcode over a Plain operand is
+   a semantic passthrough, not an FHE kernel invocation. *)
+let count_ct_op op c =
+  match op with
+  | Ir.Multiply -> { c with multiplies = c.multiplies + 1 }
+  | Ir.Relinearize -> { c with relinearizations = c.relinearizations + 1 }
+  | Ir.Rescale _ -> { c with rescales = c.rescales + 1 }
+  | Ir.Rotate_left _ | Ir.Rotate_right _ -> { c with rotations = c.rotations + 1 }
+  | _ -> c
+
 type timings = {
   context_seconds : float;
   encrypt_seconds : float;
@@ -11,6 +30,7 @@ type timings = {
   per_node : (int * Ir.op * float) list;
   pt_cache_hits : int;
   pt_cache_misses : int;
+  op_counts : op_counts;
 }
 
 type result = { outputs : (string * float array) list; timings : timings }
@@ -288,7 +308,12 @@ let eval_node e n parents =
          residual distortion is part of the CKKS approximation. *)
       let ct' = Eval.rescale e.ctx a in
       Ct { ct' with Eval.scale = a.Eval.scale /. Float.ldexp 1.0 k }
-  | (Ir.Relinearize | Ir.Mod_switch | Ir.Rescale _), [ Plain a ] -> Plain a
+  (* Uniform passthrough for every FHE-specific op on a plaintext: none
+     of them changes reference semantics, and any size the cipher path
+     would carry (2 or 3 polynomials) is irrelevant on the plain side.
+     The [is_fhe_specific] guard keeps this arm in sync with the op set
+     instead of enumerating it. *)
+  | op, [ Plain a ] when Ir.is_fhe_specific op -> Plain a
   | Ir.Output _, [ v ] -> v
   | _ ->
       let kind = function Ct _ -> "cipher" | Plain _ -> "plain" in
@@ -346,6 +371,7 @@ type run_stats = {
   elapsed_seconds : float;
   node_seconds : (int * Ir.op * float) list;
   peak_live_values : int;
+  op_counts : op_counts;
 }
 
 (* The one sequential evaluation loop: both [run_on] and [execute] are
@@ -382,6 +408,7 @@ let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
   let outputs = ref [] in
   let per_node = ref [] in
   let peak = ref (Hashtbl.length values) in
+  let ops = ref zero_op_counts in
   List.iter
     (fun n ->
       match n.Ir.op with
@@ -407,6 +434,7 @@ let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
                     Option.get !mine)
           in
           let v = match interpose with None -> eval () | Some f -> f n eval in
+          (match v with Ct _ -> ops := count_ct_op n.Ir.op !ops | Plain _ -> ());
           (match n.Ir.op with Ir.Output name -> outputs := (name, v) :: !outputs | _ -> ());
           Hashtbl.replace values n.Ir.id v;
           if Hashtbl.length values > !peak then peak := Hashtbl.length values;
@@ -418,6 +446,7 @@ let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
     elapsed_seconds = now () -. t0;
     node_seconds = List.rev !per_node;
     peak_live_values = !peak;
+    op_counts = !ops;
   }
 
 let run_on e compiled =
@@ -442,6 +471,7 @@ let execute ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings =
         per_node = s.node_seconds;
         pt_cache_hits;
         pt_cache_misses;
+        op_counts = s.op_counts;
       };
   }
 

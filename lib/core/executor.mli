@@ -13,6 +13,23 @@
     (Section 6.1). Per-node wall-clock timings are recorded for the
     scheduling model. *)
 
+(** Ciphertext-kernel invocation totals for one graph evaluation.  Only
+    ops that produced a ciphertext count — the same opcode passing a
+    plaintext through is free.  Relinearize/rotate are the key-switch
+    kernels whose count the lazy-relin placement minimizes. *)
+type op_counts = {
+  multiplies : int;
+  relinearizations : int;
+  rescales : int;
+  rotations : int;
+}
+
+val zero_op_counts : op_counts
+
+(** [count_ct_op op c] bumps the counter [op] belongs to (identity for
+    non-counted ops). Shared with the parallel executor. *)
+val count_ct_op : Ir.op -> op_counts -> op_counts
+
 type timings = {
   context_seconds : float;  (** context + key generation *)
   encrypt_seconds : float;
@@ -21,6 +38,7 @@ type timings = {
   per_node : (int * Ir.op * float) list;  (** node id, opcode, seconds *)
   pt_cache_hits : int;  (** plaintext-encoding cache hits (content-keyed) *)
   pt_cache_misses : int;
+  op_counts : op_counts;
 }
 
 type result = { outputs : (string * float array) list; timings : timings }
@@ -62,6 +80,7 @@ type run_stats = {
   elapsed_seconds : float;
   node_seconds : (int * Ir.op * float) list;  (** empty unless recorded *)
   peak_live_values : int;
+  op_counts : op_counts;
 }
 
 (** [run_graph e c] evaluates the graph single-threaded on a prepared

@@ -21,13 +21,27 @@ let estimate ?(input_magnitude = 1.0) ~log_n compiled =
   (* Fresh encryption: e_pk*u + e1*s + e0 has coefficient std about
      sigma * sqrt(4N/3). *)
   let fresh = embed *. sigma *. Float.sqrt (4.0 *. n /. 3.0) in
-  (* Rescale rounding: +-1/2 per coefficient on c0 and on c1 (then
-     multiplied by the ternary secret: sqrt(2N/3)). *)
-  let rescale_round = embed *. 0.5 *. (1.0 +. Float.sqrt (2.0 *. n /. 3.0)) in
+  (* Rescale rounding: +-1/2 per coefficient on every component c_j,
+     each multiplied by s^j (ternary secret: factor sqrt(2N/3) per
+     power).  A canonical 2-polynomial ciphertext gives the textbook
+     1 + sqrt(2N/3); a size-3 ciphertext reaching a rescale under lazy
+     relinearization adds the c2 term amplified by s^2. *)
+  let s_pow = Float.sqrt (2.0 *. n /. 3.0) in
+  let rescale_round_for k =
+    let acc = ref 0.0 and pow = ref 1.0 in
+    for _ = 1 to max 2 k do
+      acc := !acc +. !pow;
+      pow := !pow *. s_pow
+    done;
+    embed *. 0.5 *. !acc
+  in
+  let rescale_round = rescale_round_for 2 in
   (* Key switching after division by the ~2^60 special modulus. *)
   let keyswitch_round = 2.0 *. rescale_round in
   let ty = Analysis.types p in
   let is_cipher node = Hashtbl.find ty node.Ir.id = Ir.Cipher in
+  let num_polys = Analysis.num_polys p in
+  let polys node = Hashtbl.find num_polys node.Ir.id in
   let tbl : (int, state) Hashtbl.t = Hashtbl.create 64 in
   let get node = Hashtbl.find tbl node.Ir.id in
   let const_magnitude = function
@@ -58,7 +72,7 @@ let estimate ?(input_magnitude = 1.0) ~log_n compiled =
         | Ir.Rescale k ->
             let a = get node.Ir.parms.(0) in
             let scale = a.scale /. Float.ldexp 1.0 k in
-            { err = a.err +. (rescale_round /. scale); mag = a.mag; scale }
+            { err = a.err +. (rescale_round_for (polys node) /. scale); mag = a.mag; scale }
         | Ir.Add | Ir.Sub ->
             let a = get node.Ir.parms.(0) and b = get node.Ir.parms.(1) in
             let scale = if is_cipher node.Ir.parms.(0) then a.scale else b.scale in

@@ -222,13 +222,72 @@ let relinearize p =
         end
       | _ -> false)
 
+(* LAZY-RELINEARIZE: the eager rule above keys one RELINEARIZE to every
+   cipher x cipher MULTIPLY.  But relinearization commutes with the
+   linear ops (ADD, SUB, NEGATE, RESCALE, MODSWITCH), so size-3
+   ciphertexts may flow through whole reduction trees and pay a single
+   key switch where a size-2 operand is actually demanded — MULTIPLY and
+   ROTATE operands and OUTPUTs.  This is the demand-driven equivalent of
+   sinking each multiply's relin to its dominance frontier and merging
+   the relins that meet at a shared accumulator: a k-term dot product
+   relinearizes once at the root instead of k times at the leaves.
+   Because the pass runs after WATERLINE-RESCALE, the surviving relins
+   also sit below the RESCALE nodes, i.e. the key switch runs at a
+   smaller modulus than the eager placement would use.
+
+   Forward size dataflow: Input -> 2, Relinearize -> 2, cipher x cipher
+   Multiply -> ka + kb - 1, everything else -> max over cipher parents.
+   Since multiply operands are themselves demanded down to size 2, sizes
+   never exceed 3.  A node whose size exceeds 2 gets one RELINEARIZE
+   inserted between it and its demanding uses only — non-demanding uses
+   (further adds, an existing Relinearize) keep consuming the size-3
+   value, which makes the pass idempotent. *)
+let lazy_relinearize p =
+  let is_cipher, register_type = make_type_state p in
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let size_of m =
+    if not (is_cipher m) then 0
+    else
+      match Hashtbl.find_opt sizes m.Ir.id with
+      | Some k -> k
+      | None -> pass_invariant "size state"
+  in
+  let max_parent_size n =
+    Array.fold_left (fun acc parent -> max acc (size_of parent)) 0 n.Ir.parms
+  in
+  let demands_size2 c =
+    match c.Ir.op with
+    | Ir.Multiply | Ir.Rotate_left _ | Ir.Rotate_right _ | Ir.Output _ -> true
+    | _ -> false
+  in
+  Rewrite.forward p (fun n ->
+      let k =
+        if not (is_cipher n) then 0
+        else
+          match n.Ir.op with
+          | Ir.Input _ -> 2
+          | Ir.Relinearize -> 2
+          | Ir.Multiply ->
+              let a = n.Ir.parms.(0) and b = n.Ir.parms.(1) in
+              if is_cipher a && is_cipher b then size_of a + size_of b - 1 else max_parent_size n
+          | _ -> max_parent_size n
+      in
+      Hashtbl.replace sizes n.Ir.id k;
+      if k > 2 && List.exists demands_size2 n.Ir.uses then begin
+        let nl = Ir.insert_between ~child_filter:demands_size2 p n Ir.Relinearize [] in
+        register_type nl Ir.Cipher;
+        Hashtbl.replace sizes nl.Ir.id 2;
+        true
+      end
+      else false)
+
 type policy = Eva | Lazy_insertion
 
-let transform ?(s_f = default_s_f) ?waterline ?(policy = Eva) p =
+let transform ?(s_f = default_s_f) ?waterline ?(policy = Eva) ?(eager_relin = false) p =
   (* Dead subgraphs must not influence waterline or root padding. *)
   Ir.prune p;
   ignore (waterline_rescale ~s_f ?waterline p);
   (match policy with Eva -> ignore (eager_modswitch p) | Lazy_insertion -> ignore (lazy_modswitch p));
   ignore (match_scale p);
-  ignore (relinearize p);
+  ignore (if eager_relin then relinearize p else lazy_relinearize p);
   Ir.prune p

@@ -39,8 +39,17 @@ val eager_modswitch : Ir.program -> bool
 val match_scale : Ir.program -> bool
 
 (** Insert RELINEARIZE after every Cipher x Cipher MULTIPLY
-    (Constraint 3). *)
+    (Constraint 3) — the paper's eager placement. *)
 val relinearize : Ir.program -> bool
+
+(** Demand-driven relinearization (LAZY-RELINEARIZE): let size-3
+    ciphertexts flow through ADD/SUB/NEGATE/RESCALE/MODSWITCH chains and
+    place one RELINEARIZE where a 2-polynomial operand is actually
+    demanded (MULTIPLY and ROTATE operands, OUTPUTs).  Relins that sink
+    to a shared accumulator merge, so a k-term product reduction pays one
+    key switch instead of k.  Idempotent; never grows ciphertexts past
+    size 3 on validated graphs. *)
+val lazy_relinearize : Ir.program -> bool
 
 type policy =
   | Eva  (** waterline + eager: the paper's optimizing pipeline *)
@@ -51,5 +60,8 @@ type policy =
           level-matching alone — the paper omits the multi-pass modswitch
           rule it would need, and so do we.) *)
 
-(** Run the full transformation step of Algorithm 1 under [policy]. *)
-val transform : ?s_f:int -> ?waterline:int -> ?policy:policy -> Ir.program -> unit
+(** Run the full transformation step of Algorithm 1 under [policy].
+    Relinearization placement defaults to {!lazy_relinearize};
+    [eager_relin] restores the paper's per-multiply placement
+    ({!relinearize}) for A/B comparison. *)
+val transform : ?s_f:int -> ?waterline:int -> ?policy:policy -> ?eager_relin:bool -> Ir.program -> unit

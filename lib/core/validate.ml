@@ -87,6 +87,22 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
               (polys n.Ir.parms.(0))
       | _ -> ())
     p.Ir.all_nodes;
+  (* Relin placement: ROTATE operands and OUTPUTs must be size 2.  The
+     Galois automorphism only has keys for canonical 2-polynomial
+     ciphertexts, and clients decrypt outputs with the plain secret key;
+     a size-3 value reaching either means a RELINEARIZE is missing on
+     that path (lazy placement stops exactly at these frontiers). *)
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Rotate_left _ | Ir.Rotate_right _ | Ir.Output _ ->
+          let parent = n.Ir.parms.(0) in
+          if is_cipher parent && polys parent <> 2 then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_relin_placement
+              "node %d: %s consumes a ciphertext with %d polynomials (missing relinearize)" n.Ir.id
+              (Ir.op_name n.Ir.op) (polys parent)
+      | _ -> ())
+    p.Ir.all_nodes;
   (* Constraint 4: rescale divisors bounded by s_f. *)
   List.iter
     (fun n ->

@@ -72,22 +72,26 @@ let switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level ~level =
   in
   (decompose, apply)
 
-let node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n =
+let node_cost ?(polys_of = fun _ -> 2) coeffs ~log_n ~special_primes ~primes_of_level ~level_of n =
   let fn = float_of_int (1 lsl log_n) in
   let flog = float_of_int log_n in
   let m = float_of_int (primes_of_level (level_of n)) in
+  (* Linear ops and rescale touch every polynomial of the ciphertext:
+     size-3 values flowing under lazy relinearization cost 3/2 of their
+     canonical shape. [polys_of] defaults to the canonical 2. *)
+  let np = float_of_int (max 2 (polys_of n)) in
   match n.Ir.op with
   | Ir.Input _ | Ir.Constant _ | Ir.Output _ -> 0.0
-  | Ir.Negate -> coeffs.c_linear *. 2.0 *. m *. fn
-  | Ir.Add | Ir.Sub -> coeffs.c_linear *. 2.0 *. m *. fn
+  | Ir.Negate -> coeffs.c_linear *. np *. m *. fn
+  | Ir.Add | Ir.Sub -> coeffs.c_linear *. np *. m *. fn
   | Ir.Multiply ->
       (* Pointwise products over up to 3 result components, plus operand
          encoding when one side is plaintext (amortized, kept simple). *)
       (coeffs.c_mul *. 3.0 *. m *. fn) +. (coeffs.c_encode *. fn)
   | Ir.Rescale _ ->
-      (* One inverse + forward NTT per remaining prime. *)
-      coeffs.c_ntt *. 2.0 *. m *. fn *. flog
-  | Ir.Mod_switch -> coeffs.c_linear *. m *. fn
+      (* One inverse + forward NTT per remaining prime and polynomial. *)
+      coeffs.c_ntt *. np *. m *. fn *. flog
+  | Ir.Mod_switch -> coeffs.c_linear *. (np /. 2.0) *. m *. fn
   | Ir.Relinearize | Ir.Rotate_left _ | Ir.Rotate_right _ ->
       (* Full hybrid key switch: the hoistable prefix plus one apply. *)
       let d, a =
@@ -120,6 +124,8 @@ let program_costs ?log_n ?(hoist = true) coeffs compiled =
     | Some c -> total_elements - List.length c
     | None -> total_elements
   in
+  let num_polys = Analysis.num_polys p in
+  let polys_of n = Option.value (Hashtbl.find_opt num_polys n.Ir.id) ~default:2 in
   (* Under hoisted execution a group's non-leader rotations reuse the
      leader's decomposition, so they are priced at the apply suffix
      only. *)
@@ -142,7 +148,7 @@ let program_costs ?log_n ?(hoist = true) coeffs compiled =
           snd
             (switch_split_cost coeffs ~log_n ~special_primes ~primes_of_level
                ~level:(level_of n))
-        else node_cost coeffs ~log_n ~special_primes ~primes_of_level ~level_of n
+        else node_cost ~polys_of coeffs ~log_n ~special_primes ~primes_of_level ~level_of n
       in
       Hashtbl.replace tbl n.Ir.id cost)
     p.Ir.all_nodes;

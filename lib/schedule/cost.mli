@@ -46,8 +46,11 @@ val switch_split_cost :
 (** [node_cost coeffs ~log_n ~special_primes ~primes_of_level ~levels n]
     is the modeled seconds for node [n], where [primes_of_level] maps a
     chain level (elements remaining) to machine-prime count and [levels]
-    gives each node's level. *)
+    gives each node's level. [polys_of] gives each node's ciphertext
+    size (default: the canonical 2); linear ops and rescales on size-3
+    values flowing under lazy relinearization are priced at 3/2. *)
 val node_cost :
+  ?polys_of:(Eva_core.Ir.node -> int) ->
   coefficients ->
   log_n:int ->
   special_primes:int ->
@@ -60,6 +63,9 @@ val node_cost :
     a compiled program at its selected parameters (or [log_n] override).
     With [hoist] (the default, matching the executors), non-leader
     members of each {!Eva_core.Optimize.rotation_groups} group are
-    priced at the apply suffix only. *)
+    priced at the apply suffix only. Per-node ciphertext sizes come from
+    {!Eva_core.Analysis.num_polys}, so size-3 values kept live by lazy
+    relinearization are priced truthfully (and {!Makespan} schedules
+    inherit the same prices). *)
 val program_costs :
   ?log_n:int -> ?hoist:bool -> coefficients -> Eva_core.Compile.compiled -> (int, float) Hashtbl.t

@@ -18,6 +18,7 @@ type shared = {
   remaining_uses : (int, int) Hashtbl.t;
   mutable peak_live : int;
   mutable per_node : (int * Ir.op * float) list;
+  mutable op_counts : Executor.op_counts;
   mutable outstanding : int;  (** instructions not yet finished *)
   mutable live_workers : int;
   mutable failure : exn option;
@@ -65,6 +66,7 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
       remaining_uses = Hashtbl.create 64;
       peak_live = 0;
       per_node = [];
+      op_counts = Executor.zero_op_counts;
       outstanding = List.length instructions;
       live_workers = workers;
       failure = None;
@@ -222,6 +224,11 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
                   Hashtbl.replace sh.values m.Ir.id v;
                   sh.per_node <- (m.Ir.id, m.Ir.op, if m.Ir.id = n.Ir.id then dt else 0.0) :: sh.per_node;
                   sh.outstanding <- sh.outstanding - 1;
+                  (* Counted at publish time, so faulted attempts that
+                     never produced a value do not inflate the totals. *)
+                  (match v with
+                  | Executor.Ct _ -> sh.op_counts <- Executor.count_ct_op m.Ir.op sh.op_counts
+                  | Executor.Plain _ -> ());
                   match m.Ir.op with
                   | Ir.Output name -> outputs := (name, v) :: !outputs
                   | _ -> ())
@@ -276,6 +283,7 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
         per_node = List.sort (fun (a, _, _) (b, _, _) -> compare a b) sh.per_node;
         pt_cache_hits;
         pt_cache_misses;
+        op_counts = sh.op_counts;
       };
     peak_live_values = sh.peak_live;
   }

@@ -116,6 +116,21 @@ let finish_kernel ctx img =
       in
       { img with exprs }
 
+(* Sum a non-empty term list as a balanced binary tree: depth log2 k
+   instead of k.  Reductions stay shallow for the makespan scheduler,
+   and under lazy relinearization a tree of ADDs carries size-3
+   ciphertexts to a single accumulator root — one key switch per
+   reduction, however many products feed it. *)
+let rec balanced_sum = function
+  | [] -> invalid_arg "Kernels.balanced_sum: empty term list"
+  | [ e ] -> e
+  | terms ->
+      let rec pair = function
+        | a :: b :: rest -> B.add a b :: pair rest
+        | rest -> rest
+      in
+      balanced_sum (pair terms)
+
 (* Accumulate [rotate_left src rot * mask] terms grouped by
    (src ct, dst ct, rotation), then sum per destination ciphertext. *)
 module Groups = struct
@@ -146,7 +161,7 @@ module Groups = struct
     Array.map
       (function
         | [] -> B.mul srcs.(0) (B.const_vector ctx.builder ~scale (Array.make g.vs 0.0))
-        | t :: rest -> List.fold_left B.add t rest)
+        | terms -> balanced_sum terms)
       per_dst
 end
 
@@ -282,7 +297,7 @@ let restride_dense ctx img =
                   B.mul rotated (B.const_vector ctx.builder ~scale:ctx.mask_scale mask) :: acc)
                 groups []
             in
-            match terms with [] -> x | t0 :: rest -> List.fold_left B.add t0 rest
+            match terms with [] -> x | terms -> balanced_sum terms
           end)
         exprs
     in
@@ -346,9 +361,7 @@ let bsgs_matvec ctx x ~w ~m ~f =
         in
         match List.filter_map Fun.id terms with
         | [] -> None
-        | t :: rest ->
-            let inner = List.fold_left B.add t rest in
-            Some (rotate_shared ctx inner shift))
+        | terms -> Some (rotate_shared ctx (balanced_sum terms) shift))
   in
   match List.filter_map Fun.id giant with
   | [] -> None
@@ -372,9 +385,78 @@ let fully_connected ctx img ~weights =
   let expr =
     match List.filter_map Fun.id parts with
     | [] -> invalid_arg "Kernels.fully_connected: zero weight matrix"
-    | t :: rest -> List.fold_left B.add t rest
+    | parts -> balanced_sum parts
   in
   finish_kernel ctx { exprs = [| expr |]; layout = dense ~vs ~channels:f ~height:1 ~width:1 }
+
+(* k-term encrypted dot product <xs, ys>: pairwise ciphertext products
+   summed in a balanced tree.  The reduction is pure ADDs, so lazy
+   relinearization carries the size-3 products to the root and pays one
+   key switch for the whole tree — versus one per term under the eager
+   rule.  This is the kernel the relin benchmark A/Bs. *)
+let dot xs ys =
+  let k = Array.length xs in
+  if k = 0 || Array.length ys <> k then invalid_arg "Kernels.dot: term-count mismatch";
+  balanced_sum (List.init k (fun i -> B.mul xs.(i) ys.(i)))
+
+(* 'same'-padded stride-1 convolution with ENCRYPTED weights:
+   [weights.(o).(c).(di).(dj)] is a ciphertext holding the scalar weight
+   replicated across slots (private-model inference, where conv2d's
+   plaintext masks would leak the filter).  Each tap contributes
+   (rotate(x) . valid-mask) x w — the mask both zeroes out-of-bounds
+   positions and suppresses cross-channel garbage, and the weight
+   multiply is cipher x cipher.  Accumulation per output ciphertext is a
+   balanced tree: lazy relinearization pays one key switch per output
+   ciphertext instead of one per tap. *)
+let conv2d_cipher ctx img ~weights =
+  let l = img.layout in
+  let out_channels = Array.length weights in
+  let in_channels = Array.length weights.(0) in
+  if in_channels <> l.channels then invalid_arg "Kernels.conv2d_cipher: channel mismatch";
+  let k = Array.length weights.(0).(0) in
+  let pad = k / 2 in
+  let out_layout = { l with channels = out_channels } in
+  let g = grid l in
+  let vs = vec_size ctx in
+  let per_dst = Array.make (num_cts out_layout) [] in
+  for o = 0 to out_channels - 1 do
+    for c = 0 to in_channels - 1 do
+      for di = 0 to k - 1 do
+        for dj = 0 to k - 1 do
+          let rot =
+            (((c mod l.cpc) - (o mod out_layout.cpc)) * g)
+            + ((di - pad) * l.si * l.gw)
+            + ((dj - pad) * l.sj)
+          in
+          let mask = Array.make vs 0.0 in
+          let any = ref false in
+          for i = 0 to l.height - 1 do
+            for j = 0 to l.width - 1 do
+              let src_i = i + di - pad and src_j = j + dj - pad in
+              if src_i >= 0 && src_i < l.height && src_j >= 0 && src_j < l.width then begin
+                mask.(slot out_layout o i j) <- 1.0;
+                any := true
+              end
+            done
+          done;
+          if !any then begin
+            let rotated = rotate_shared ctx img.exprs.(ct_of l c) rot in
+            let masked = B.mul rotated (B.const_vector ctx.builder ~scale:ctx.mask_scale mask) in
+            let dst = ct_of out_layout o in
+            per_dst.(dst) <- B.mul masked weights.(o).(c).(di).(dj) :: per_dst.(dst)
+          end
+        done
+      done
+    done
+  done;
+  let exprs =
+    Array.map
+      (function
+        | [] -> invalid_arg "Kernels.conv2d_cipher: output channel with no contributions"
+        | terms -> balanced_sum terms)
+      per_dst
+  in
+  finish_kernel ctx { exprs; layout = out_layout }
 
 let square ctx img = finish_kernel ctx { img with exprs = Array.map (fun e -> B.mul e e) img.exprs }
 

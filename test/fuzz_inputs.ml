@@ -37,9 +37,14 @@ let wire_seeds =
   let _secret, ks = Keys.generate ctx st ~galois_elts:[ Ctx.galois_elt_rotate ctx 1 ] in
   let v = Array.make (Ctx.slots ctx) 0.25 in
   let ct = Eval.encrypt ctx ks st (Eval.encode ctx ~level:2 ~scale:(Float.ldexp 1.0 30) v) in
+  (* A size-3 ciphertext (unrelinearized product), as lazy
+     relinearization puts on the wire: its poly-count field and third
+     component are mutation targets of their own. *)
+  let ct3 = Eval.multiply ct ct in
   [
     (`Ctx, Wire.to_string Wire.write_context ctx);
     (`Ct, Wire.to_string Wire.write_ciphertext ct);
+    (`Ct, Wire.to_string Wire.write_ciphertext ct3);
     (`Keys, Wire.to_string Wire.write_eval_keys ks);
   ]
 
@@ -56,7 +61,7 @@ let splice_tokens =
 
 let mutate st s =
   let len = String.length s in
-  match Random.State.int st 6 with
+  match Random.State.int st 7 with
   | 0 ->
       (* truncate *)
       if len = 0 then s else String.sub s 0 (Random.State.int st len)
@@ -89,6 +94,30 @@ let mutate st s =
         let i = Random.State.int st (len - 1) in
         let l = 1 + Random.State.int st (min 60 (len - i - 1)) in
         String.sub s 0 (i + l) ^ String.sub s i (len - i)
+      end
+  | 5 ->
+      (* bump one small integer field up or down by a little: hits
+         off-by-one paths in count/level/size validation (a poly-count of
+         4 where 3 was written, a level one past the chain) that byte
+         flips rarely produce *)
+      let runs = ref [] in
+      let i = ref 0 in
+      while !i < len do
+        if s.[!i] >= '0' && s.[!i] <= '9' then begin
+          let j = ref !i in
+          while !j < len && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+          if !j - !i <= 9 then runs := (!i, !j - !i) :: !runs;
+          i := !j
+        end
+        else incr i
+      done;
+      let runs = Array.of_list !runs in
+      if Array.length runs = 0 then s
+      else begin
+        let start, l = runs.(Random.State.int st (Array.length runs)) in
+        let value = int_of_string (String.sub s start l) in
+        let bumped = max 0 (value + Random.State.int st 7 - 3) in
+        String.sub s 0 start ^ string_of_int bumped ^ String.sub s (start + l) (len - start - l)
       end
   | _ ->
       (* blow up a digit run: the classic huge-length-field attack *)

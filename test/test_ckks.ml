@@ -115,6 +115,47 @@ let test_multiply_relin_rescale () =
   Alcotest.(check bool) "scale shrinks" true (rescaled.Eval.scale < Float.ldexp 1.0 41);
   check_close ~eps:1e-4 "rescaled product" expect (Eval.decrypt c secret rescaled)
 
+let test_mixed_size_linear_ops () =
+  (* Lazy relinearization carries size-3 ciphertexts through the linear
+     ops: add/sub/negate must accept mixed (3 op 2) operands, and
+     rescale/mod_switch must preserve the third component. Decryption is
+     Horner over all components, so every intermediate checks directly. *)
+  let c = ctx () in
+  let st = rng () in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let scale = Float.ldexp 1.0 40 in
+  let a = Array.init (Ctx.slots c) (fun i -> Float.sin (float_of_int i) /. 2.0) in
+  let b = Array.init (Ctx.slots c) (fun i -> Float.cos (float_of_int i) /. 2.0) in
+  let d = Array.init (Ctx.slots c) (fun i -> float_of_int (i mod 5) /. 10.0) in
+  let ca = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale a) in
+  let cb = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale b) in
+  let prod = Eval.multiply ca cb in
+  (* A size-2 operand at the product's scale, for the mixed ops. *)
+  let cd = Eval.encrypt c ks st (Eval.encode c ~level:4 ~scale:prod.Eval.scale d) in
+  let ab = Array.map2 ( *. ) a b in
+  let s3 = Eval.add prod cd in
+  Alcotest.(check int) "3 + 2 stays size 3" 3 (Eval.size s3);
+  check_close ~eps:1e-4 "add mixed" (Array.map2 ( +. ) ab d) (Eval.decrypt c secret s3);
+  let s3' = Eval.sub cd prod in
+  Alcotest.(check int) "2 - 3 stays size 3" 3 (Eval.size s3');
+  check_close ~eps:1e-4 "sub mixed" (Array.map2 ( -. ) d ab) (Eval.decrypt c secret s3');
+  check_close ~eps:1e-4 "negate size 3" (Array.map (fun x -> -.x) ab)
+    (Eval.decrypt c secret (Eval.negate prod));
+  check_close ~eps:1e-4 "add size 3 + size 3" (Array.map (fun x -> 2.0 *. x) ab)
+    (Eval.decrypt c secret (Eval.add prod prod));
+  let rs = Eval.rescale c prod in
+  Alcotest.(check int) "rescale keeps size 3" 3 (Eval.size rs);
+  Alcotest.(check int) "rescale drops level" 3 rs.Eval.level;
+  check_close ~eps:1e-4 "rescale size 3" ab (Eval.decrypt c secret rs);
+  let sw = Eval.mod_switch c prod in
+  Alcotest.(check int) "mod_switch keeps size 3" 3 (Eval.size sw);
+  check_close ~eps:1e-4 "mod_switch size 3" ab (Eval.decrypt c secret sw);
+  (* The deferred relinearize still lands: one key switch at the end of
+     the accumulated sum. *)
+  let relin = Eval.relinearize c ks s3 in
+  Alcotest.(check int) "back to size 2" 2 (Eval.size relin);
+  check_close ~eps:1e-4 "relinearized sum" (Array.map2 ( +. ) ab d) (Eval.decrypt c secret relin)
+
 let test_mod_switch () =
   let c = ctx () in
   let st = rng () in
@@ -366,6 +407,7 @@ let () =
           Alcotest.test_case "add/sub/neg" `Quick test_add_sub;
           Alcotest.test_case "plaintext ops" `Quick test_plain_ops;
           Alcotest.test_case "multiply/relin/rescale" `Quick test_multiply_relin_rescale;
+          Alcotest.test_case "mixed-size linear ops" `Quick test_mixed_size_linear_ops;
           Alcotest.test_case "mod_switch" `Quick test_mod_switch;
           Alcotest.test_case "rotate" `Quick test_rotate;
           Alcotest.test_case "rotate 0" `Quick test_rotate_zero_is_identity;

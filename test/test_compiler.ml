@@ -211,6 +211,83 @@ let test_validate_catches_big_rescale () =
        d.Eva_diag.Diag.code = Eva_diag.Diag.validate_rescale
        && String.sub d.Eva_diag.Diag.message 0 12 = "constraint 4")
 
+(* k-term encrypted dot product: k cipher-cipher multiplies feeding one
+   accumulation tree — the shape lazy relinearization collapses to a
+   single key switch at the root. *)
+let dot_input k =
+  let b = B.create ~name:"dot" ~vec_size:16 () in
+  let term i =
+    B.mul (B.input b ~scale:30 (Printf.sprintf "x%d" i)) (B.input b ~scale:30 (Printf.sprintf "y%d" i))
+  in
+  let sum = List.fold_left B.add (term 0) (List.init (k - 1) (fun i -> term (i + 1))) in
+  B.output b "out" ~scale:30 sum;
+  B.program b
+
+let test_lazy_relin_dot () =
+  let k = 16 in
+  let lazy_c = Compile.run (dot_input k) in
+  let eager_c = Compile.run ~eager_relin:true (dot_input k) in
+  Alcotest.(check int) "lazy: one relin at the root" 1 (relins lazy_c.Compile.program);
+  Alcotest.(check int) "eager: one relin per multiply" k (relins eager_c.Compile.program);
+  Validate.check_transformed lazy_c.Compile.program;
+  Validate.check_transformed eager_c.Compile.program
+
+let test_lazy_relin_stops_at_rotate () =
+  (* A rotation demands the canonical size, so the relin cannot sink
+     past it — it lands between the product and the rotate. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let y = B.input b ~scale:30 "y" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 ((x * y) << 2);
+  let c = Compile.run (B.program b) in
+  let p = c.Compile.program in
+  Alcotest.(check int) "one relin" 1 (relins p);
+  let relin_node =
+    List.find (fun n -> n.Ir.op = Ir.Relinearize) p.Ir.all_nodes
+  in
+  Alcotest.(check bool) "feeds the rotate" true
+    (List.exists
+       (fun u -> match u.Ir.op with Ir.Rotate_left _ -> true | _ -> false)
+       relin_node.Ir.uses);
+  Validate.check_transformed p
+
+let test_lazy_relin_idempotent () =
+  let p = Ir.copy (dot_input 8) in
+  ignore (Passes.waterline_rescale p);
+  ignore (Passes.eager_modswitch p);
+  ignore (Passes.match_scale p);
+  Alcotest.(check bool) "first run places relins" true (Passes.lazy_relinearize p);
+  let n = Ir.node_count p in
+  Alcotest.(check bool) "second run is a no-op" false (Passes.lazy_relinearize p);
+  Alcotest.(check int) "no nodes added" n (Ir.node_count p);
+  Validate.check_transformed p
+
+let test_validate_size3_into_rotate () =
+  (* EVA-E206: a size-3 product reaching a rotation without an
+     intervening relinearize. *)
+  let p = Ir.create_program ~vec_size:8 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let sq = Ir.add_node p Ir.Multiply [ x; x ] in
+  let rot = Ir.add_node p (Ir.Rotate_left 1) [ sq ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ rot ]);
+  Alcotest.(check bool) "EVA-E206 on rotate" true
+    (try
+       Validate.check_transformed p;
+       false
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.code = Eva_diag.Diag.validate_relin_placement)
+
+let test_validate_size3_into_output () =
+  let p = Ir.create_program ~vec_size:8 () in
+  let x = Ir.add_node ~decl_scale:30 p (Ir.Input (Ir.Cipher, "x")) [] in
+  let sq = Ir.add_node p Ir.Multiply [ x; x ] in
+  ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ sq ]);
+  Alcotest.(check bool) "EVA-E206 on output" true
+    (try
+       Validate.check_transformed p;
+       false
+     with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.code = Eva_diag.Diag.validate_relin_placement)
+
 let test_compile_is_nondestructive () =
   let p = fig2_input () in
   let before = Ir.node_count p in
@@ -288,6 +365,31 @@ let prop_levels_bounded_by_depth =
       let chains = Analysis.chains c.Compile.program in
       List.for_all (fun o -> List.length (Hashtbl.find chains o.Ir.id) <= depth) (Ir.outputs c.Compile.program))
 
+(* Sinking relins past the size-3 segment must not change what the
+   program computes: both placements execute under CKKS within the same
+   error bound of the exact reference result. *)
+let prop_lazy_matches_eager_encrypted =
+  QCheck2.Test.make ~name:"lazy and eager relin placements decrypt alike" ~count:5
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let p = random_program seed in
+      let st = Random.State.make [| seed; 13 |] in
+      let vec () = Array.init 16 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let bind = [ ("x", Reference.Vec (vec ())); ("y", Reference.Vec (vec ())) ] in
+      let expect = Reference.execute p bind in
+      let magnitude =
+        List.fold_left
+          (fun acc (_, v) -> Array.fold_left (fun m z -> Float.max m (Float.abs z)) acc v)
+          1.0 expect
+      in
+      let err eager_relin =
+        let c = Compile.run ~eager_relin p in
+        let r = Eva_core.Executor.execute ~seed:3 ~ignore_security:true ~log_n:9 c bind in
+        Eva_core.Executor.max_abs_error r.Eva_core.Executor.outputs expect
+      in
+      let bound = 1e-3 *. magnitude in
+      err false < bound && err true < bound)
+
 let () =
   let qt t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "compiler"
@@ -317,5 +419,15 @@ let () =
           Alcotest.test_case "oversized rescale" `Quick test_validate_catches_big_rescale;
           Alcotest.test_case "compile copies" `Quick test_compile_is_nondestructive;
         ] );
-      ("property", [ qt prop_compiled_validates; qt prop_levels_bounded_by_depth ]);
+      ( "lazy relinearization",
+        [
+          Alcotest.test_case "dot product: k relins -> 1" `Quick test_lazy_relin_dot;
+          Alcotest.test_case "stops at rotate" `Quick test_lazy_relin_stops_at_rotate;
+          Alcotest.test_case "idempotent" `Quick test_lazy_relin_idempotent;
+          Alcotest.test_case "E206: size 3 into rotate" `Quick test_validate_size3_into_rotate;
+          Alcotest.test_case "E206: size 3 into output" `Quick test_validate_size3_into_output;
+        ] );
+      ( "property",
+        [ qt prop_compiled_validates; qt prop_levels_bounded_by_depth; qt prop_lazy_matches_eager_encrypted ]
+      );
     ]

@@ -168,6 +168,57 @@ let test_timings_recorded () =
   Alcotest.(check bool) "per-node entries" true (List.length t.Executor.per_node >= Ir.node_count c.Compile.program - 1);
   Alcotest.(check bool) "execute time positive" true (t.Executor.execute_seconds >= 0.0)
 
+let test_op_counts () =
+  (* The per-op counters in timings must agree with the compiled graph:
+     one count per FHE op that actually produced a ciphertext. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let y = B.input b ~scale:30 "y" in
+  let open B.Infix in
+  B.output b "out" ~scale:30 (((x * y) << 1) + (x >> 2));
+  let c = Compile.run (B.program b) in
+  let static op = List.length (List.filter (fun n -> n.Ir.op = op) c.Compile.program.Ir.all_nodes) in
+  let r = Executor.execute ~ignore_security:true ~log_n:10 c
+      [ ("x", vec 16 (fun i -> float_of_int i /. 16.0)); ("y", vec 16 (fun _ -> 0.5)) ]
+  in
+  let ops = r.Executor.timings.Executor.op_counts in
+  Alcotest.(check int) "multiplies" (static Ir.Multiply) ops.Executor.multiplies;
+  Alcotest.(check int) "relinearizations" (static Ir.Relinearize) ops.Executor.relinearizations;
+  Alcotest.(check int) "one relin for the one ct x ct product" 1 ops.Executor.relinearizations;
+  Alcotest.(check int) "rotations" 2 ops.Executor.rotations;
+  Alcotest.(check int) "rescales"
+    (List.length
+       (List.filter
+          (fun n -> match n.Ir.op with Ir.Rescale _ -> true | _ -> false)
+          c.Compile.program.Ir.all_nodes))
+    ops.Executor.rescales
+
+let test_plain_operand_passthrough () =
+  (* FHE-specific instructions are no-ops on plaintext operands. The
+     compiler never emits them on plain paths, so inject them after
+     compilation: the executor must pass the value through (uniformly,
+     for relinearize and modswitch alike) rather than fault. *)
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let v = B.vector_input b ~scale:20 "v" in
+  B.output b "out" ~scale:30 (B.mul x v);
+  let c = Compile.run (B.program b) in
+  let p = c.Compile.program in
+  let vn =
+    List.find
+      (fun n -> match n.Ir.op with Ir.Input (t, "v") -> t <> Ir.Cipher | _ -> false)
+      p.Ir.all_nodes
+  in
+  let r1 = Ir.insert_between p vn Ir.Relinearize [] in
+  ignore (Ir.insert_between p r1 Ir.Mod_switch []);
+  let bind = [ ("x", vec 16 (fun i -> 0.5 -. (float_of_int i /. 32.0))); ("v", vec 16 (fun i -> float_of_int (i mod 3))) ] in
+  let expect = Reference.execute p bind in
+  let r = Executor.execute ~ignore_security:true ~log_n:10 c bind in
+  Alcotest.(check bool) "plain passthrough matches reference" true
+    (Executor.max_abs_error r.Executor.outputs expect < 1e-3);
+  (* Passthroughs are not ciphertext work: the counters see none of it. *)
+  Alcotest.(check int) "no relin counted" 0 r.Executor.timings.Executor.op_counts.Executor.relinearizations
+
 (* The content-keyed plaintext cache: two runs on one engine encode each
    distinct (values, level, scale) plaintext once, so the second run is
    all hits and the miss count does not grow. *)
@@ -261,6 +312,8 @@ let () =
           Alcotest.test_case "rebind reuses keys" `Quick test_rebind_reuses_keys;
           Alcotest.test_case "missing input" `Quick test_missing_input;
           Alcotest.test_case "timings" `Quick test_timings_recorded;
+          Alcotest.test_case "op counts" `Quick test_op_counts;
+          Alcotest.test_case "plain operand passthrough" `Quick test_plain_operand_passthrough;
           Alcotest.test_case "pt cache counters" `Quick test_pt_cache_counters;
         ] );
       ("property", [ qt prop_random_end_to_end ]);

@@ -42,6 +42,33 @@ let test_ciphertext_at_lower_level () =
   let back = Eval.decrypt c secret ct' in
   Array.iteri (fun i x -> if Float.abs (x -. v.(i)) > 1e-5 then Alcotest.failf "slot %d" i) back
 
+let test_size3_ciphertext_round_trip () =
+  (* Lazy relinearization ships size-3 ciphertexts between pipeline
+     stages: the wire format must carry the third polynomial, and the
+     round-tripped value must still participate in further arithmetic. *)
+  let c = ctx () in
+  let st = Random.State.make [| 11 |] in
+  let secret, ks = Keys.generate c st ~galois_elts:[] in
+  let a = Array.init (Ctx.slots c) (fun i -> Float.sin (float_of_int i) /. 2.0) in
+  let b = Array.init (Ctx.slots c) (fun i -> Float.cos (float_of_int (2 * i)) /. 2.0) in
+  let scale = Float.ldexp 1.0 40 in
+  let enc v = Eval.encrypt c ks st (Eval.encode c ~level:3 ~scale v) in
+  let prod = Eval.multiply (enc a) (enc b) in
+  Alcotest.(check int) "size 3 before" 3 (Eval.size prod);
+  let s = Wire.to_string Wire.write_ciphertext prod in
+  let prod' = Wire.read_ciphertext c s ~pos:(ref 0) in
+  Alcotest.(check int) "size 3 after" 3 (Eval.size prod');
+  let ab = Array.map2 ( *. ) a b in
+  Array.iteri
+    (fun i x -> if Float.abs (x -. ab.(i)) > 1e-4 then Alcotest.failf "slot %d" i)
+    (Eval.decrypt c secret prod');
+  (* Accumulate the round-tripped size-3 value, then relinearize once. *)
+  let doubled = Eval.relinearize c ks (Eval.add prod' prod') in
+  Alcotest.(check int) "relinearized" 2 (Eval.size doubled);
+  Array.iteri
+    (fun i x -> if Float.abs (x -. (2.0 *. ab.(i))) > 1e-4 then Alcotest.failf "sum slot %d" i)
+    (Eval.decrypt c secret doubled)
+
 let test_client_server_boundary () =
   (* Client: context + keys + encrypted input, serialized. *)
   let client_ctx = ctx () in
@@ -124,6 +151,7 @@ let () =
           Alcotest.test_case "context" `Quick test_context_round_trip;
           Alcotest.test_case "ciphertext" `Quick test_ciphertext_round_trip;
           Alcotest.test_case "lower-level ciphertext" `Quick test_ciphertext_at_lower_level;
+          Alcotest.test_case "size-3 ciphertext" `Quick test_size3_ciphertext_round_trip;
           Alcotest.test_case "eval keys" `Quick test_eval_keys_round_trip_enable_rotation;
         ] );
       ( "trust boundary",
