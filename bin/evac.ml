@@ -3,8 +3,10 @@
    evac info PROGRAM.eva
    evac compile PROGRAM.eva -o OUT.eva [--policy eva|lazy] [--waterline K] [--eager-relin] [--optimize]
    evac validate PROGRAM.eva [--transformed]
-   evac estimate PROGRAM.eva [--log-n K] [--magnitude M]
-   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--eager-relin] [--stats] [--optimize]
+   evac estimate PROGRAM.eva [--log-n K] [--magnitude M] [--waterline K] [--eager-relin] [--optimize]
+   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--waterline K] [--eager-relin] [--stats] [--optimize]
+   evac serve PROGRAM.eva [--socket PATH] [--queue-depth D] [--pipeline P] [--workers W]
+                          [--deadline-ms MS] [--seed N] [--log-n K] [--waterline K] [--eager-relin] [--optimize]
 *)
 
 open Cmdliner
@@ -91,6 +93,9 @@ let eager_relin_flag =
           "Place RELINEARIZE at every ciphertext multiply (the paper's eager rule) instead of the \
            default lazy dominance-frontier placement")
 
+let waterline_flag =
+  Arg.(value & opt (some int) None & info [ "waterline" ] ~docv:"K" ~doc:"Override the waterline (log2)")
+
 let compile_cmd =
   let run path out policy waterline eager_relin optimize =
     reporting (Some path) @@ fun () ->
@@ -105,10 +110,9 @@ let compile_cmd =
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the transformed program") in
   let policy = Arg.(value & opt policy_conv Eva_core.Passes.Eva & info [ "policy" ] ~doc:"Insertion policy: eva or lazy") in
-  let waterline = Arg.(value & opt (some int) None & info [ "waterline" ] ~docv:"K" ~doc:"Override the waterline (log2)") in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an input program: insert FHE instructions, select parameters")
-    Term.(const run $ file_arg $ out $ policy $ waterline $ eager_relin_flag $ optimize_flag)
+    Term.(const run $ file_arg $ out $ policy $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 (* --- validate --------------------------------------------------------- *)
 
@@ -138,11 +142,20 @@ let random_bindings p seed =
     (Ir.inputs p)
 
 let estimate_cmd =
-  let run path log_n magnitude =
+  (* The estimate must describe the program the user will actually run:
+     the same compilation flags `compile` and `run` honor are threaded
+     through here, and the effective policy is printed so a prediction
+     is never silently about a differently-compiled graph. *)
+  let run path log_n magnitude waterline eager_relin optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
-    let c = Compile.run p in
+    let c = Compile.run ?waterline ~eager_relin ~optimize p in
     let log_n = Option.value log_n ~default:c.Compile.params.Params.log_n in
+    Printf.printf "effective policy: %s relinearization, optimize %s, waterline 2^%d%s\n"
+      (if eager_relin then "eager" else "lazy")
+      (if optimize then "on" else "off")
+      (Option.value waterline ~default:(Eva_core.Passes.waterline p))
+      (match waterline with Some _ -> "" | None -> " (default)");
     Printf.printf "predicted output error at N = 2^%d (input magnitude %.2f):\n" log_n magnitude;
     List.iter
       (fun (name, e) ->
@@ -156,10 +169,10 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Predict output error statically (no execution)")
-    Term.(const run $ file_arg $ log_n $ magnitude)
+    Term.(const run $ file_arg $ log_n $ magnitude $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 let run_cmd =
-  let run path seed log_n reference workers eager_relin stats optimize =
+  let run path seed log_n reference workers waterline eager_relin stats optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
     let bindings = random_bindings p seed in
@@ -185,7 +198,7 @@ let run_cmd =
     in
     if reference then show (Reference.execute p bindings)
     else begin
-      let c = Compile.run ~eager_relin ~optimize p in
+      let c = Compile.run ?waterline ~eager_relin ~optimize p in
       Format.printf "%a@." Params.pp c.Compile.params;
       let outputs =
         if workers > 1 then begin
@@ -218,8 +231,123 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
-    Term.(const run $ file_arg $ seed $ log_n $ reference $ workers $ eager_relin_flag $ stats $ optimize_flag)
+    Term.(
+      const run $ file_arg $ seed $ log_n $ reference $ workers $ waterline_flag $ eager_relin_flag
+      $ stats $ optimize_flag)
+
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  (* Compile once, keygen once, then stream framed requests through the
+     warm engine. Stdio mode serves one stream on stdin/stdout (stats go
+     to stderr so they never corrupt the response stream); socket mode
+     binds a Unix socket and serves one stream per accepted connection. *)
+  let run path socket queue_depth pipeline workers deadline_ms seed log_n waterline eager_relin
+      optimize =
+    reporting (Some path) @@ fun () ->
+    let p = load path in
+    let c = Compile.run ?waterline ~eager_relin ~optimize p in
+    (* Keygen against zero bindings: the shapes (and therefore the
+       context and keys) depend only on the program, not the values. *)
+    let zero_bindings =
+      List.filter_map
+        (fun n ->
+          match n.Ir.op with
+          | Ir.Input (Ir.Scalar, name) -> Some (name, Reference.Scal 0.0)
+          | Ir.Input (_, name) -> Some (name, Reference.Vec (Array.make p.Ir.vec_size 0.0))
+          | _ -> None)
+        (Ir.inputs p)
+    in
+    let engine = Executor.prepare ~seed ~ignore_security:(log_n <> None) ?log_n c zero_bindings in
+    let config =
+      {
+        Eva_schedule.Serve.default_config with
+        Eva_schedule.Serve.queue_depth;
+        pipeline;
+        graph_workers = workers;
+        default_deadline_ms = deadline_ms;
+        seed;
+      }
+    in
+    let report stats =
+      let open Eva_schedule.Serve in
+      Printf.eprintf
+        "evac serve: %d served, %d failed, %d fault retries, queue high-water %d, pt-cache hit \
+         rate %.1f%%\n\
+         %!"
+        stats.requests_served stats.requests_failed stats.faults_retried stats.queue_high_water
+        (100.0 *. pt_hit_rate stats)
+    in
+    match socket with
+    | None ->
+        let stats = Eva_schedule.Serve.run_channels ~config c engine stdin stdout in
+        report stats
+    | Some sock_path ->
+        (* Refuse to unlink anything that is not a stale socket. *)
+        (match Unix.lstat sock_path with
+        | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink sock_path
+        | _ -> failwith (Printf.sprintf "evac serve: %s exists and is not a socket" sock_path)
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+        let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind srv (Unix.ADDR_UNIX sock_path);
+        Unix.listen srv 8;
+        Printf.eprintf "evac serve: listening on %s (^C to stop)\n%!" sock_path;
+        let rec accept_loop () =
+          let conn, _ = Unix.accept srv in
+          let ic = Unix.in_channel_of_descr conn and oc = Unix.out_channel_of_descr conn in
+          (* One stream per connection; the engine (and its warm encode
+             cache) is shared across connections. *)
+          let stats =
+            try Eva_schedule.Serve.run_channels ~config c engine ic oc
+            with e ->
+              (try Unix.close conn with _ -> ());
+              raise e
+          in
+          report stats;
+          (try close_out oc with _ -> ());
+          (try close_in ic with _ -> ());
+          accept_loop ()
+        in
+        Fun.protect ~finally:(fun () -> try Unix.unlink sock_path with _ -> ()) accept_loop
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix socket instead of serving one stream on stdin/stdout")
+  in
+  let queue_depth =
+    Arg.(value & opt int 8 & info [ "queue-depth" ] ~docv:"D" ~doc:"Admission queue bound")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"P" ~doc:"Worker domains evaluating requests concurrently")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"W" ~doc:"Graph-level worker domains per request")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Default per-request deadline when a request carries none")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Key-generation seed and request-seed base") in
+  let log_n =
+    Arg.(value & opt (some int) None & info [ "log-n" ] ~docv:"K" ~doc:"Serve at degree 2^K (insecure; for testing)")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Compile and keygen once, then serve framed evaluation requests")
+    Term.(
+      const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ deadline_ms $ seed $ log_n
+      $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "evac" ~version:"1.0.0" ~doc) [ info_cmd; compile_cmd; validate_cmd; estimate_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "evac" ~version:"1.0.0" ~doc)
+          [ info_cmd; compile_cmd; validate_cmd; estimate_cmd; run_cmd; serve_cmd ]))

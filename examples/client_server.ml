@@ -37,7 +37,11 @@ let () =
   let secret, keys = Keys.generate ctx st ~galois_elts:(List.map (Ctx.galois_elt_rotate ctx) steps) in
   let data = Array.init slots (fun _ -> Random.State.float st 2.0 -. 1.0) in
   let scale = Float.ldexp 1.0 40 in
-  let ct = Eval.encrypt ctx keys st (Eval.encode ctx ~level:3 ~scale data) in
+  (* Fresh encodings live at the top of the modulus chain; derive that
+     from the context instead of hardcoding it, so changing [data_bits]
+     above cannot silently desynchronize the encode level. *)
+  let top = Ctx.chain_length ctx in
+  let ct = Eval.encrypt ctx keys st (Eval.encode ctx ~level:top ~scale data) in
   let request =
     let buf = Buffer.create (1 lsl 16) in
     Wire.write_context buf ctx;
@@ -56,11 +60,14 @@ let () =
     let x = Wire.read_ciphertext ctx request ~pos in
     (* sum across all slots by rotation doubling *)
     let total = List.fold_left (fun acc s -> Eval.add acc (Eval.rotate ctx keys acc s)) x steps in
-    let inv_n = Eval.encode ctx ~level:3 ~scale (Array.make 1 (1.0 /. float_of_int slots)) in
+    (* Plain operands must be encoded at the level of the ciphertext they
+       multiply — the server reads that off the received ciphertext
+       rather than assuming the client's chain shape. *)
+    let inv_n = Eval.encode ctx ~level:x.Eval.level ~scale (Array.make 1 (1.0 /. float_of_int slots)) in
     let mean = Eval.rescale ctx (Eval.multiply_plain total inv_n) in
     (* Bring x to the mean's level and scale: multiply by 1 at the same
        scale and rescale by the same element (exact scale match). *)
-    let one = Eval.encode ctx ~level:3 ~scale (Array.make 1 1.0) in
+    let one = Eval.encode ctx ~level:x.Eval.level ~scale (Array.make 1 1.0) in
     let x' = Eval.rescale ctx (Eval.multiply_plain x one) in
     let dev = Eval.sub x' mean in
     let sq = Eval.relinearize ctx keys (Eval.multiply dev dev) in

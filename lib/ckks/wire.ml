@@ -234,3 +234,137 @@ let to_string write v =
   let buf = Buffer.create 4096 in
   write buf v;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Serving protocol: framed requests and responses                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A serve request binds named input vectors for one evaluation of the
+   daemon's compiled program. Values travel as %h hex floats, so the
+   round trip is bit-exact; every count and length is range-checked
+   before allocation, like every other reader in this module. *)
+
+type request = { req_id : int; deadline_ms : int option; req_inputs : (string * float array) list }
+
+type response = {
+  resp_id : int;
+  payload : ((string * float array) list, Eva_diag.Diag.t) result;
+}
+
+let write_floats buf a =
+  Printf.bprintf buf "%d" (Array.length a);
+  Array.iter (fun v -> Printf.bprintf buf " %h" v) a;
+  Buffer.add_char buf '\n'
+
+let max_request_inputs = 1024
+let max_vector_len = 1 lsl 20
+let max_deadline_ms = 86_400_000
+
+let read_named_vectors s ~pos ~what ~max_names =
+  let n = read_int_in s ~pos ~what ~lo:0 ~hi:max_names in
+  List.init n (fun _ ->
+      let name, at_name = read_token_at s ~pos in
+      if String.length name > 256 then
+        wire_error s ~at:at_name ~code:Diag.wire_length "name longer than 256 bytes";
+      let len = read_int_in s ~pos ~what:"vector length" ~lo:1 ~hi:max_vector_len in
+      let v =
+        Array.init len (fun _ ->
+            let t, at = read_token_at s ~pos in
+            match float_of_string_opt t with
+            | Some f when Float.is_finite f -> f
+            | Some _ -> wire_error s ~at ~code:Diag.wire_length "non-finite slot value %S" t
+            | None -> wire_error s ~at ~code:Diag.wire_token "expected slot value, got %S" t)
+      in
+      (name, v))
+
+let write_request buf ~id ?deadline_ms inputs =
+  Printf.bprintf buf "request %d %d %d\n" id (Option.value deadline_ms ~default:(-1))
+    (List.length inputs);
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf buf "%s " name;
+      write_floats buf v)
+    inputs
+
+let read_request s ~pos =
+  expect s ~pos "request";
+  let id = read_int_in s ~pos ~what:"request id" ~lo:0 ~hi:max_int in
+  let deadline = read_int_in s ~pos ~what:"deadline (ms)" ~lo:(-1) ~hi:max_deadline_ms in
+  let req_inputs = read_named_vectors s ~pos ~what:"input count" ~max_names:max_request_inputs in
+  { req_id = id; deadline_ms = (if deadline < 0 then None else Some deadline); req_inputs }
+
+(* Error payloads carry the stable code plus the rendered message as a
+   length-prefixed byte run (messages contain spaces), so the client can
+   reconstruct a [Diag.t] with the right layer and code. Node/position
+   anchors do not cross the wire — the client has no IR to anchor to. *)
+let write_response buf r =
+  match r.payload with
+  | Ok outputs ->
+      Printf.bprintf buf "response %d ok %d\n" r.resp_id (List.length outputs);
+      List.iter
+        (fun (name, v) ->
+          Printf.bprintf buf "%s " name;
+          write_floats buf v)
+        outputs
+  | Error d ->
+      Printf.bprintf buf "response %d error %d %d\n" r.resp_id d.Diag.code
+        (String.length d.Diag.message);
+      Buffer.add_string buf d.Diag.message;
+      Buffer.add_char buf '\n'
+
+let read_response s ~pos =
+  expect s ~pos "response";
+  let id = read_int_in s ~pos ~what:"response id" ~lo:(-1) ~hi:max_int in
+  let status, at_status = read_token_at s ~pos in
+  match status with
+  | "ok" ->
+      let outputs = read_named_vectors s ~pos ~what:"output count" ~max_names:max_request_inputs in
+      { resp_id = id; payload = Ok outputs }
+  | "error" ->
+      let code = read_int_in s ~pos ~what:"error code" ~lo:100 ~hi:699 in
+      let len = read_int_in s ~pos ~what:"message length" ~lo:0 ~hi:65536 in
+      (* The message starts one separator byte after the length token. *)
+      if !pos + 1 + len > String.length s then
+        wire_error s ~at:!pos ~code:Diag.wire_truncated "input ended inside an error message";
+      let msg = String.sub s (!pos + 1) len in
+      pos := !pos + 1 + len;
+      { resp_id = id; payload = Error (Diag.make ~layer:(Diag.layer_of_code code) ~code msg) }
+  | t -> wire_error s ~at:at_status ~code:Diag.wire_token "expected \"ok\" or \"error\", got %S" t
+
+(* ------------------------------------------------------------------ *)
+(* Stream framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Frames delimit wire payloads on a byte stream: one [frame N] header
+   line, then exactly N payload bytes. The header is bounded before the
+   body is allocated, so a corrupt length cannot balloon memory; a
+   stream ending cleanly between frames reads as [None]. *)
+
+let default_max_frame = 1 lsl 26
+
+let write_frame oc payload =
+  Printf.fprintf oc "frame %d\n" (String.length payload);
+  output_string oc payload;
+  flush oc
+
+let read_frame ?(max_frame = default_max_frame) ic =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some header ->
+      let fail code fmt = wire_error header ~at:0 ~code fmt in
+      let n =
+        match String.split_on_char ' ' (String.trim header) with
+        | [ "frame"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 && n <= max_frame -> n
+            | Some n -> fail Diag.wire_length "frame length %d outside [0, %d]" n max_frame
+            | None -> fail Diag.wire_token "expected frame length, got %S" n)
+        | _ -> fail Diag.wire_token "expected \"frame N\" header, got %S" header
+      in
+      let body = really_input_string ic n in
+      Some body
+
+let read_frame ?max_frame ic =
+  try read_frame ?max_frame ic
+  with End_of_file ->
+    Diag.error ~layer:Diag.Wire ~code:Diag.wire_truncated "stream ended inside a frame body"

@@ -42,3 +42,46 @@ val read_eval_keys : Context.t -> string -> pos:int ref -> Keys.keyset
 
 (** Round-trip helpers used by tests. *)
 val to_string : (Buffer.t -> 'a -> unit) -> 'a -> string
+
+(** {2 Serving protocol}
+
+    One request names the input vectors for one evaluation of a serving
+    daemon's compiled program; the response is the named outputs or a
+    structured error. Slot values travel as hex floats (bit-exact round
+    trip); every count and length is range-checked before allocation. *)
+
+type request = {
+  req_id : int;  (** client-chosen, echoed on the response *)
+  deadline_ms : int option;  (** admission deadline relative to receipt *)
+  req_inputs : (string * float array) list;
+}
+
+type response = {
+  resp_id : int;
+  payload : ((string * float array) list, Eva_diag.Diag.t) result;
+      (** outputs by name, or the error that failed the request. Errors
+          reconstruct layer and code; node/position anchors do not cross
+          the wire. *)
+}
+
+val write_request : Buffer.t -> id:int -> ?deadline_ms:int -> (string * float array) list -> unit
+
+(** Raises [Eva_diag.Diag.Error] (Wire layer, EVA-E401..E403) on any
+    malformed field: at most 1024 inputs of at most [2^20] finite slots
+    each, deadline within a day. *)
+val read_request : string -> pos:int ref -> request
+
+val write_response : Buffer.t -> response -> unit
+val read_response : string -> pos:int ref -> response
+
+(** {2 Stream framing}
+
+    [frame N] header line, then exactly [N] payload bytes. *)
+
+val write_frame : out_channel -> string -> unit
+
+(** [None] on clean end of stream (before any header byte). A malformed
+    header, an over-limit length ([max_frame], default [2^26]) or a
+    stream ending inside the body raises [Eva_diag.Diag.Error]
+    (EVA-E401..E403). *)
+val read_frame : ?max_frame:int -> in_channel -> string option

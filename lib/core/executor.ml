@@ -39,6 +39,23 @@ type value = Ct of Eval.ciphertext | Plain of float array
 
 type pt_cache_stats = { mutable hits : int; mutable misses : int; mutable entries : int }
 
+(* One cached encoding. [referenced] is the CLOCK bit: set on every hit,
+   cleared when the eviction hand sweeps past — an entry is only evicted
+   after surviving a full sweep untouched, so a hot working set is never
+   dropped by a cold stream (second-chance eviction). *)
+type pt_entry = { plain : float array; pt : Eval.plaintext; mutable referenced : bool }
+
+(* The mutable cache state is shared between an engine and everything
+   {!rebind}-derived from it (when the cache is kept), so a long-running
+   server warms one cache across requests. All fields are guarded by
+   [pt_lock]. *)
+type pt_cache = {
+  table : (int * int * float, pt_entry list) Hashtbl.t;
+  clock : ((int * int * float) * pt_entry) Queue.t;  (** insertion order; the CLOCK hand *)
+  stats : pt_cache_stats;
+  lock : Mutex.t;
+}
+
 type engine = {
   ctx : Ctx.t;
   secret : Keys.secret;
@@ -46,13 +63,19 @@ type engine = {
   rng : Random.State.t;
   vec_size : int;
   node_scales : (int, int) Hashtbl.t;
-  pt_cache : (int * int * float, (float array * Eval.plaintext) list) Hashtbl.t;
-  pt_stats : pt_cache_stats;
-  pt_lock : Mutex.t;
+  pt_cache : pt_cache;
   inputs : (int * value) list;
   context_seconds : float;
   encrypt_seconds : float;
 }
+
+let fresh_pt_cache () =
+  {
+    table = Hashtbl.create 32;
+    clock = Queue.create ();
+    stats = { hits = 0; misses = 0; entries = 0 };
+    lock = Mutex.create ();
+  }
 
 let now = Unix.gettimeofday
 
@@ -171,9 +194,7 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
     rng;
     vec_size = vs;
     node_scales = Analysis.scales p;
-    pt_cache = Hashtbl.create 32;
-    pt_stats = { hits = 0; misses = 0; entries = 0 };
-    pt_lock = Mutex.create ();
+    pt_cache = fresh_pt_cache ();
     inputs;
     context_seconds;
     encrypt_seconds;
@@ -183,22 +204,23 @@ let input_values e = e.inputs
 let engine_context_seconds e = e.context_seconds
 let engine_encrypt_seconds e = e.encrypt_seconds
 
-let rebind ?encrypt_workers e compiled bindings =
+let rebind ?seed ?(reset_cache = true) ?encrypt_workers e compiled bindings =
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let top_level = Ctx.chain_length e.ctx in
   let binding = binding_fn p bindings in
   let workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
+  (* With [seed] the fresh inputs are a pure function of (seed, bindings):
+     the engine's own RNG is not consulted, so concurrent rebinds from a
+     serving loop produce ciphertexts independent of interleaving. *)
+  let rng = match seed with Some s -> Random.State.make [| s |] | None -> e.rng in
   let t0 = now () in
-  let inputs =
-    encrypt_inputs e.ctx e.keyset e.rng ~vs ~top_level ~workers ~binding p.Ir.all_nodes
-  in
+  let inputs = encrypt_inputs e.ctx e.keyset rng ~vs ~top_level ~workers ~binding p.Ir.all_nodes in
   {
     e with
     inputs;
     encrypt_seconds = now () -. t0;
-    pt_cache = Hashtbl.create 32;
-    pt_stats = { hits = 0; misses = 0; entries = 0 };
+    pt_cache = (if reset_cache then fresh_pt_cache () else e.pt_cache);
   }
 
 (* The encoding cache is keyed by plaintext *content* — the same mask
@@ -206,9 +228,12 @@ let rebind ?encrypt_workers e compiled bindings =
    re-emit identical diagonal masks per block) encodes once. Hash
    collisions are resolved by a bitwise compare of the slot values
    (Int64 bit patterns, so NaN payloads and -0.0 are distinguished and
-   float [=] pitfalls avoided). Bounded: at [pt_cache_capacity] entries
-   the table is flushed wholesale — the common case is a working set far
-   below the bound, and a flush only costs re-encoding. *)
+   float [=] pitfalls avoided). Bounded at [pt_cache_capacity] entries
+   by second-chance (CLOCK) eviction: the hand walks insertion order,
+   giving every entry whose referenced bit is set one more lap before it
+   is eligible, so a stream of cold one-shot encodes evicts itself while
+   the hot working set stays resident — a long-running server never
+   oscillates between warm and stone-cold. *)
 let pt_cache_capacity = 512
 
 let digest_floats (a : float array) =
@@ -229,34 +254,59 @@ let floats_bitwise_equal a b =
   !ok
 
 let pt_cache_counters e =
-  Mutex.lock e.pt_lock;
-  let r = (e.pt_stats.hits, e.pt_stats.misses) in
-  Mutex.unlock e.pt_lock;
+  let c = e.pt_cache in
+  Mutex.lock c.lock;
+  let r = (c.stats.hits, c.stats.misses) in
+  Mutex.unlock c.lock;
   r
 
+(* Evict exactly one entry under the cache lock. The hand pops the
+   oldest entry: a set referenced bit buys it one more lap (cleared,
+   re-queued); a clear bit evicts it from its bucket. One pass over the
+   queue suffices — after every bit is cleared the next pop evicts — so
+   the loop is bounded by the queue length plus one. *)
+let evict_one c =
+  let rec hand budget =
+    match Queue.take_opt c.clock with
+    | None -> ()
+    | Some (key, entry) ->
+        if entry.referenced && budget > 0 then begin
+          entry.referenced <- false;
+          Queue.add (key, entry) c.clock;
+          hand (budget - 1)
+        end
+        else begin
+          let bucket = List.filter (fun e' -> e' != entry) (Option.value (Hashtbl.find_opt c.table key) ~default:[]) in
+          if bucket = [] then Hashtbl.remove c.table key else Hashtbl.replace c.table key bucket;
+          c.stats.entries <- c.stats.entries - 1
+        end
+  in
+  hand (Queue.length c.clock)
+
 let encode_cached e plain ~level ~scale =
-  Mutex.lock e.pt_lock;
+  let c = e.pt_cache in
+  Mutex.lock c.lock;
   let key = (digest_floats plain, level, scale) in
-  let bucket = Option.value (Hashtbl.find_opt e.pt_cache key) ~default:[] in
+  let bucket = Option.value (Hashtbl.find_opt c.table key) ~default:[] in
   let pt =
-    match List.find_opt (fun (v, _) -> floats_bitwise_equal v plain) bucket with
-    | Some (_, pt) ->
-        e.pt_stats.hits <- e.pt_stats.hits + 1;
-        pt
+    match List.find_opt (fun e' -> floats_bitwise_equal e'.plain plain) bucket with
+    | Some entry ->
+        c.stats.hits <- c.stats.hits + 1;
+        entry.referenced <- true;
+        entry.pt
     | None ->
-        e.pt_stats.misses <- e.pt_stats.misses + 1;
+        c.stats.misses <- c.stats.misses + 1;
         let pt = Eval.encode e.ctx ~level ~scale plain in
-        if e.pt_stats.entries >= pt_cache_capacity then begin
-          Hashtbl.reset e.pt_cache;
-          e.pt_stats.entries <- 0
-        end;
-        (* Re-read the bucket: the flush above may have emptied it. *)
-        let bucket = Option.value (Hashtbl.find_opt e.pt_cache key) ~default:[] in
-        Hashtbl.replace e.pt_cache key ((Array.copy plain, pt) :: bucket);
-        e.pt_stats.entries <- e.pt_stats.entries + 1;
+        if c.stats.entries >= pt_cache_capacity then evict_one c;
+        let entry = { plain = Array.copy plain; pt; referenced = false } in
+        (* Re-read the bucket: the eviction above may have shrunk it. *)
+        let bucket = Option.value (Hashtbl.find_opt c.table key) ~default:[] in
+        Hashtbl.replace c.table key (entry :: bucket);
+        Queue.add (key, entry) c.clock;
+        c.stats.entries <- c.stats.entries + 1;
         pt
   in
-  Mutex.unlock e.pt_lock;
+  Mutex.unlock c.lock;
   pt
 
 let scale_of e n = Float.ldexp 1.0 (Hashtbl.find e.node_scales n.Ir.id)

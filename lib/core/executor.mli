@@ -66,9 +66,17 @@ val prepare :
 val input_values : engine -> (int * value) list
 
 (** [rebind e c bindings] re-encrypts fresh inputs reusing the engine's
-    context and keys (amortizes key generation across many runs). *)
+    context and keys (amortizes key generation across many runs). With
+    [seed] the encryption randomness is drawn from a fresh
+    [Random.State] seeded with it instead of the engine's shared RNG, so
+    the derived engine is a pure function of (seed, bindings) — serving
+    loops use this to make concurrent request preparation deterministic.
+    [reset_cache] (default true) gives the derived engine a fresh
+    plaintext-encode cache; pass [false] to share the parent's cache
+    (and its counters), keeping it warm across requests. *)
 val rebind :
-  ?encrypt_workers:int -> engine -> Compile.compiled -> (string * Reference.binding) list -> engine
+  ?seed:int -> ?reset_cache:bool -> ?encrypt_workers:int -> engine -> Compile.compiled ->
+  (string * Reference.binding) list -> engine
 
 (** Everything one graph evaluation produced: raw (still encrypted)
     outputs, wall time, optional per-node timings, and the high-water
@@ -120,8 +128,18 @@ val engine_context_seconds : engine -> float
 val engine_encrypt_seconds : engine -> float
 
 (** Plaintext-encoding cache counters (hits, misses) accumulated on this
-    engine since {!prepare}/{!rebind}. *)
+    engine since {!prepare} (or the last cache-resetting {!rebind}). *)
 val pt_cache_counters : engine -> int * int
+
+(** Capacity bound of the plaintext-encode cache, in entries. Beyond it,
+    second-chance (CLOCK) eviction drops the oldest entry not hit since
+    the hand last swept past — hot entries survive a cold churn. *)
+val pt_cache_capacity : int
+
+(** [encode_cached e v ~level ~scale] encodes through the content-keyed
+    cache (the path every plaintext operand takes during evaluation).
+    Exposed for cache-behaviour tests; thread-safe. *)
+val encode_cached : engine -> float array -> level:int -> scale:float -> Eva_ckks.Eval.plaintext
 
 (** [node_failure n e] anchors an exception raised while evaluating [n]
     to that node: an already-classified error keeps its code and gains

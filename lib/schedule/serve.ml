@@ -1,0 +1,291 @@
+module Ir = Eva_core.Ir
+module Compile = Eva_core.Compile
+module Executor = Eva_core.Executor
+module Reference = Eva_core.Reference
+module Wire = Eva_ckks.Wire
+module Diag = Eva_diag.Diag
+
+(* The serving tier: compile once, keygen once, then stream many
+   independent requests through the executor. One daemon owns one
+   compiled program and one prepared engine (context, keys, warm
+   plaintext-encode cache); requests flow admission queue -> worker
+   domains -> response callback, so parsing/encoding of the next request
+   overlaps evaluation of the current one (request-level pipelining).
+
+   Failure containment is the point: anything classifiable — a malformed
+   frame, an unbound input, an injected worker death that exhausts its
+   graph-level retries — becomes an error *response* for that one
+   request; the daemon and every other in-flight request survive. Only
+   foreign exceptions (bugs) escape. *)
+
+type config = {
+  queue_depth : int;  (** admission-queue bound; see submit *)
+  pipeline : int;  (** worker domains; 0 = evaluate on the calling thread *)
+  graph_workers : int;  (** Parallel.execute_on workers per request *)
+  encrypt_workers : int;  (** domains for per-request input encryption *)
+  default_deadline_ms : int option;  (** applied when a request carries none *)
+  max_request_retries : int;  (** request-level retries after worker death *)
+  seed : int;  (** base of the per-request encryption seeds *)
+}
+
+let default_config =
+  {
+    queue_depth = 8;
+    pipeline = 1;
+    graph_workers = 1;
+    encrypt_workers = 1;
+    default_deadline_ms = None;
+    max_request_retries = 2;
+    seed = 1;
+  }
+
+(* Per-request encryption randomness is a pure function of (base seed,
+   request id), so a pipelined daemon and a sequential one produce
+   bit-identical ciphertexts — the property the serve-loop tests pin. *)
+let request_seed cfg id = cfg.seed + id + 1
+
+type stats = {
+  requests_served : int;
+  requests_failed : int;
+  faults_retried : int;
+  queue_high_water : int;
+  pt_cache_hits : int;
+  pt_cache_misses : int;
+}
+
+let pt_hit_rate s =
+  let total = s.pt_cache_hits + s.pt_cache_misses in
+  if total = 0 then 0.0 else float_of_int s.pt_cache_hits /. float_of_int total
+
+type t = {
+  cfg : config;
+  compiled : Compile.compiled;
+  engine : Executor.engine;
+  fault_for : int -> Fault.t option;
+  respond : Wire.response -> unit;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  queue : (Wire.request * float) Queue.t;  (** request, admission time *)
+  mutable closed : bool;
+  mutable served : int;
+  mutable failed : int;
+  mutable retried : int;
+  mutable high_water : int;
+  mutable latencies : float list;  (** ms, completion order *)
+  mutable domains : unit Domain.t list;
+}
+
+let now = Unix.gettimeofday
+
+(* Evaluate one admitted request. The deadline (request's own, or the
+   config default) is checked when a worker picks the request up: a
+   request that aged out in the queue is refused as EVA-E505 without
+   paying for encryption or evaluation. Worker death that exhausts the
+   graph executor (EVA-E504) is retried at request level — the scripted
+   plan's remaining actions drive the retry, so a single injected death
+   costs one re-execution, not the daemon. *)
+let process t (req : Wire.request) t_admit =
+  let id = req.Wire.req_id in
+  let deadline = match req.Wire.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms in
+  let expired () =
+    match deadline with Some d -> (now () -. t_admit) *. 1000.0 > float_of_int d | None -> false
+  in
+  if expired () then
+    Error
+      (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
+         (Printf.sprintf "request %d exceeded its %dms deadline in the admission queue" id
+            (Option.get deadline)))
+  else begin
+    let bindings = List.map (fun (name, v) -> (name, Reference.Vec v)) req.Wire.req_inputs in
+    let fault = t.fault_for id in
+    let rec attempt tries =
+      match
+        let e =
+          Executor.rebind ~seed:(request_seed t.cfg id) ~reset_cache:false
+            ~encrypt_workers:t.cfg.encrypt_workers t.engine t.compiled bindings
+        in
+        (* With one graph worker and no fault plan, the plain executor is
+           the same schedule minus a domain spawn per request — the
+           spawn is pure latency on small programs. *)
+        (match fault with
+        | None when t.cfg.graph_workers = 1 -> fst (Executor.run_on e t.compiled)
+        | _ -> (Parallel.execute_on ?fault ~workers:t.cfg.graph_workers e t.compiled).Parallel.outputs)
+      with
+      | outputs -> Ok outputs
+      | exception Diag.Error d
+        when d.Diag.code = Diag.exec_workers_died && tries < t.cfg.max_request_retries ->
+          Mutex.lock t.lock;
+          t.retried <- t.retried + 1;
+          Mutex.unlock t.lock;
+          attempt (tries + 1)
+      | exception e -> (
+          (* Any classifiable failure — scheme-layer mismatch, unbound
+             input, exhausted retry budget — fails this request only.
+             Foreign exceptions are bugs and still crash the daemon. *)
+          match Diag.classify e with Some d -> Error d | None -> raise e)
+    in
+    attempt 0
+  end
+
+let finish t payload t_admit =
+  Mutex.lock t.lock;
+  (match payload with Ok _ -> t.served <- t.served + 1 | Error _ -> t.failed <- t.failed + 1);
+  t.latencies <- ((now () -. t_admit) *. 1000.0) :: t.latencies;
+  Mutex.unlock t.lock
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      if not (Queue.is_empty t.queue) then Some (Queue.take t.queue)
+      else if t.closed then None
+      else begin
+        Condition.wait t.not_empty t.lock;
+        wait ()
+      end
+    in
+    match wait () with
+    | None ->
+        Condition.broadcast t.not_empty;
+        Mutex.unlock t.lock
+    | Some (req, t_admit) ->
+        Mutex.unlock t.lock;
+        let payload = process t req t_admit in
+        t.respond { Wire.resp_id = req.Wire.req_id; payload };
+        finish t payload t_admit;
+        loop ()
+  in
+  loop ()
+
+let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compiled engine =
+  if config.queue_depth < 1 || config.pipeline < 0 || config.graph_workers < 1 then
+    invalid_arg "Serve.start: queue_depth and graph_workers must be >= 1, pipeline >= 0";
+  let t =
+    {
+      cfg = config;
+      compiled;
+      engine;
+      fault_for;
+      respond;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      served = 0;
+      failed = 0;
+      retried = 0;
+      high_water = 0;
+      latencies = [];
+      domains = [];
+    }
+  in
+  t.domains <- List.init config.pipeline (fun _ -> Domain.spawn (worker t));
+  t
+
+(* Admission backpressure is caller-runs: when the queue is full the
+   submitting thread takes the oldest queued request and evaluates it
+   itself before enqueuing. The queue stays bounded without anyone
+   sleeping, and on a machine with fewer cores than pipeline + 1 the
+   submitter's cycles go into requests instead of a blocked wait. *)
+let rec submit t (req : Wire.request) =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Serve.submit: daemon already drained"
+  end;
+  if Queue.length t.queue >= t.cfg.queue_depth then begin
+    let oldest, t_admit = Queue.take t.queue in
+    Mutex.unlock t.lock;
+    let payload = process t oldest t_admit in
+    t.respond { Wire.resp_id = oldest.Wire.req_id; payload };
+    finish t payload t_admit;
+    submit t req
+  end
+  else begin
+    Queue.add (req, now ()) t.queue;
+    if Queue.length t.queue > t.high_water then t.high_water <- Queue.length t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock
+  end
+
+(* An unparsable request never reaches the queue; it is answered (and
+   counted as failed) directly, preserving one-response-per-frame. *)
+let reject t ~id d =
+  t.respond { Wire.resp_id = id; payload = Error d };
+  Mutex.lock t.lock;
+  t.failed <- t.failed + 1;
+  Mutex.unlock t.lock
+
+let stats_locked t =
+  let pt_cache_hits, pt_cache_misses = Executor.pt_cache_counters t.engine in
+  {
+    requests_served = t.served;
+    requests_failed = t.failed;
+    faults_retried = t.retried;
+    queue_high_water = t.high_water;
+    pt_cache_hits;
+    pt_cache_misses;
+  }
+
+let drain t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock;
+  (* Help run the queue dry on the calling thread: with pipeline = 0
+     this is the only execution; with workers it is one more hand. *)
+  let rec help () =
+    Mutex.lock t.lock;
+    let item = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match item with
+    | None -> ()
+    | Some (req, t_admit) ->
+        let payload = process t req t_admit in
+        t.respond { Wire.resp_id = req.Wire.req_id; payload };
+        finish t payload t_admit;
+        help ()
+  in
+  help ();
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  stats_locked t
+
+let latencies_ms t = Array.of_list (List.rev t.latencies)
+
+(* ------------------------------------------------------------------ *)
+(* Channel loop: the daemon's wire face                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Best-effort id recovery from a payload whose full parse failed, so
+   the error response still correlates with the client's request. *)
+let salvage_id payload = try Scanf.sscanf payload " request %d" (fun i -> i) with _ -> -1
+
+let run_channels ?config ?fault_for ?max_frame compiled engine ic oc =
+  let out_lock = Mutex.create () in
+  let respond r =
+    let payload = Wire.to_string Wire.write_response r in
+    Mutex.lock out_lock;
+    (try Wire.write_frame oc payload
+     with e ->
+       Mutex.unlock out_lock;
+       raise e);
+    Mutex.unlock out_lock
+  in
+  let t = start ?config ?fault_for ~respond compiled engine in
+  let rec loop () =
+    match Wire.read_frame ?max_frame ic with
+    | None -> ()
+    | Some payload ->
+        (match Wire.read_request payload ~pos:(ref 0) with
+        | req -> submit t req
+        | exception Diag.Error d -> reject t ~id:(salvage_id payload) d);
+        loop ()
+    | exception Diag.Error d ->
+        (* A corrupt frame header leaves no boundary to resynchronize
+           on: answer what we can and stop reading this stream. Queued
+           requests still complete below. *)
+        reject t ~id:(-1) d
+  in
+  loop ();
+  drain t

@@ -1,0 +1,109 @@
+(** Compile-once / keygen-once serving daemon for encrypted inference.
+
+    The deployment shape of the paper's Section 2.4 (and the SNIPPETS
+    1000-query dot-product loop): the expensive state — compiled
+    program, encryption context, keys, warm plaintext-encode cache — is
+    built once, then many independent requests stream through it. A
+    daemon couples a bounded admission queue to a pool of worker domains
+    ({!config.pipeline}): while one request evaluates, the next is being
+    parsed and encrypted, so the stream is pipelined at request level.
+
+    Failure containment: every classifiable failure (malformed frame,
+    unbound input, deadline miss, fault-injected worker death beyond its
+    retry budget) becomes an error {e response} for that one request;
+    the daemon and all other in-flight requests survive. Worker death
+    that kills a request's graph execution (EVA-E504) is retried whole,
+    up to {!config.max_request_retries} times. *)
+
+type config = {
+  queue_depth : int;  (** admission-queue bound; see {!submit} *)
+  pipeline : int;
+      (** worker domains evaluating requests concurrently. [0] is inline
+          mode: no domains are spawned and requests are evaluated
+          entirely by the thread calling {!submit} and {!drain} — the
+          right choice on a single-core host, where a second domain only
+          adds runtime overhead. *)
+  graph_workers : int;  (** [Parallel.execute_on] workers per request *)
+  encrypt_workers : int;  (** domains for per-request input encryption *)
+  default_deadline_ms : int option;  (** applied when a request carries none *)
+  max_request_retries : int;  (** request-level retries after worker death *)
+  seed : int;  (** base of the per-request encryption seeds *)
+}
+
+(** queue 8, pipeline 1, one worker everywhere, no deadline, 2 retries,
+    seed 1. *)
+val default_config : config
+
+(** The encryption seed used for request [id] — a pure function, so a
+    pipelined daemon, a sequential daemon and a bare
+    [Executor.rebind ~seed] replay produce bit-identical ciphertexts. *)
+val request_seed : config -> int -> int
+
+(** Counters for one daemon lifetime, the serving analogue of
+    [Executor.timings]. *)
+type stats = {
+  requests_served : int;  (** answered Ok *)
+  requests_failed : int;  (** answered with an error (incl. rejects) *)
+  faults_retried : int;  (** request-level retries after worker death *)
+  queue_high_water : int;  (** deepest the admission queue ever got *)
+  pt_cache_hits : int;
+  pt_cache_misses : int;
+}
+
+(** Hits / (hits + misses), 0 when idle. *)
+val pt_hit_rate : stats -> float
+
+type t
+
+(** [start ~respond compiled engine] spawns the worker pool. [respond]
+    is called once per request, from worker domains, possibly
+    concurrently — it must be thread-safe. [fault_for id] supplies an
+    optional fault-injection plan for request [id] (worker death,
+    transient failures, ... — see {!Fault}); default none. The engine
+    should be prepared with [reset_cache]-stable bindings; requests
+    rebind it per id with {!request_seed} and share its encode cache. *)
+val start :
+  ?config:config ->
+  ?fault_for:(int -> Fault.t option) ->
+  respond:(Eva_ckks.Wire.response -> unit) ->
+  Eva_core.Compile.compiled ->
+  Eva_core.Executor.engine ->
+  t
+
+(** Enqueue one request. Backpressure is caller-runs: while the queue is
+    at [queue_depth], the submitting thread evaluates the oldest queued
+    request itself (responding for it) before enqueuing, so the queue
+    stays bounded and the submitter's cycles go into requests rather
+    than a blocked wait. Raises [Invalid_argument] after {!drain}. *)
+val submit : t -> Eva_ckks.Wire.request -> unit
+
+(** Answer a request that never made it into the queue (e.g. its frame
+    failed to parse) with an error response, counting it as failed. *)
+val reject : t -> id:int -> Eva_diag.Diag.t -> unit
+
+(** Close admission, help run the queue dry on the calling thread, join
+    the workers, and return the daemon's counters. *)
+val drain : t -> stats
+
+(** Per-request wall latencies (admission to response) in milliseconds,
+    in completion order. Meaningful after {!drain}. *)
+val latencies_ms : t -> float array
+
+(** [run_channels compiled engine ic oc] is the daemon's wire face: read
+    framed requests ({!Eva_ckks.Wire.read_frame} /
+    [Wire.read_request]) from [ic] until end of stream, answer each
+    with a framed response on [oc] (out-of-order under [pipeline] > 1 —
+    responses carry the request id), then drain and return the stats.
+    A malformed request payload yields an EVA-E4xx error response and
+    the stream continues; a corrupt frame header has no boundary to
+    resynchronize on, so it yields one final error response and ends
+    the loop. *)
+val run_channels :
+  ?config:config ->
+  ?fault_for:(int -> Fault.t option) ->
+  ?max_frame:int ->
+  Eva_core.Compile.compiled ->
+  Eva_core.Executor.engine ->
+  in_channel ->
+  out_channel ->
+  stats

@@ -237,6 +237,32 @@ let test_pt_cache_counters () =
   Alcotest.(check int) "second run adds no misses" m1 m2;
   Alcotest.(check bool) "second run hits" true (h2 > h1)
 
+(* Eviction under churn: a serving workload re-encodes a few hot model
+   plaintexts on every request while a trickle of one-off vectors flows
+   past. Second-chance eviction must keep the referenced hot entries
+   resident even as the one-offs overflow the capacity several times
+   over; the old wipe-at-capacity behaviour cold-restarted the cache
+   periodically and re-missed the hot set after every wipe. *)
+let test_pt_cache_survives_churn () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  B.output b "out" ~scale:30 (B.mul x x);
+  let c = Compile.run (B.program b) in
+  let e = Executor.prepare ~ignore_security:true ~log_n:10 c [ ("x", vec 16 (fun _ -> 0.5)) ] in
+  let h0, m0 = Executor.pt_cache_counters e in
+  let hot = Array.init 4 (fun k -> Array.init 16 (fun i -> float_of_int ((16 * k) + i) /. 64.0)) in
+  let rounds = Executor.pt_cache_capacity + 200 in
+  for round = 0 to rounds - 1 do
+    Array.iter (fun v -> ignore (Executor.encode_cached e v ~level:1 ~scale:30.0)) hot;
+    let cold = Array.init 16 (fun i -> float_of_int ((16 * round) + i) /. 16384.0) in
+    ignore (Executor.encode_cached e cold ~level:1 ~scale:30.0)
+  done;
+  let h1, m1 = Executor.pt_cache_counters e in
+  (* Every hot encode after round 0 must hit: 4 first-time misses, then
+     4 * (rounds - 1) hits. The cold one-offs all miss. *)
+  Alcotest.(check int) "hot set stays resident" (4 * (rounds - 1)) (h1 - h0);
+  Alcotest.(check int) "only first-touch misses" (4 + rounds) (m1 - m0)
+
 let test_rebind_reuses_keys () =
   (* One keygen, many inputs: rebind must give the same results as fresh
      prepare for each image. *)
@@ -315,6 +341,7 @@ let () =
           Alcotest.test_case "op counts" `Quick test_op_counts;
           Alcotest.test_case "plain operand passthrough" `Quick test_plain_operand_passthrough;
           Alcotest.test_case "pt cache counters" `Quick test_pt_cache_counters;
+          Alcotest.test_case "pt cache survives churn" `Quick test_pt_cache_survives_churn;
         ] );
       ("property", [ qt prop_random_end_to_end ]);
     ]

@@ -1,0 +1,270 @@
+(* Serving-tier regression suite (lib/schedule/serve.ml): a pipelined
+   daemon must answer exactly like a sequential replay (bit-exact, per
+   request id), contain every classifiable failure to the one request it
+   hit — injected worker death within the retry budget is invisible,
+   beyond it becomes that request's EVA-E504 response, a stale deadline
+   becomes EVA-E505, a malformed frame becomes an EVA-E4xx response —
+   and the daemon itself survives all of them. *)
+
+module B = Eva_core.Builder
+module Ir = Eva_core.Ir
+module Compile = Eva_core.Compile
+module Reference = Eva_core.Reference
+module Executor = Eva_core.Executor
+module Serve = Eva_schedule.Serve
+module Fault = Eva_schedule.Fault
+module Wire = Eva_ckks.Wire
+module Diag = Eva_diag.Diag
+
+(* Rotations, a join and a squaring, as in test_fault: the compiled
+   program exercises rotate/relinearize/rescale on every request. *)
+let compiled () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let s = B.add (B.rotate_left x 1) (B.rotate_left x 2) in
+  B.output b "out" ~scale:30 (B.mul s s);
+  Compile.run (B.program b)
+
+let request_x id = Array.init 16 (fun i -> Float.sin (float_of_int ((7 * id) + i)) /. 4.0)
+let request id = { Wire.req_id = id; deadline_ms = None; req_inputs = [ ("x", request_x id) ] }
+
+let fresh_engine c =
+  Executor.prepare ~seed:1 ~ignore_security:true ~log_n:10 c
+    [ ("x", Reference.Vec (Array.make 16 0.0)) ]
+
+(* Run [ids] through a daemon and return id -> payload. *)
+let serve_all ?(config = Serve.default_config) ?fault_for c engine ids =
+  let results = Hashtbl.create 16 in
+  let lock = Mutex.create () in
+  let respond (r : Wire.response) =
+    Mutex.lock lock;
+    Hashtbl.replace results r.Wire.resp_id r.Wire.payload;
+    Mutex.unlock lock
+  in
+  let t = Serve.start ~config ?fault_for ~respond c engine in
+  List.iter (fun id -> Serve.submit t (request id)) ids;
+  let stats = Serve.drain t in
+  (results, stats)
+
+let outputs_of results id =
+  match Hashtbl.find_opt results id with
+  | Some (Ok outputs) -> outputs
+  | Some (Error d) -> Alcotest.failf "request %d failed: %s" id (Diag.to_string d)
+  | None -> Alcotest.failf "request %d never answered" id
+
+let check_bit_exact what expected got =
+  List.iter
+    (fun (name, v) ->
+      let w = List.assoc name got in
+      Array.iteri
+        (fun i xv -> if xv <> w.(i) then Alcotest.failf "%s: %s slot %d: %h vs %h" what name i xv w.(i))
+        v)
+    expected
+
+(* A pipelined daemon, an inline (pipeline = 0) daemon and a bare
+   sequential [rebind ~seed:(request_seed cfg id)] replay must produce
+   bit-identical outputs for every request id: per-request encryption
+   randomness is a pure function of the id, never of scheduling. *)
+let test_pipelined_matches_sequential () =
+  let c = compiled () in
+  let ids = List.init 8 Fun.id in
+  let cfg = Serve.default_config in
+  let pipelined, _ =
+    serve_all ~config:{ cfg with Serve.pipeline = 2; queue_depth = 3 } c (fresh_engine c) ids
+  in
+  let inline, _ = serve_all ~config:{ cfg with Serve.pipeline = 0 } c (fresh_engine c) ids in
+  let replay_engine = fresh_engine c in
+  List.iter
+    (fun id ->
+      let e =
+        Executor.rebind
+          ~seed:(Serve.request_seed cfg id)
+          ~reset_cache:false replay_engine c
+          [ ("x", Reference.Vec (request_x id)) ]
+      in
+      let expected, _ = Executor.run_on e c in
+      check_bit_exact (Printf.sprintf "request %d (pipeline 2)" id) expected (outputs_of pipelined id);
+      check_bit_exact (Printf.sprintf "request %d (inline)" id) expected (outputs_of inline id))
+    ids
+
+(* One scripted worker death inside one request: the daemon retries that
+   request, every answer is still bit-exact, and the retry is counted.
+   Other requests never see the fault. *)
+let test_worker_death_is_retried () =
+  let c = compiled () in
+  let target_node =
+    (List.find
+       (fun n -> match n.Ir.op with Ir.Input _ -> false | _ -> true)
+       c.Compile.program.Ir.all_nodes)
+      .Ir.id
+  in
+  let ids = List.init 6 Fun.id in
+  let fault_for id = if id = 3 then Some (Fault.plan [ (target_node, [ Fault.Die ]) ]) else None in
+  let baseline, _ = serve_all c (fresh_engine c) ids in
+  let faulted, stats = serve_all ~fault_for c (fresh_engine c) ids in
+  List.iter
+    (fun id -> check_bit_exact (Printf.sprintf "request %d" id) (outputs_of baseline id) (outputs_of faulted id))
+    ids;
+  Alcotest.(check int) "all served" 6 stats.Serve.requests_served;
+  Alcotest.(check int) "no failures" 0 stats.Serve.requests_failed;
+  Alcotest.(check bool) "the death was retried" true (stats.Serve.faults_retried >= 1)
+
+(* Worker death past the request's retry budget: that one request is
+   answered with EVA-E504; the daemon and the requests around it
+   survive. *)
+let test_death_beyond_budget_fails_one_request () =
+  let c = compiled () in
+  let die_always =
+    Fault.plan
+      (List.filter_map
+         (fun n ->
+           match n.Ir.op with
+           | Ir.Input _ -> None
+           | _ -> Some (n.Ir.id, [ Fault.Die; Fault.Die; Fault.Die; Fault.Die ]))
+         c.Compile.program.Ir.all_nodes)
+  in
+  let fault_for id = if id = 1 then Some die_always else None in
+  let config = { Serve.default_config with Serve.max_request_retries = 2 } in
+  let results, stats = serve_all ~config ~fault_for c (fresh_engine c) [ 0; 1; 2 ] in
+  ignore (outputs_of results 0);
+  ignore (outputs_of results 2);
+  (match Hashtbl.find results 1 with
+  | Error d ->
+      Alcotest.(check int) "EVA-E504" Diag.exec_workers_died d.Diag.code;
+      Alcotest.(check bool) "Execute layer" true (d.Diag.layer = Diag.Execute)
+  | Ok _ -> Alcotest.fail "request 1 succeeded with every attempt dying");
+  Alcotest.(check int) "two served" 2 stats.Serve.requests_served;
+  Alcotest.(check int) "one failed" 1 stats.Serve.requests_failed;
+  Alcotest.(check int) "budget consumed" config.Serve.max_request_retries stats.Serve.faults_retried
+
+(* A request whose deadline lapsed in the admission queue is refused as
+   EVA-E505 without being evaluated. *)
+let test_expired_deadline_is_refused () =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let results = Hashtbl.create 4 in
+  let respond (r : Wire.response) = Hashtbl.replace results r.Wire.resp_id r.Wire.payload in
+  let config = { Serve.default_config with Serve.pipeline = 0 } in
+  let t = Serve.start ~config ~respond c engine in
+  Serve.submit t { Wire.req_id = 0; deadline_ms = Some 1; req_inputs = [ ("x", request_x 0) ] };
+  Serve.submit t { Wire.req_id = 1; deadline_ms = None; req_inputs = [ ("x", request_x 1) ] };
+  Unix.sleepf 0.05;
+  let stats = Serve.drain t in
+  (match Hashtbl.find results 0 with
+  | Error d -> Alcotest.(check int) "EVA-E505" Diag.exec_timeout d.Diag.code
+  | Ok _ -> Alcotest.fail "expired request was evaluated");
+  (match Hashtbl.find results 1 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "deadline-free request failed: %s" (Diag.to_string d));
+  Alcotest.(check int) "one failed" 1 stats.Serve.requests_failed
+
+(* --- the wire face ---------------------------------------------------- *)
+
+(* Feed framed payloads (pre-rendered bytes) to run_channels through a
+   pipe; collect the framed responses from the other pipe. *)
+let run_wire ?config raw_stream =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let feeder = Unix.out_channel_of_descr req_write in
+  output_string feeder raw_stream;
+  close_out feeder;
+  let ic = Unix.in_channel_of_descr req_read in
+  let oc = Unix.out_channel_of_descr resp_write in
+  let stats = Serve.run_channels ?config c engine ic oc in
+  close_out oc;
+  close_in ic;
+  let ic2 = Unix.in_channel_of_descr resp_read in
+  let rec read acc =
+    match Wire.read_frame ic2 with
+    | None -> List.rev acc
+    | Some payload -> read (Wire.read_response payload ~pos:(ref 0) :: acc)
+  in
+  let responses = read [] in
+  close_in ic2;
+  (stats, responses)
+
+let frame payload = Printf.sprintf "frame %d\n%s" (String.length payload) payload
+let framed_request id = frame (Wire.to_string (fun buf () -> Wire.write_request buf ~id (request id).Wire.req_inputs) ())
+
+let find_response responses id =
+  match List.find_opt (fun (r : Wire.response) -> r.Wire.resp_id = id) responses with
+  | Some r -> r.Wire.payload
+  | None -> Alcotest.failf "no response for id %d" id
+
+(* A malformed request payload inside a well-formed frame yields an
+   EVA-E4xx error response; the stream keeps serving. *)
+let test_malformed_payload_is_answered_not_fatal () =
+  let stream = framed_request 0 ^ frame "these are not the droids" ^ framed_request 2 in
+  let stats, responses = run_wire stream in
+  Alcotest.(check int) "three responses" 3 (List.length responses);
+  (match find_response responses 0 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "request 0 failed: %s" (Diag.to_string d));
+  (match find_response responses 2 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "request 2 failed: %s" (Diag.to_string d));
+  (match find_response responses (-1) with
+  | Error d ->
+      Alcotest.(check bool) "Wire layer" true (d.Diag.layer = Diag.Wire);
+      Alcotest.(check bool) "EVA-E4xx" true (d.Diag.code >= 400 && d.Diag.code < 500)
+  | Ok _ -> Alcotest.fail "garbage payload produced outputs");
+  Alcotest.(check int) "two served" 2 stats.Serve.requests_served;
+  Alcotest.(check int) "one failed" 1 stats.Serve.requests_failed
+
+(* A corrupt frame header has no boundary to resynchronize on: one final
+   error response, then the daemon drains what it already admitted
+   instead of crashing. *)
+let test_corrupt_frame_header_ends_stream () =
+  let stream = framed_request 0 ^ "frame not-a-length\n" ^ framed_request 2 in
+  let stats, responses = run_wire stream in
+  Alcotest.(check int) "two responses" 2 (List.length responses);
+  (match find_response responses 0 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "request 0 failed: %s" (Diag.to_string d));
+  (match find_response responses (-1) with
+  | Error d -> Alcotest.(check bool) "Wire layer" true (d.Diag.layer = Diag.Wire)
+  | Ok _ -> Alcotest.fail "corrupt header produced outputs");
+  Alcotest.(check int) "one served" 1 stats.Serve.requests_served
+
+(* Request and response survive the wire bit-exactly: slot values travel
+   as hex floats. *)
+let test_wire_round_trip_bit_exact () =
+  let inputs = [ ("x", Array.init 16 (fun i -> Float.ldexp (Float.sin (float_of_int i)) (-3))) ] in
+  let payload = Wire.to_string (fun buf () -> Wire.write_request buf ~id:7 ~deadline_ms:250 inputs) () in
+  let req = Wire.read_request payload ~pos:(ref 0) in
+  Alcotest.(check int) "id" 7 req.Wire.req_id;
+  Alcotest.(check (option int)) "deadline" (Some 250) req.Wire.deadline_ms;
+  check_bit_exact "request inputs" inputs req.Wire.req_inputs;
+  let resp = { Wire.resp_id = 7; payload = Ok inputs } in
+  let back = Wire.read_response (Wire.to_string Wire.write_response resp) ~pos:(ref 0) in
+  (match back.Wire.payload with
+  | Ok outputs -> check_bit_exact "response outputs" inputs outputs
+  | Error d -> Alcotest.failf "round trip failed: %s" (Diag.to_string d));
+  let err = { Wire.resp_id = 9; payload = Error (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout "too slow") } in
+  match (Wire.read_response (Wire.to_string Wire.write_response err) ~pos:(ref 0)).Wire.payload with
+  | Error d ->
+      Alcotest.(check int) "code" Diag.exec_timeout d.Diag.code;
+      Alcotest.(check bool) "layer" true (d.Diag.layer = Diag.Execute)
+  | Ok _ -> Alcotest.fail "error response round-tripped to Ok"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "pipelined == sequential, bit-exact" `Quick test_pipelined_matches_sequential;
+          Alcotest.test_case "worker death retried within budget" `Quick test_worker_death_is_retried;
+          Alcotest.test_case "death beyond budget fails one request" `Quick
+            test_death_beyond_budget_fails_one_request;
+          Alcotest.test_case "expired deadline refused as E505" `Quick test_expired_deadline_is_refused;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "malformed payload answered, not fatal" `Quick
+            test_malformed_payload_is_answered_not_fatal;
+          Alcotest.test_case "corrupt frame header ends stream" `Quick test_corrupt_frame_header_ends_stream;
+          Alcotest.test_case "request/response round trip bit-exact" `Quick test_wire_round_trip_bit_exact;
+        ] );
+    ]
