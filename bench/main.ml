@@ -569,6 +569,96 @@ let micro () =
    without paying for a real measurement run. *)
 let smoke = ref false
 
+(* Residue-parallel scaling: every pooled kernel across pool sizes
+   {0, 1, 2, 4}, each result asserted bit-exact against the sequential
+   (pool 0) path before any timing. Acceptance target: >= 2.5x on the
+   key switch at N=2^13 with 4 pool workers vs 1 — reachable only when
+   the machine actually has >= 4 cores; the core count is printed so a
+   saturated measurement on a smaller container reads as what it is. *)
+let kernels_scaling () =
+  let module Ctx = Eva_ckks.Context in
+  let module Keys = Eva_ckks.Keys in
+  let module Rowvec = Eva_rns.Rowvec in
+  let module Rp = Eva_poly.Rns_poly in
+  let module Pool = Eva_pool.Pool in
+  let log_n = if !smoke then 8 else 13 in
+  let n = 1 lsl log_n in
+  Printf.printf "\nResidue scaling at N = 2^%d (3x60-bit chain + special):\n" log_n;
+  let ctx = Ctx.make ~ignore_security:true ~n ~data_bits:[ 60; 60; 60 ] ~special_bits:[ 60 ] () in
+  let rng = Random.State.make [| 29; log_n |] in
+  let _, ks = Keys.generate ctx rng ~galois_elts:[] in
+  let level = Ctx.chain_length ctx in
+  let tables = Ctx.tables_for_level ctx level in
+  let c = Rp.sample_uniform rng ~tables in
+  let g = Ctx.galois_elt_rotate ctx 1 in
+  let snapshot p = Array.map Rowvec.to_array (Rp.rows p) in
+  let restore_workers = Pool.workers () in
+  (* Each kernel returns a comparable snapshot of its result; pool size 0
+     defines the reference the other sizes must reproduce exactly. *)
+  let kernels_under_test =
+    [
+      ( "ntt_round_trip",
+        fun () ->
+          let w = Rp.copy c in
+          Rp.to_coeff w;
+          Rp.to_ntt w;
+          snapshot w );
+      ("decompose", fun () -> ignore (Keys.decompose ctx ~level c); [||]);
+      ( "apply",
+        let d = Keys.decompose ctx ~level c in
+        fun () ->
+          let d0, d1 = Keys.apply_decomposed ~galois:g ctx ks.Keys.relin d in
+          Array.append (snapshot d0) (snapshot d1) );
+      ("rescale", fun () -> snapshot (Rp.rescale_many c 1));
+      ( "key_switch",
+        fun () ->
+          let d0, d1 = Keys.switch ctx ks.Keys.relin ~level c in
+          Array.append (snapshot d0) (snapshot d1) );
+    ]
+  in
+  Pool.set_workers 0;
+  let reference = List.map (fun (name, f) -> (name, f ())) kernels_under_test in
+  let time_best f =
+    let reps = if !smoke then 1 else 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Printf.printf "  %-8s" "workers";
+  List.iter (fun (name, _) -> Printf.printf " | %14s" name) kernels_under_test;
+  Printf.printf "\n";
+  let timings = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      Pool.set_workers w;
+      List.iter2
+        (fun (name, f) (_, expected) ->
+          let got = f () in
+          if got <> expected then
+            failwith
+              (Printf.sprintf "%s with %d pool workers diverges from the sequential result" name w))
+        kernels_under_test reference;
+      Printf.printf "  %-8d" w;
+      List.iter
+        (fun (name, f) ->
+          let t = time_best f in
+          Hashtbl.replace timings (name, w) t;
+          Printf.printf " | %11.2f ms" (t *. 1e3))
+        kernels_under_test;
+      Printf.printf "\n")
+    [ 0; 1; 2; 4 ];
+  Pool.set_workers restore_workers;
+  let t1 = Hashtbl.find timings ("key_switch", 1) and t4 = Hashtbl.find timings ("key_switch", 4) in
+  Printf.printf "\nAll pooled kernels bit-exact across pool sizes {0, 1, 2, 4}.\n";
+  Printf.printf
+    "Acceptance: key switch at 4 workers vs 1 is %.2fx (target >= 2.5x on a >= 4-core machine;\nthis machine reports %d usable core(s): measured speedup saturates there).\n"
+    (t1 /. t4)
+    (Domain.recommended_domain_count ())
+
 let kernels () =
   header "Kernel microbenchmarks: NTT, pointwise mul, key switch (ns/op, minor words/op)";
   let module Ctx = Eva_ckks.Context in
@@ -607,7 +697,7 @@ let kernels () =
       (* Single-prime NTT at a full-width (30-bit) modulus. *)
       let p = Primes.gen ~bits:30 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
       let tb = Ntt.make ~n p in
-      let buf = Array.init n (fun _ -> Random.State.int st p) in
+      let buf = Eva_rns.Rowvec.init n (fun _ -> Random.State.int st p) in
       report "ntt_forward" (time_one (fun () -> Ntt.forward tb buf));
       report "ntt_inverse" (time_one (fun () -> Ntt.inverse tb buf));
       (* Pointwise product over a 3-prime chain (functional and in the
@@ -635,8 +725,31 @@ let kernels () =
       let d = Keys.decompose ctx ~level c in
       let g = Ctx.galois_elt_rotate ctx 1 in
       report "ks_apply (galois)"
-        (time_one ~budget:0.4 (fun () -> ignore (Keys.apply_decomposed ~galois:g ctx ks.Keys.relin d))))
-    log_ns
+        (time_one ~budget:0.4 (fun () -> ignore (Keys.apply_decomposed ~galois:g ctx ks.Keys.relin d)));
+      (* Allocation budget: residue rows moved off the OCaml heap
+         (Bigarray), so GC-visible words per op must stay bounded by the
+         remaining scratch — the Garner digit buffer (n words per
+         decompose) plus fixed-size bookkeeping. A re-boxing regression
+         (per-element or per-row OCaml arrays creeping back into the hot
+         path) blows through this immediately. *)
+      let budget_switch = float_of_int (8 * n) +. 65536.0 in
+      let _, w_switch =
+        time_one ~budget:0.2 (fun () -> ignore (Keys.switch ctx ks.Keys.relin ~level c))
+      in
+      let _, w_mul = time_one (fun () -> ignore (Rp.mul a b)) in
+      let budget_mul = 4096.0 in
+      if w_switch > budget_switch then
+        failwith
+          (Printf.sprintf "key_switch words/op %.0f exceeds budget %.0f at N=2^%d" w_switch
+             budget_switch log_n);
+      if w_mul > budget_mul then
+        failwith
+          (Printf.sprintf "pointwise_mul words/op %.0f exceeds budget %.0f at N=2^%d" w_mul
+             budget_mul log_n);
+      Printf.printf "  words/op budgets ok (key_switch %.0f <= %.0f, mul %.0f <= %.0f)\n" w_switch
+        budget_switch w_mul budget_mul)
+    log_ns;
+  kernels_scaling ()
 
 (* ------------------------------------------------------------------ *)
 (* Hoisted rotations: decompose once, rotate many                      *)
@@ -1051,6 +1164,23 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   smoke := List.mem "--smoke" args;
   let args = List.filter (fun a -> a <> "--smoke") args in
+  (* `--pool-workers N` sizes the shared kernel pool for every
+     experiment (the kernels scaling section still sweeps its own
+     sizes and restores this value afterwards). *)
+  let args =
+    let rec strip = function
+      | "--pool-workers" :: v :: rest ->
+          (match int_of_string_opt v with
+          | Some w when w >= 0 -> Eva_pool.Pool.set_workers w
+          | _ ->
+              Printf.eprintf "--pool-workers expects a non-negative integer, got %S\n" v;
+              exit 1);
+          strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   match args with
   | [] | [ "all" ] ->
       let t0 = Unix.gettimeofday () in

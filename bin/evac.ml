@@ -4,8 +4,8 @@
    evac compile PROGRAM.eva -o OUT.eva [--policy eva|lazy] [--waterline K] [--eager-relin] [--optimize]
    evac validate PROGRAM.eva [--transformed]
    evac estimate PROGRAM.eva [--log-n K] [--magnitude M] [--waterline K] [--eager-relin] [--optimize]
-   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--waterline K] [--eager-relin] [--stats] [--optimize]
-   evac serve PROGRAM.eva [--socket PATH] [--queue-depth D] [--pipeline P] [--workers W]
+   evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--pool-workers P] [--waterline K] [--eager-relin] [--stats] [--optimize]
+   evac serve PROGRAM.eva [--socket PATH] [--queue-depth D] [--pipeline P] [--workers W] [--pool-workers P]
                           [--deadline-ms MS] [--seed N] [--log-n K] [--waterline K] [--eager-relin] [--optimize]
 *)
 
@@ -20,6 +20,37 @@ module Validate = Eva_core.Validate
 module Reference = Eva_core.Reference
 module Executor = Eva_core.Executor
 module Diag = Eva_diag.Diag
+module Pool = Eva_pool.Pool
+
+(* One knob for the shared kernel pool (run, serve and the benches take
+   the same flag; the POOL_WORKERS environment variable is the default).
+   [domains] is how many domains the command itself will run kernels
+   from — graph workers, or pipeline x graph workers under serve — so
+   oversubscription (every domain fanning out onto its own lanes would
+   exceed the machine) is pointed out rather than silently thrashing.
+   Caller-runs means a pool of [w] lanes is [w] running threads per
+   submitting domain, not [w + 1]. *)
+let pool_workers_flag =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-workers" ] ~docv:"P"
+        ~doc:
+          "Lanes of the shared kernel pool that residue-row loops (NTT, digit decompose, rescale) \
+           run on. 0 = plain sequential kernels. Defaults to the POOL_WORKERS environment \
+           variable, else 0.")
+
+let apply_pool_workers ~domains pw =
+  Option.iter Pool.set_workers pw;
+  let lanes = Pool.workers () in
+  let cores = Domain.recommended_domain_count () in
+  if domains * max 1 lanes > cores then
+    Printf.eprintf
+      "evac: warning: %d executing domain(s) x %d pool lane(s) oversubscribes this machine's %d \
+       core(s)\n\
+       %!"
+      domains (max 1 lanes) cores;
+  lanes
 
 (* Every command body runs under this reporter: any classified error —
    parse, validation, compilation, wire, execution or scheme-layer —
@@ -172,9 +203,11 @@ let estimate_cmd =
     Term.(const run $ file_arg $ log_n $ magnitude $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 let run_cmd =
-  let run path seed log_n reference workers waterline eager_relin stats optimize =
+  let run path seed log_n reference workers pool_workers waterline eager_relin stats optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
+    let lanes = apply_pool_workers ~domains:(max 1 workers) pool_workers in
+    Pool.reset_stats ();
     let bindings = random_bindings p seed in
     let show outputs =
       List.iter
@@ -194,7 +227,17 @@ let run_cmd =
         "timings: context %.3fs, encrypt %.3fs, execute %.3fs, decrypt %.3fs (pt-cache %d hits, \
          %d misses)\n"
         t.Executor.context_seconds t.Executor.encrypt_seconds t.Executor.execute_seconds
-        t.Executor.decrypt_seconds t.Executor.pt_cache_hits t.Executor.pt_cache_misses
+        t.Executor.decrypt_seconds t.Executor.pt_cache_hits t.Executor.pt_cache_misses;
+      (* Wall vs cpu-summed kernel time: efficiency well below 1 with
+         many chunked loops means the lanes are starved (oversubscribed
+         or the rows are too short to amortize the handoff). *)
+      let ps = Pool.stats () in
+      Printf.printf
+        "kernel pool: %d lane(s), %d chunked + %d inline loops, parallel efficiency %.0f%% (wall \
+         %.3fs, busy %.3fs)\n"
+        lanes ps.Pool.chunked_calls ps.Pool.inline_calls
+        (100.0 *. Pool.efficiency ~lanes:(max 1 lanes) ps)
+        ps.Pool.wall_seconds ps.Pool.busy_seconds
     in
     if reference then show (Reference.execute p bindings)
     else begin
@@ -232,8 +275,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
     Term.(
-      const run $ file_arg $ seed $ log_n $ reference $ workers $ waterline_flag $ eager_relin_flag
-      $ stats $ optimize_flag)
+      const run $ file_arg $ seed $ log_n $ reference $ workers $ pool_workers_flag $ waterline_flag
+      $ eager_relin_flag $ stats $ optimize_flag)
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -242,10 +285,13 @@ let serve_cmd =
      warm engine. Stdio mode serves one stream on stdin/stdout (stats go
      to stderr so they never corrupt the response stream); socket mode
      binds a Unix socket and serves one stream per accepted connection. *)
-  let run path socket queue_depth pipeline workers deadline_ms seed log_n waterline eager_relin
-      optimize =
+  let run path socket queue_depth pipeline workers pool_workers deadline_ms seed log_n waterline
+      eager_relin optimize =
     reporting (Some path) @@ fun () ->
     let p = load path in
+    (* Every pipeline domain runs graph workers, and each of those
+       submits kernel loops to the one shared pool. *)
+    ignore (apply_pool_workers ~domains:(max 1 pipeline * workers) pool_workers);
     let c = Compile.run ?waterline ~eager_relin ~optimize p in
     (* Keygen against zero bindings: the shapes (and therefore the
        context and keys) depend only on the program, not the values. *)
@@ -276,7 +322,10 @@ let serve_cmd =
          rate %.1f%%\n\
          %!"
         stats.requests_served stats.requests_failed stats.faults_retried stats.queue_high_water
-        (100.0 *. pt_hit_rate stats)
+        (100.0 *. pt_hit_rate stats);
+      Printf.eprintf
+        "evac serve: kernel pool %d lane(s), %d chunked loops, parallel efficiency %.0f%%\n%!"
+        stats.pool_lanes stats.pool_chunked_calls (100.0 *. stats.pool_efficiency)
     in
     match socket with
     | None ->
@@ -341,8 +390,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Compile and keygen once, then serve framed evaluation requests")
     Term.(
-      const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ deadline_ms $ seed $ log_n
-      $ waterline_flag $ eager_relin_flag $ optimize_flag)
+      const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ pool_workers_flag
+      $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in

@@ -1,14 +1,16 @@
 module Ntt = Eva_rns.Ntt
 module Modarith = Eva_rns.Modarith
+module Rowvec = Eva_rns.Rowvec
 module Rns_poly = Eva_poly.Rns_poly
+module Pool = Eva_pool.Pool
 
 (* Secret key as raw NTT rows over the full chain (data then special). *)
-type secret = { s_rows : int array array }
+type secret = { s_rows : Rowvec.t array }
 
 type public_key = { pk_b : Rns_poly.t; pk_a : Rns_poly.t }
 
 (* One digit per data modulus element; rows span the full chain. *)
-type switch_key = { kb : int array array array; ka : int array array array }
+type switch_key = { kb : Rowvec.t array array; ka : Rowvec.t array array }
 
 type keyset = { public : public_key; relin : switch_key; galois : (int, switch_key) Hashtbl.t }
 
@@ -44,8 +46,8 @@ let generate_switch_key ctx rng s s_prime =
       let qi = Ntt.modulus full.(i) in
       let factor = p_mod qi in
       let row = b_rows.(i) and srow = s'_rows.(i) in
-      for j = 0 to Array.length row - 1 do
-        row.(j) <- Modarith.add row.(j) (Modarith.mul factor srow.(j) qi) qi
+      for j = 0 to Rowvec.length row - 1 do
+        Rowvec.set row j (Modarith.add (Rowvec.get row j) (Modarith.mul factor (Rowvec.get srow j) qi) qi)
       done
     done;
     kb.(e) <- b_rows;
@@ -112,7 +114,7 @@ let digit_values_into ~full ~lo ~count rows buf =
     let half = qa / 2 in
     let ra = rows.(lo) in
     for k = 0 to Array.length buf - 1 do
-      let r = ra.(k) in
+      let r = Rowvec.unsafe_get ra k in
       (* r - qa iff r > half, branchless: (half - r) asr 62 is -1 then. *)
       buf.(k) <- r - (qa land ((half - r) asr 62))
     done;
@@ -127,10 +129,11 @@ let digit_values_into ~full ~lo ~count rows buf =
     let inv_s = Modarith.shoup inv_qa qb in
     let ra = rows.(lo) and rb = rows.(lo + 1) in
     for k = 0 to Array.length buf - 1 do
-      (* ra.(k) < qa < 2^30, so the 31-bit Barrett constant reduces it. *)
-      let ra_b = Modarith.barrett_reduce31 br_b ra.(k) in
-      let t = Modarith.mul_shoup (Modarith.sub rb.(k) ra_b qb) inv_qa inv_s qb in
-      let d = ra.(k) + (qa * t) in
+      let rak = Rowvec.unsafe_get ra k in
+      (* rak < qa < 2^30, so the 31-bit Barrett constant reduces it. *)
+      let ra_b = Modarith.barrett_reduce31 br_b rak in
+      let t = Modarith.mul_shoup (Modarith.sub (Rowvec.unsafe_get rb k) ra_b qb) inv_qa inv_s qb in
+      let d = rak + (qa * t) in
       buf.(k) <- d - (qe land ((half - d) asr 62))
     done;
     buf
@@ -149,10 +152,10 @@ type decomposed = {
   d_m : int;  (* data primes at this level *)
   d_target : Ntt.table array;  (* level tables ++ special tables *)
   d_elems : int array;  (* live modulus-element indices *)
-  d_digits : int array array array;  (* per live element: tm rows, NTT form *)
-  mutable d_perm_scratch : int array array;  (* lazily built: tm rows for permuted digits *)
-  d_kb : int array array;  (* key-row pointer scratch, reused per apply *)
-  d_ka : int array array;
+  d_digits : Rowvec.t array array;  (* per live element: tm rows, NTT form *)
+  mutable d_perm_scratch : Rowvec.t array;  (* lazily built: tm rows for permuted digits *)
+  d_kb : Rowvec.t array;  (* key-row pointer scratch, reused per apply *)
+  d_ka : Rowvec.t array;
 }
 
 let decompose ctx ~level c =
@@ -175,32 +178,42 @@ let decompose ctx ~level c =
   let live = Array.of_list (List.rev !live) in
   let d_buf = Array.make n 0 in
   let digits =
+    (* Elements are sequential (they share [d_buf]); within one element
+       the tm target rows are independent — Garner values [d] are
+       read-only and each row writes only itself — so the row loop, the
+       dominant cost of a key switch (one forward NTT per row), runs on
+       the pool. *)
     Array.map
       (fun (_, lo, count) ->
         let d = digit_values_into ~full ~lo ~count w_rows d_buf in
-        Array.init tm (fun j ->
-            if j >= lo && j < lo + count then begin
-              (* The element's own primes: the digit is congruent to the
-                 residue row itself (centering shifts by a multiple of
-                 Q_e). *)
-              let row = if owned then w_rows.(j) else Array.copy w_rows.(j) in
-              Ntt.forward target.(j) row;
-              row
-            end
-            else begin
-              let p = Ntt.modulus target.(j) in
-              let row = Array.make n 0 in
-              for k = 0 to n - 1 do
-                (* OCaml [mod] truncates toward zero: normalize the
-                   centered digit's residue into [0, p). *)
-                let r = d.(k) mod p in
-                row.(k) <- r + (p land (r asr 62))
-              done;
-              Ntt.forward target.(j) row;
-              row
-            end))
+        let out = Array.make tm (Rowvec.create 0) in
+        Pool.parallel_for ~lo:0 ~hi:tm (fun jlo jhi ->
+            for j = jlo to jhi - 1 do
+              if j >= lo && j < lo + count then begin
+                (* The element's own primes: the digit is congruent to the
+                   residue row itself (centering shifts by a multiple of
+                   Q_e). *)
+                let row = if owned then w_rows.(j) else Rowvec.copy w_rows.(j) in
+                Ntt.forward target.(j) row;
+                out.(j) <- row
+              end
+              else begin
+                let p = Ntt.modulus target.(j) in
+                let row = Rowvec.create n in
+                for k = 0 to n - 1 do
+                  (* OCaml [mod] truncates toward zero: normalize the
+                     centered digit's residue into [0, p). *)
+                  let r = d.(k) mod p in
+                  Rowvec.unsafe_set row k (r + (p land (r asr 62)))
+                done;
+                Ntt.forward target.(j) row;
+                out.(j) <- row
+              end
+            done);
+        out)
       live
   in
+  let dummy = Rowvec.create 0 in
   {
     d_level = level;
     d_m = m;
@@ -208,8 +221,8 @@ let decompose ctx ~level c =
     d_elems = Array.map (fun (e, _, _) -> e) live;
     d_digits = digits;
     d_perm_scratch = [||];
-    d_kb = Array.make tm [||];
-    d_ka = Array.make tm [||];
+    d_kb = Array.make tm dummy;
+    d_ka = Array.make tm dummy;
   }
 
 let decomposed_level d = d.d_level
@@ -227,7 +240,7 @@ let apply_decomposed ?galois ctx key d =
     | None -> None
     | Some g ->
         if Array.length d.d_perm_scratch = 0 then
-          d.d_perm_scratch <- Array.init tm (fun _ -> Array.make n 0);
+          d.d_perm_scratch <- Rowvec.alloc_rows ~count:tm ~n;
         (* The permutation only depends on (n, g), not the prime. *)
         Some (Ntt.galois_permutation target.(0) g)
   in
@@ -239,13 +252,15 @@ let apply_decomposed ?galois ctx key d =
         | None -> digit_rows
         | Some perm ->
             (* Apply the automorphism in the evaluation domain: a pure
-               index permutation per row, into reused scratch. *)
-            for j = 0 to tm - 1 do
-              let src = digit_rows.(j) and dst = d.d_perm_scratch.(j) in
-              for k = 0 to n - 1 do
-                Array.unsafe_set dst k (Array.unsafe_get src (Array.unsafe_get perm k))
-              done
-            done;
+               index permutation per row, into reused scratch; rows are
+               independent, so the gather fans out on the pool. *)
+            Pool.parallel_for ~lo:0 ~hi:tm (fun jlo jhi ->
+                for j = jlo to jhi - 1 do
+                  let src = digit_rows.(j) and dst = d.d_perm_scratch.(j) in
+                  for k = 0 to n - 1 do
+                    Rowvec.unsafe_set dst k (Rowvec.unsafe_get src (Array.unsafe_get perm k))
+                  done
+                done);
             d.d_perm_scratch
       in
       let digit = Rns_poly.of_ntt_rows ~tables:target rows in

@@ -83,7 +83,9 @@ val switch : Context.t -> switch_key -> level:int -> Eva_poly.Rns_poly.t -> Eva_
 
 (** Per-digit (b, a) rows over the full chain, NTT form. Shared, not
     copied. *)
-val switch_key_rows : switch_key -> int array array array * int array array array
+val switch_key_rows :
+  switch_key -> Eva_rns.Rowvec.t array array * Eva_rns.Rowvec.t array array
 
-val switch_key_of_rows : kb:int array array array -> ka:int array array array -> switch_key
+val switch_key_of_rows :
+  kb:Eva_rns.Rowvec.t array array -> ka:Eva_rns.Rowvec.t array array -> switch_key
 val public_of_parts : b:Eva_poly.Rns_poly.t -> a:Eva_poly.Rns_poly.t -> public_key

@@ -1,5 +1,6 @@
 module Rns_poly = Eva_poly.Rns_poly
 module Ntt = Eva_rns.Ntt
+module Rowvec = Eva_rns.Rowvec
 module Diag = Eva_diag.Diag
 
 (* ------------------------------------------------------------------ *)
@@ -70,39 +71,46 @@ let expect s ~pos tag =
   let t, at = read_token_at s ~pos in
   if t <> tag then wire_error s ~at ~code:Diag.wire_token "expected %S, got %S" tag t
 
-let write_int_array buf a =
-  Printf.bprintf buf "%d\n" (Array.length a);
-  Array.iteri
-    (fun i v ->
-      Buffer.add_string buf (string_of_int v);
-      Buffer.add_char buf (if (i + 1) mod 32 = 0 then '\n' else ' '))
-    a;
+let write_row buf row =
+  let len = Rowvec.length row in
+  Printf.bprintf buf "%d\n" len;
+  for i = 0 to len - 1 do
+    Buffer.add_string buf (string_of_int (Rowvec.unsafe_get row i));
+    Buffer.add_char buf (if (i + 1) mod 32 = 0 then '\n' else ' ')
+  done;
   Buffer.add_char buf '\n'
 
 (* A residue row: its declared length must match the ring degree and
    every residue must lie under the row's modulus, checked as the values
-   stream in (a corrupted residue is caught at its own offset). *)
-let read_row s ~pos ~len ~modulus =
+   stream in (a corrupted residue is caught at its own offset). Parsed
+   residues land directly in the caller's flat row view [into] — no
+   per-row intermediate array. *)
+let read_row_into s ~pos ~modulus ~into =
+  let len = Rowvec.length into in
   let at0 = !pos in
   let declared = read_int s ~pos in
   if declared <> len then
     wire_error s ~at:at0 ~code:Diag.wire_length "row of %d residues where the ring degree is %d"
       declared len;
-  Array.init len (fun _ ->
-      let t, at = read_token_at s ~pos in
-      match int_of_string_opt t with
-      | None -> wire_error s ~at ~code:Diag.wire_token "expected residue, got %S" t
-      | Some v ->
-          if v < 0 || v >= modulus then
-            wire_error s ~at ~code:Diag.wire_length "residue %d outside [0, %d)" v modulus;
-          v)
+  for i = 0 to len - 1 do
+    let t, at = read_token_at s ~pos in
+    match int_of_string_opt t with
+    | None -> wire_error s ~at ~code:Diag.wire_token "expected residue, got %S" t
+    | Some v ->
+        if v < 0 || v >= modulus then
+          wire_error s ~at ~code:Diag.wire_length "residue %d outside [0, %d)" v modulus;
+        Rowvec.unsafe_set into i v
+  done
 
 let write_rows buf rows =
   Printf.bprintf buf "%d\n" (Array.length rows);
-  Array.iter (write_int_array buf) rows
+  Array.iter (write_row buf) rows
 
 (* Rows of a polynomial: the declared row count must equal the number of
-   primes the context prescribes — validated before any allocation. *)
+   primes the context prescribes — validated before any allocation. The
+   destination is one contiguous flat buffer (the count is bounded by
+   the context, so sizing it up front is safe) whose row views fill as
+   the residues stream in. *)
 let read_rows s ~pos ~tables =
   let at0 = !pos in
   let declared = read_int s ~pos in
@@ -110,8 +118,11 @@ let read_rows s ~pos ~tables =
   if declared <> expected then
     wire_error s ~at:at0 ~code:Diag.wire_mismatch "%d rows where the context has %d primes"
       declared expected;
-  Array.init expected (fun i ->
-      read_row s ~pos ~len:(Ntt.size tables.(i)) ~modulus:(Ntt.modulus tables.(i)))
+  let rows = Rowvec.alloc_rows ~count:expected ~n:(Ntt.size tables.(0)) in
+  Array.iteri
+    (fun i row -> read_row_into s ~pos ~modulus:(Ntt.modulus tables.(i)) ~into:row)
+    rows;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Context                                                             *)

@@ -2,12 +2,21 @@ module Bigint = Eva_bigint.Bigint
 module Modarith = Eva_rns.Modarith
 module Ntt = Eva_rns.Ntt
 module Crt = Eva_rns.Crt
+module Rowvec = Eva_rns.Rowvec
+module Pool = Eva_pool.Pool
 
 exception Modulus_mismatch of string
 
+(* Residue rows are views into one contiguous r*n Bigarray for every
+   polynomial this module allocates itself; [of_ntt_rows] may wrap
+   foreign views (key rows spanning a longer chain), so nothing below
+   assumes contiguity — only that distinct rows never alias. Row loops
+   run on the shared domain pool: every kernel chunks over whole rows,
+   each chunk writes only its own rows, so results are bit-identical at
+   every pool size. *)
 type t = {
   tables : Ntt.table array;
-  rows : int array array; (* rows.(i) is the residue vector mod primes.(i) *)
+  rows : Rowvec.t array; (* rows.(i) is the residue vector mod primes.(i) *)
   mutable ntt : bool;
 }
 
@@ -17,9 +26,15 @@ let primes t = Array.map Ntt.modulus t.tables
 let tables t = t.tables
 let is_ntt t = t.ntt
 
-let zero ~tables =
-  let n = Ntt.size tables.(0) in
-  { tables; rows = Array.init (Array.length tables) (fun _ -> Array.make n 0); ntt = true }
+let alloc_rows ~tables = Rowvec.alloc_rows ~count:(Array.length tables) ~n:(Ntt.size tables.(0))
+let zero ~tables = { tables; rows = alloc_rows ~tables; ntt = true }
+
+(* Row-parallel skeleton: run [f i] for every prime index on the pool. *)
+let for_rows t f =
+  Pool.parallel_for ~lo:0 ~hi:(Array.length t.rows) (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
 
 let of_coeff_residues ~tables rows =
   if Array.length rows <> Array.length tables then invalid_arg "Rns_poly.of_coeff_residues: arity";
@@ -28,13 +43,15 @@ let of_coeff_residues ~tables rows =
 let of_bigint_coeffs ~tables coeffs =
   let n = Ntt.size tables.(0) in
   if Array.length coeffs <> n then invalid_arg "Rns_poly.of_bigint_coeffs: wrong degree";
-  let rows =
-    Array.map
-      (fun tb ->
-        let p = Ntt.modulus tb in
-        Array.map (fun c -> Bigint.rem_int c p) coeffs)
-      tables
-  in
+  let rows = alloc_rows ~tables in
+  Array.iteri
+    (fun i tb ->
+      let p = Ntt.modulus tb in
+      let row = rows.(i) in
+      for j = 0 to n - 1 do
+        Rowvec.unsafe_set row j (Bigint.rem_int coeffs.(j) p)
+      done)
+    tables;
   { tables; rows; ntt = false }
 
 let of_ntt_rows ~tables rows =
@@ -42,7 +59,13 @@ let of_ntt_rows ~tables rows =
   { tables; rows; ntt = true }
 
 let rows t = t.rows
-let copy t = { t with rows = Array.map Array.copy t.rows }
+
+let copy t =
+  (* Fresh contiguous storage even when the source rows were foreign
+     views — a copy always owns its buffer. *)
+  let rows = alloc_rows ~tables:t.tables in
+  Array.iteri (fun i dst -> Rowvec.blit t.rows.(i) dst) rows;
+  { t with rows }
 
 let coeff_row t i =
   if t.ntt then invalid_arg "Rns_poly.coeff_row: polynomial is in NTT form";
@@ -50,13 +73,13 @@ let coeff_row t i =
 
 let to_ntt t =
   if not t.ntt then begin
-    Array.iteri (fun i row -> Ntt.forward t.tables.(i) row) t.rows;
+    for_rows t (fun i -> Ntt.forward t.tables.(i) t.rows.(i));
     t.ntt <- true
   end
 
 let to_coeff t =
   if t.ntt then begin
-    Array.iteri (fun i row -> Ntt.inverse t.tables.(i) row) t.rows;
+    for_rows t (fun i -> Ntt.inverse t.tables.(i) t.rows.(i));
     t.ntt <- false
   end
 
@@ -70,27 +93,28 @@ let check_compat op a b =
 
 let map2 op f a b =
   check_compat op a b;
-  let rows =
-    Array.mapi
-      (fun i ra ->
-        let p = Ntt.modulus a.tables.(i) in
-        let rb = b.rows.(i) in
-        Array.mapi (fun j x -> f x (Array.unsafe_get rb j) p) ra)
-      a.rows
-  in
+  let rows = alloc_rows ~tables:a.tables in
+  let n = degree a in
+  for_rows a (fun i ->
+      let p = Ntt.modulus a.tables.(i) in
+      let ra = a.rows.(i) and rb = b.rows.(i) and out = rows.(i) in
+      for j = 0 to n - 1 do
+        Rowvec.unsafe_set out j (f (Rowvec.unsafe_get ra j) (Rowvec.unsafe_get rb j) p)
+      done);
   { tables = a.tables; rows; ntt = a.ntt }
 
 let add a b = map2 "add" Modarith.add a b
 let sub a b = map2 "sub" Modarith.sub a b
 
 let neg a =
-  let rows =
-    Array.mapi
-      (fun i ra ->
-        let p = Ntt.modulus a.tables.(i) in
-        Array.map (fun x -> Modarith.neg x p) ra)
-      a.rows
-  in
+  let rows = alloc_rows ~tables:a.tables in
+  let n = degree a in
+  for_rows a (fun i ->
+      let p = Ntt.modulus a.tables.(i) in
+      let ra = a.rows.(i) and out = rows.(i) in
+      for j = 0 to n - 1 do
+        Rowvec.unsafe_set out j (Modarith.neg (Rowvec.unsafe_get ra j) p)
+      done);
   { a with rows }
 
 (* Pointwise products reduce with the tables' precomputed Barrett
@@ -99,53 +123,44 @@ let neg a =
 let mul a b =
   if not (a.ntt && b.ntt) then invalid_arg "Rns_poly.mul: operands must be in NTT form";
   check_compat "mul" a b;
-  let rows =
-    Array.mapi
-      (fun i ra ->
-        let { Modarith.bp; bk; bmu; _ } = Ntt.barrett a.tables.(i) in
-        let rb = b.rows.(i) in
-        let n = Array.length ra in
-        let out = Array.make n 0 in
-        for j = 0 to n - 1 do
-          let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
-          let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
-          let r = z - (q * bp) - bp in
-          let r = r + (bp land (r asr 62)) - bp in
-          Array.unsafe_set out j (r + (bp land (r asr 62)))
-        done;
-        out)
-      a.rows
-  in
+  let rows = alloc_rows ~tables:a.tables in
+  let n = degree a in
+  for_rows a (fun i ->
+      let { Modarith.bp; bk; bmu; _ } = Ntt.barrett a.tables.(i) in
+      let ra = a.rows.(i) and rb = b.rows.(i) and out = rows.(i) in
+      for j = 0 to n - 1 do
+        let z = Rowvec.unsafe_get ra j * Rowvec.unsafe_get rb j in
+        let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
+        let r = z - (q * bp) - bp in
+        let r = r + (bp land (r asr 62)) - bp in
+        Rowvec.unsafe_set out j (r + (bp land (r asr 62)))
+      done);
   { tables = a.tables; rows; ntt = true }
 
 let mul_inplace a b =
   if not (a.ntt && b.ntt) then invalid_arg "Rns_poly.mul_inplace: operands must be in NTT form";
   check_compat "mul_inplace" a b;
-  Array.iteri
-    (fun i ra ->
+  let n = degree a in
+  for_rows a (fun i ->
       let { Modarith.bp; bk; bmu; _ } = Ntt.barrett a.tables.(i) in
-      let rb = b.rows.(i) in
-      let n = Array.length ra in
+      let ra = a.rows.(i) and rb = b.rows.(i) in
       for j = 0 to n - 1 do
-        let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
+        let z = Rowvec.unsafe_get ra j * Rowvec.unsafe_get rb j in
         let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
         let r = z - (q * bp) - bp in
         let r = r + (bp land (r asr 62)) - bp in
-        Array.unsafe_set ra j (r + (bp land (r asr 62)))
+        Rowvec.unsafe_set ra j (r + (bp land (r asr 62)))
       done)
-    a.rows
 
 let iter2_inplace op f a b =
   check_compat op a b;
-  Array.iteri
-    (fun i ra ->
+  let n = degree a in
+  for_rows a (fun i ->
       let p = Ntt.modulus a.tables.(i) in
-      let rb = b.rows.(i) in
-      let n = Array.length ra in
+      let ra = a.rows.(i) and rb = b.rows.(i) in
       for j = 0 to n - 1 do
-        Array.unsafe_set ra j (f (Array.unsafe_get ra j) (Array.unsafe_get rb j) p)
+        Rowvec.unsafe_set ra j (f (Rowvec.unsafe_get ra j) (Rowvec.unsafe_get rb j) p)
       done)
-    a.rows
 
 let add_inplace a b = iter2_inplace "add_inplace" Modarith.add a b
 let sub_inplace a b = iter2_inplace "sub_inplace" Modarith.sub a b
@@ -154,41 +169,35 @@ let mul_acc acc a b =
   if not (acc.ntt && a.ntt && b.ntt) then invalid_arg "Rns_poly.mul_acc: NTT form required";
   check_compat "mul_acc" a b;
   check_compat "mul_acc" acc a;
-  Array.iteri
-    (fun i racc ->
+  let n = degree acc in
+  for_rows acc (fun i ->
       let { Modarith.bp; bk; bmu; _ } = Ntt.barrett acc.tables.(i) in
-      let ra = a.rows.(i) and rb = b.rows.(i) in
-      let n = Array.length racc in
+      let racc = acc.rows.(i) and ra = a.rows.(i) and rb = b.rows.(i) in
       for j = 0 to n - 1 do
-        let z = Array.unsafe_get ra j * Array.unsafe_get rb j in
+        let z = Rowvec.unsafe_get ra j * Rowvec.unsafe_get rb j in
         let q = ((z lsr (bk - 1)) * bmu) lsr (bk + 1) in
         let r = z - (q * bp) - bp in
         let r = r + (bp land (r asr 62)) - bp in
         let r = r + (bp land (r asr 62)) in
-        let s = Array.unsafe_get racc j + r - bp in
-        Array.unsafe_set racc j (s + (bp land (s asr 62)))
+        let s = Rowvec.unsafe_get racc j + r - bp in
+        Rowvec.unsafe_set racc j (s + (bp land (s asr 62)))
       done)
-    acc.rows
 
 (* The reduced scalar is fixed per row: a Shoup multiply. *)
 let mul_scalar_int t k =
-  let rows =
-    Array.mapi
-      (fun i row ->
-        let p = Ntt.modulus t.tables.(i) in
-        let kr = Modarith.reduce k p in
-        let ks = Modarith.shoup kr p in
-        let n = Array.length row in
-        let out = Array.make n 0 in
-        for j = 0 to n - 1 do
-          let x = Array.unsafe_get row j in
-          let q = (x * ks) lsr 31 in
-          let r = (x * kr) - (q * p) - p in
-          Array.unsafe_set out j (r + (p land (r asr 62)))
-        done;
-        out)
-      t.rows
-  in
+  let rows = alloc_rows ~tables:t.tables in
+  let n = degree t in
+  for_rows t (fun i ->
+      let p = Ntt.modulus t.tables.(i) in
+      let kr = Modarith.reduce k p in
+      let ks = Modarith.shoup kr p in
+      let row = t.rows.(i) and out = rows.(i) in
+      for j = 0 to n - 1 do
+        let x = Rowvec.unsafe_get row j in
+        let q = (x * ks) lsr 31 in
+        let r = (x * kr) - (q * p) - p in
+        Rowvec.unsafe_set out j (r + (p land (r asr 62)))
+      done);
   { t with rows }
 
 let drop_last t =
@@ -205,39 +214,41 @@ let drop_many t count =
    rounding; mutates [rows] in place and returns one fewer row. The
    inner loop is division-free: the last prime's residue reduces with
    the row's Barrett constant and the fixed inverse multiplies via its
-   Shoup companion. *)
+   Shoup companion. Rows are independent (each reads the shared [last]
+   row and writes its own), so they run on the pool. *)
 let rescale_rows_once tables rows =
   let k = Array.length rows in
   let p_last = Ntt.modulus tables.(k - 1) in
   let last = rows.(k - 1) in
   let half = p_last / 2 in
-  let n = Array.length last in
-  for i = 0 to k - 2 do
-    let p = Ntt.modulus tables.(i) in
-    let { Modarith.bp; bmu31; _ } = Ntt.barrett tables.(i) in
-    let p_last_mod = p_last mod p in
-    let inv_last = Modarith.inv p_last_mod p in
-    let inv_s = Modarith.shoup inv_last p in
-    let row = rows.(i) in
-    for j = 0 to n - 1 do
-      (* Centered remainder keeps the rounding error at most 1/2. *)
-      let c_last = Array.unsafe_get last j in
-      let q = (c_last * bmu31) lsr 31 in
-      let v = c_last - (q * bp) - bp in
-      let v = v + (bp land (v asr 62)) - bp in
-      let v = v + (bp land (v asr 62)) in
-      (* Subtract (p_last mod p) exactly when the centered remainder is
-         negative, again branchless: [sel] is -1 iff c_last > half. *)
-      let sel = (half - c_last) asr 62 in
-      let v = v - (p_last_mod land sel) in
-      let v = v + (p land (v asr 62)) in
-      let diff = Array.unsafe_get row j - v in
-      let diff = diff + (p land (diff asr 62)) in
-      let q = (diff * inv_s) lsr 31 in
-      let r = (diff * inv_last) - (q * p) - p in
-      Array.unsafe_set row j (r + (p land (r asr 62)))
-    done
-  done;
+  let n = Rowvec.length last in
+  Pool.parallel_for ~lo:0 ~hi:(k - 1) (fun lo hi ->
+      for i = lo to hi - 1 do
+        let p = Ntt.modulus tables.(i) in
+        let { Modarith.bp; bmu31; _ } = Ntt.barrett tables.(i) in
+        let p_last_mod = p_last mod p in
+        let inv_last = Modarith.inv p_last_mod p in
+        let inv_s = Modarith.shoup inv_last p in
+        let row = rows.(i) in
+        for j = 0 to n - 1 do
+          (* Centered remainder keeps the rounding error at most 1/2. *)
+          let c_last = Rowvec.unsafe_get last j in
+          let q = (c_last * bmu31) lsr 31 in
+          let v = c_last - (q * bp) - bp in
+          let v = v + (bp land (v asr 62)) - bp in
+          let v = v + (bp land (v asr 62)) in
+          (* Subtract (p_last mod p) exactly when the centered remainder is
+             negative, again branchless: [sel] is -1 iff c_last > half. *)
+          let sel = (half - c_last) asr 62 in
+          let v = v - (p_last_mod land sel) in
+          let v = v + (p land (v asr 62)) in
+          let diff = Rowvec.unsafe_get row j - v in
+          let diff = diff + (p land (diff asr 62)) in
+          let q = (diff * inv_s) lsr 31 in
+          let r = (diff * inv_last) - (q * p) - p in
+          Rowvec.unsafe_set row j (r + (p land (r asr 62)))
+        done
+      done);
   Array.sub rows 0 (k - 1)
 
 let rescale_many t count =
@@ -262,19 +273,19 @@ let galois_rows t g =
   if g land 1 = 0 then invalid_arg "Rns_poly.galois: even exponent";
   let w = copy t in
   to_coeff w;
-  Array.mapi
-    (fun i row ->
+  let out_rows = alloc_rows ~tables:w.tables in
+  for_rows w (fun i ->
       let p = Ntt.modulus w.tables.(i) in
-      let out = Array.make n 0 in
+      let row = w.rows.(i) and out = out_rows.(i) in
       for j = 0 to n - 1 do
-        if row.(j) <> 0 then begin
+        let c = Rowvec.unsafe_get row j in
+        if c <> 0 then begin
           let e = j * g land mask in
-          if e < n then out.(e) <- Modarith.add out.(e) row.(j) p
-          else out.(e - n) <- Modarith.sub out.(e - n) row.(j) p
+          if e < n then Rowvec.unsafe_set out e (Modarith.add (Rowvec.unsafe_get out e) c p)
+          else Rowvec.unsafe_set out (e - n) (Modarith.sub (Rowvec.unsafe_get out (e - n)) c p)
         end
-      done;
-      out)
-    w.rows
+      done);
+  out_rows
 
 let galois t g =
   if t.ntt then begin
@@ -283,42 +294,46 @@ let galois t g =
        The permutation is cached inside Ntt keyed by (n, g). *)
     let perm = Ntt.galois_permutation t.tables.(0) g in
     let n = degree t in
-    let rows =
-      Array.map
-        (fun row ->
-          let out = Array.make n 0 in
-          for j = 0 to n - 1 do
-            Array.unsafe_set out j (Array.unsafe_get row (Array.unsafe_get perm j))
-          done;
-          out)
-        t.rows
-    in
+    let rows = alloc_rows ~tables:t.tables in
+    for_rows t (fun i ->
+        let row = t.rows.(i) and out = rows.(i) in
+        for j = 0 to n - 1 do
+          Rowvec.unsafe_set out j (Rowvec.unsafe_get row (Array.unsafe_get perm j))
+        done);
     { tables = t.tables; rows; ntt = true }
   end
   else { tables = t.tables; rows = galois_rows t g; ntt = false }
 
 let galois_to_coeff t g = { tables = t.tables; rows = galois_rows t g; ntt = false }
 
+(* Sampling draws from one sequential RNG stream, so the draw order (row
+   by row, coefficient by coefficient) is part of the format and never
+   runs on the pool. *)
 let sample_uniform st ~tables =
   let n = Ntt.size tables.(0) in
-  let rows =
-    Array.map
-      (fun tb ->
-        let p = Ntt.modulus tb in
-        Array.init n (fun _ -> Random.State.int st p))
-      tables
-  in
+  let rows = alloc_rows ~tables in
+  Array.iteri
+    (fun i tb ->
+      let p = Ntt.modulus tb in
+      let row = rows.(i) in
+      for j = 0 to n - 1 do
+        Rowvec.unsafe_set row j (Random.State.int st p)
+      done)
+    tables;
   (* Uniform per-prime residues are exactly uniform mod the product (CRT). *)
   { tables; rows; ntt = true }
 
 let of_small_coeffs ~tables small =
-  let rows =
-    Array.map
-      (fun tb ->
-        let p = Ntt.modulus tb in
-        Array.map (fun c -> Modarith.reduce c p) small)
-      tables
-  in
+  let n = Array.length small in
+  let rows = alloc_rows ~tables in
+  Array.iteri
+    (fun i tb ->
+      let p = Ntt.modulus tb in
+      let row = rows.(i) in
+      for j = 0 to n - 1 do
+        Rowvec.unsafe_set row j (Modarith.reduce small.(j) p)
+      done)
+    tables;
   let t = { tables; rows; ntt = false } in
   to_ntt t;
   t
@@ -345,5 +360,5 @@ let to_bigint_coeffs t =
   let crt = Crt.make (Array.to_list (primes t)) in
   let n = degree t in
   Array.init n (fun j ->
-      let residues = Array.init (num_primes t) (fun i -> w.rows.(i).(j)) in
+      let residues = Array.init (num_primes t) (fun i -> Rowvec.get w.rows.(i) j) in
       Crt.reconstruct_centered crt residues)

@@ -2,11 +2,18 @@
 
     The coefficient modulus q is a product of distinct NTT-friendly primes
     below 2^30 (so the division-free Shoup/Barrett kernels' beta = 2^31
-    quotient estimates fit native 63-bit ints). A polynomial stores one residue vector per prime and a flag
-    saying whether the vectors are in coefficient or evaluation (NTT) form.
-    Binary operations require both operands to share the same prime chain
-    (compared structurally), mirroring the "same coefficient modulus"
-    constraint of RNS-CKKS that the EVA compiler must satisfy. *)
+    quotient estimates fit native 63-bit ints). A polynomial stores one
+    residue row per prime — views into a single contiguous flat buffer
+    ({!Eva_rns.Rowvec}) for every polynomial this module allocates — and
+    a flag saying whether the rows are in coefficient or evaluation (NTT)
+    form. Binary operations require both operands to share the same prime
+    chain (compared structurally), mirroring the "same coefficient
+    modulus" constraint of RNS-CKKS that the EVA compiler must satisfy.
+
+    Every row loop (NTT round trips, pointwise products, rescale) runs on
+    the shared {!Eva_pool.Pool}: kernels chunk over whole rows and each
+    chunk writes only its own rows, so results are bit-identical at every
+    pool size including zero. *)
 
 type t
 
@@ -16,8 +23,8 @@ exception Modulus_mismatch of string
 val zero : tables:Eva_rns.Ntt.table array -> t
 
 (** [of_coeff_residues ~tables rows] takes ownership of [rows] (one
-    residue array per prime, coefficient form). *)
-val of_coeff_residues : tables:Eva_rns.Ntt.table array -> int array array -> t
+    residue row per prime, coefficient form). *)
+val of_coeff_residues : tables:Eva_rns.Ntt.table array -> Eva_rns.Rowvec.t array -> t
 
 (** [of_bigint_coeffs ~tables c] reduces each signed big-integer coefficient
     into every prime's residue field (coefficient form). *)
@@ -26,20 +33,23 @@ val of_bigint_coeffs : tables:Eva_rns.Ntt.table array -> Eva_bigint.Bigint.t arr
 (** [of_ntt_rows ~tables rows] wraps residue rows already in evaluation
     form; the rows are shared, not copied (used for key-switching keys whose
     rows live outside any one prime chain). *)
-val of_ntt_rows : tables:Eva_rns.Ntt.table array -> int array array -> t
+val of_ntt_rows : tables:Eva_rns.Ntt.table array -> Eva_rns.Rowvec.t array -> t
 
 (** Raw residue rows (shared). *)
-val rows : t -> int array array
+val rows : t -> Eva_rns.Rowvec.t array
 
 val degree : t -> int
 val num_primes : t -> int
 val primes : t -> int array
 val tables : t -> Eva_rns.Ntt.table array
 val is_ntt : t -> bool
+
+(** Deep copy into fresh contiguous storage (the copy owns its buffer
+    even when the source rows were foreign views). *)
 val copy : t -> t
 
 (** Residue row for prime index [i]; coefficient form required. *)
-val coeff_row : t -> int -> int array
+val coeff_row : t -> int -> Eva_rns.Rowvec.t
 
 val to_ntt : t -> unit
 val to_coeff : t -> unit
@@ -58,7 +68,8 @@ val sub_inplace : t -> t -> unit
     NTT form). The caller must own [a]'s rows: in a dataflow executor a
     ciphertext value may be shared between consumers, so only buffers
     created locally (a fresh product, a key-switch output) are safe to
-    overwrite. *)
+    overwrite. Ownership is per-buffer, not per-row — pool chunks write
+    disjoint rows, so the contract is unchanged by parallelism. *)
 val mul_inplace : t -> t -> unit
 
 (** [mul_acc acc a b] adds [a * b] into [acc] (all NTT form). *)

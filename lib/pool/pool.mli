@@ -1,0 +1,89 @@
+(** A shared worker pool for data-parallel kernel loops (OCaml 5 domains).
+
+    One process owns one pool. Scheme kernels ({!Eva_poly.Rns_poly},
+    [Keys.decompose]/[apply_decomposed]) split their residue-row loops
+    into chunks and run them on the pool via {!parallel_for}; the graph
+    executor's worker domains and the serve pipeline submit to the same
+    pool, so graph-level and op-level parallelism share one set of lanes
+    instead of multiplying domain counts.
+
+    Rules that make the pool composable:
+
+    - {b Caller-runs.} The submitting thread executes chunks of its own
+      loop alongside the pool workers and only then waits, so progress
+      never depends on a pool worker being free — a pool of size 0 or 1
+      degenerates to the plain sequential loop and nothing ever
+      deadlocks.
+    - {b No nesting.} A [parallel_for] issued from inside a pool worker
+      runs inline on that worker (detected via domain-local state), so
+      nested kernels never oversubscribe the machine.
+    - {b Determinism.} Chunks cover disjoint index ranges of a loop whose
+      body writes only its own range, so the result is bit-identical for
+      every pool size, including 0. *)
+
+type t
+
+(** [create ~workers] makes a pool with [workers] total lanes: the
+    calling thread plus [workers - 1] spawned domains. [workers <= 1]
+    spawns nothing; [workers = 0] additionally bypasses the chunking
+    machinery entirely (pure inline loops). *)
+val create : workers:int -> t
+
+(** Total lanes (the [workers] value given to {!create}). *)
+val size : t -> int
+
+(** Join the pool's domains. Must not race with in-flight
+    {!parallel_for_on} calls on the same pool. *)
+val shutdown : t -> unit
+
+(** [parallel_for_on pool ~lo ~hi f] runs [f sub_lo sub_hi] over a
+    partition of [\[lo, hi)] into chunks of [chunk] (default 1) indices,
+    on the pool plus the calling thread. [f] must only write state owned
+    by its own index range. Exceptions raised by chunks are re-raised at
+    the call site (first one wins) after all chunks finish. Runs inline
+    when the pool has <= 1 worker, when there is only one chunk, or when
+    called from a pool worker. *)
+val parallel_for_on : t -> ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** True when the current domain is a pool worker (so a nested parallel
+    loop will run inline). *)
+val in_worker : unit -> bool
+
+(** {2 The process-global pool}
+
+    Kernels call {!parallel_for}, which lazily creates the global pool
+    sized from the [POOL_WORKERS] environment variable (default [0]:
+    plain sequential loops, exactly the pre-pool behavior). [evac
+    --pool-workers] and the benches resize it explicitly. *)
+
+(** Replace the global pool with one of [n] lanes (shutting down the old
+    one). Not safe to call concurrently with in-flight kernels. *)
+val set_workers : int -> unit
+
+(** Lanes of the global pool (creating it on first use). *)
+val workers : unit -> int
+
+(** {!parallel_for_on} on the global pool. *)
+val parallel_for : ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** {2 Instrumentation}
+
+    Cumulative process-wide counters over every [parallel_for] call.
+    [wall_seconds] is time callers spent inside chunked calls;
+    [busy_seconds] is the sum of per-chunk execution times across all
+    lanes. Perfect scaling on [w] lanes gives
+    [busy = w * wall]; [efficiency] reports [busy / (wall * w)]. *)
+
+type stats = {
+  chunked_calls : int;  (** calls that used the pool *)
+  inline_calls : int;  (** calls that ran as plain loops *)
+  wall_seconds : float;
+  busy_seconds : float;
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** [efficiency ~lanes s]: fraction of the theoretical [lanes]-way
+    speedup realized; [1.0] when no chunked calls ran. *)
+val efficiency : lanes:int -> stats -> float

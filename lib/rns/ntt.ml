@@ -77,26 +77,39 @@ let compute_galois_permutation t g =
       let e' = e * g land (two_n - 1) in
       slot_of_exp.(e'))
 
-(* The permutation depends only on (n, g), not the prime, and Eval.rotate
-   asks for it once per ciphertext op, so it is cached. The mutex makes
-   the cache safe under the parallel executor's worker domains. *)
-let perm_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 16
-let perm_mutex = Mutex.create ()
+(* The permutation depends only on (n, g), not the prime, and a hoisted
+   rotation fan asks for it from every pool worker at once, so the cache
+   must be read without a lock: an atomic holds an immutable map
+   snapshot, hits are wait-free, and a miss publishes by compare-and-set
+   (losers adopt the winner's entry, so the cached array for a key is
+   physically unique — callers may compare permutations with [==]).
+   Racing computations produce identical arrays, making either fine to
+   publish; each (n, g) entry is exactly sized at n, so there is no
+   shared table to resize under contention. *)
+module Perm_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let perm_cache : int array Perm_map.t Atomic.t = Atomic.make Perm_map.empty
 
 let galois_permutation t g =
   if g land 1 = 0 then invalid_arg "Ntt.galois_permutation: even exponent";
   let key = (t.n, g) in
-  Mutex.lock perm_mutex;
-  let perm =
-    match Hashtbl.find_opt perm_cache key with
-    | Some perm -> perm
-    | None ->
-        let perm = compute_galois_permutation t g in
-        Hashtbl.replace perm_cache key perm;
-        perm
-  in
-  Mutex.unlock perm_mutex;
-  perm
+  match Perm_map.find_opt key (Atomic.get perm_cache) with
+  | Some perm -> perm
+  | None ->
+      let perm = compute_galois_permutation t g in
+      let rec publish () =
+        let snap = Atomic.get perm_cache in
+        match Perm_map.find_opt key snap with
+        | Some winner -> winner
+        | None ->
+            if Atomic.compare_and_set perm_cache snap (Perm_map.add key perm snap) then perm
+            else publish ()
+      in
+      publish ()
 
 (* Cooley-Tukey, decimation in time, with merged psi powers and Shoup
    twiddle multiplication. Stage values stay lazily reduced in [0, 2p);
@@ -106,7 +119,7 @@ let galois_permutation t g =
    [0, p) contract for the pointwise kernels. *)
 let forward t a =
   let p = t.p and n = t.n in
-  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  if Rowvec.length a <> n then invalid_arg "Ntt.forward: wrong length";
   let psi = t.psi_rev and psi_s = t.psi_shoup in
   let tt = ref n and m = ref 1 in
   while !m < n do
@@ -119,21 +132,21 @@ let forward t a =
         (* Corrections are branchless ((x asr 62) is the sign mask):
            the compare outcomes are data-dependent coin flips, so real
            branches would mispredict half the time. *)
-        let u = Array.unsafe_get a j - p in
+        let u = Rowvec.unsafe_get a j - p in
         let u = u + (p land (u asr 62)) in
-        let v = Array.unsafe_get a (j + !tt) in
+        let v = Rowvec.unsafe_get a (j + !tt) in
         let q = (v * s') lsr 31 in
         let w = (v * s) - (q * p) - p in
         let w = w + (p land (w asr 62)) in
-        Array.unsafe_set a j (u + w);
-        Array.unsafe_set a (j + !tt) (u - w + p)
+        Rowvec.unsafe_set a j (u + w);
+        Rowvec.unsafe_set a (j + !tt) (u - w + p)
       done
     done;
     m := !m * 2
   done;
   for j = 0 to n - 1 do
-    let x = Array.unsafe_get a j - p in
-    Array.unsafe_set a j (x + (p land (x asr 62)))
+    let x = Rowvec.unsafe_get a j - p in
+    Rowvec.unsafe_set a j (x + (p land (x asr 62)))
   done
 
 (* Gentleman-Sande, decimation in frequency, same lazy [0, 2p)
@@ -141,7 +154,7 @@ let forward t a =
    conditional subtraction doubles as the correction pass. *)
 let inverse t a =
   let p = t.p and n = t.n in
-  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  if Rowvec.length a <> n then invalid_arg "Ntt.inverse: wrong length";
   let two_p = 2 * p in
   let psi = t.psi_inv_rev and psi_s = t.psi_inv_shoup in
   let tt = ref 1 and m = ref n in
@@ -152,14 +165,14 @@ let inverse t a =
       let s = Array.unsafe_get psi (h + i) in
       let s' = Array.unsafe_get psi_s (h + i) in
       for j = !j1 to !j1 + !tt - 1 do
-        let u = Array.unsafe_get a j in
-        let v = Array.unsafe_get a (j + !tt) in
+        let u = Rowvec.unsafe_get a j in
+        let v = Rowvec.unsafe_get a (j + !tt) in
         let x = u + v - two_p in
-        Array.unsafe_set a j (x + (two_p land (x asr 62)));
+        Rowvec.unsafe_set a j (x + (two_p land (x asr 62)));
         let d = u - v in
         let d = d + (two_p land (d asr 62)) in
         let q = (d * s') lsr 31 in
-        Array.unsafe_set a (j + !tt) ((d * s) - (q * p))
+        Rowvec.unsafe_set a (j + !tt) ((d * s) - (q * p))
       done;
       j1 := !j1 + (2 * !tt)
     done;
@@ -168,8 +181,8 @@ let inverse t a =
   done;
   let ni = t.n_inv and ni' = t.n_inv_shoup in
   for j = 0 to n - 1 do
-    let x = Array.unsafe_get a j in
+    let x = Rowvec.unsafe_get a j in
     let q = (x * ni') lsr 31 in
     let r = (x * ni) - (q * p) - p in
-    Array.unsafe_set a j (r + (p land (r asr 62)))
+    Rowvec.unsafe_set a j (r + (p land (r asr 62)))
   done

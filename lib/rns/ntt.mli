@@ -19,14 +19,14 @@ val size : table -> int
     the pointwise kernels so they never divide either. *)
 val barrett : table -> Modarith.barrett
 
-(** In-place forward transform of a length-[n] coefficient vector
+(** In-place forward transform of a length-[n] residue row
     (residues in [0, p)). Butterflies use Shoup twiddle multiplication
     with values lazily reduced in [0, 2p); a final correction pass
     restores [0, p). *)
-val forward : table -> int array -> unit
+val forward : table -> Rowvec.t -> unit
 
 (** In-place inverse transform. [inverse t (forward t a)] restores [a]. *)
-val inverse : table -> int array -> unit
+val inverse : table -> Rowvec.t -> unit
 
 (** [galois_permutation t g] is the slot permutation realizing the ring
     automorphism X -> X^g (odd [g]) directly in the evaluation domain:
@@ -37,7 +37,8 @@ val inverse : table -> int array -> unit
     automorphism.
 
     Results are cached keyed by [(n, g)] (the permutation is independent
-    of the prime) behind a mutex, so repeated rotations — one call per
-    ciphertext op, possibly from parallel executor domains — do not
-    rebuild it. Callers must treat the returned array as read-only. *)
+    of the prime) in a lock-free snapshot map — hits are wait-free, so
+    a hoisted-rotation fan read from many pool workers never serializes
+    on a lock; the entry for a key is physically unique once published.
+    Callers must treat the returned array as read-only. *)
 val galois_permutation : table -> int -> int array

@@ -1,0 +1,43 @@
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Bigarray buffers come back uninitialized, unlike Array.make. *)
+let create n : t = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let make n =
+  let v = create n in
+  Bigarray.Array1.fill v 0;
+  v
+
+let length = Bigarray.Array1.dim
+let get : t -> int -> int = Bigarray.Array1.get
+let set : t -> int -> int -> unit = Bigarray.Array1.set
+let unsafe_get : t -> int -> int = Bigarray.Array1.unsafe_get
+let unsafe_set : t -> int -> int -> unit = Bigarray.Array1.unsafe_set
+let sub : t -> int -> int -> t = Bigarray.Array1.sub
+let blit : t -> t -> unit = Bigarray.Array1.blit
+let fill : t -> int -> unit = Bigarray.Array1.fill
+
+let copy v =
+  let w = create (length v) in
+  blit v w;
+  w
+
+let init n f =
+  let v = create n in
+  for i = 0 to n - 1 do
+    unsafe_set v i (f i)
+  done;
+  v
+
+let of_array a = init (Array.length a) (Array.unsafe_get a)
+let to_array v = Array.init (length v) (unsafe_get v)
+
+let equal a b =
+  length a = length b
+  &&
+  let rec go i = i >= length a || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0
+
+let alloc_rows ~count ~n =
+  let flat = make (count * n) in
+  Array.init count (fun i -> sub flat (i * n) n)

@@ -1,0 +1,42 @@
+(** Flat 64-bit-word residue rows.
+
+    One residue row is a [Bigarray.Array1] of native OCaml ints
+    (c_layout, one 8-byte word per residue, unboxed access): the flat,
+    contiguous representation the NTT and pointwise kernels run over. A
+    polynomial's rows are zero-copy {!sub} views into one contiguous
+    [r * n] buffer, so the whole residue matrix is one allocation off
+    the OCaml heap — pool workers touching different rows never share
+    cache lines with the GC, and a future C/SIMD kernel can take the
+    base pointer directly. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Fresh zeroed vector of [n] words. *)
+val make : int -> t
+
+(** Fresh {e uninitialized} vector (for buffers about to be overwritten
+    wholesale). *)
+val create : int -> t
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+
+(** [sub v off len] is a zero-copy view sharing [v]'s storage. *)
+val sub : t -> int -> int -> t
+
+(** [blit src dst] copies [src] into [dst] (equal lengths). *)
+val blit : t -> t -> unit
+
+val fill : t -> int -> unit
+val copy : t -> t
+val init : int -> (int -> int) -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val equal : t -> t -> bool
+
+(** [alloc_rows ~count ~n] is one contiguous [count * n] zeroed buffer
+    exposed as [count] row views. *)
+val alloc_rows : count:int -> n:int -> t array

@@ -4,6 +4,7 @@ module Executor = Eva_core.Executor
 module Reference = Eva_core.Reference
 module Wire = Eva_ckks.Wire
 module Diag = Eva_diag.Diag
+module Pool = Eva_pool.Pool
 
 (* The serving tier: compile once, keygen once, then stream many
    independent requests through the executor. One daemon owns one
@@ -51,6 +52,9 @@ type stats = {
   queue_high_water : int;
   pt_cache_hits : int;
   pt_cache_misses : int;
+  pool_lanes : int;
+  pool_chunked_calls : int;
+  pool_efficiency : float;
 }
 
 let pt_hit_rate s =
@@ -73,6 +77,7 @@ type t = {
   mutable high_water : int;
   mutable latencies : float list;  (** ms, completion order *)
   mutable domains : unit Domain.t list;
+  pool_base : Pool.stats;  (** global pool counters at daemon start *)
 }
 
 let now = Unix.gettimeofday
@@ -177,6 +182,7 @@ let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compi
       high_water = 0;
       latencies = [];
       domains = [];
+      pool_base = Pool.stats ();
     }
   in
   t.domains <- List.init config.pipeline (fun _ -> Domain.spawn (worker t));
@@ -218,6 +224,18 @@ let reject t ~id d =
 
 let stats_locked t =
   let pt_cache_hits, pt_cache_misses = Executor.pt_cache_counters t.engine in
+  (* The pool counters are process-global; report this daemon's share as
+     the delta since [start]. *)
+  let lanes = Pool.workers () in
+  let now = Pool.stats () and base = t.pool_base in
+  let delta =
+    {
+      Pool.chunked_calls = now.Pool.chunked_calls - base.Pool.chunked_calls;
+      inline_calls = now.Pool.inline_calls - base.Pool.inline_calls;
+      wall_seconds = now.Pool.wall_seconds -. base.Pool.wall_seconds;
+      busy_seconds = now.Pool.busy_seconds -. base.Pool.busy_seconds;
+    }
+  in
   {
     requests_served = t.served;
     requests_failed = t.failed;
@@ -225,6 +243,9 @@ let stats_locked t =
     queue_high_water = t.high_water;
     pt_cache_hits;
     pt_cache_misses;
+    pool_lanes = lanes;
+    pool_chunked_calls = delta.Pool.chunked_calls;
+    pool_efficiency = Pool.efficiency ~lanes:(max 1 lanes) delta;
   }
 
 let drain t =

@@ -48,6 +48,14 @@ type stats = {
   queue_high_water : int;  (** deepest the admission queue ever got *)
   pt_cache_hits : int;
   pt_cache_misses : int;
+  pool_lanes : int;  (** kernel-pool lanes at drain time *)
+  pool_chunked_calls : int;
+      (** kernel loops this daemon ran through the shared pool (delta of
+          the process-global counter over the daemon's lifetime) *)
+  pool_efficiency : float;
+      (** fraction of the theoretical [pool_lanes]-way kernel speedup
+          realized (busy time / (wall time * lanes)); [1.0] when no
+          chunked kernel ran *)
 }
 
 (** Hits / (hits + misses), 0 when idle. *)

@@ -1,6 +1,7 @@
 module M = Eva_rns.Modarith
 module P = Eva_rns.Primes
 module Ntt = Eva_rns.Ntt
+module Rv = Eva_rns.Rowvec
 module Crt = Eva_rns.Crt
 module B = Eva_bigint.Bigint
 
@@ -131,11 +132,11 @@ let test_ntt_round_trip () =
   let tb = Ntt.make ~n p in
   let st = Random.State.make [| 42 |] in
   let a = Array.init n (fun _ -> Random.State.int st p) in
-  let c = Array.copy a in
+  let c = Rv.of_array a in
   Ntt.forward tb c;
-  Alcotest.(check bool) "changed" true (c <> a);
+  Alcotest.(check bool) "changed" true (Rv.to_array c <> a);
   Ntt.inverse tb c;
-  Alcotest.(check (array int)) "round trip" a c
+  Alcotest.(check (array int)) "round trip" a (Rv.to_array c)
 
 let test_ntt_convolution () =
   let n = 32 in
@@ -145,12 +146,12 @@ let test_ntt_convolution () =
   let a = Array.init n (fun _ -> Random.State.int st p) in
   let b = Array.init n (fun _ -> Random.State.int st p) in
   let expect = naive_negacyclic_mul a b p in
-  let fa = Array.copy a and fb = Array.copy b in
+  let fa = Rv.of_array a and fb = Rv.of_array b in
   Ntt.forward tb fa;
   Ntt.forward tb fb;
-  let prod = Array.init n (fun i -> M.mul fa.(i) fb.(i) p) in
+  let prod = Rv.init n (fun i -> M.mul (Rv.get fa i) (Rv.get fb i) p) in
   Ntt.inverse tb prod;
-  Alcotest.(check (array int)) "negacyclic convolution" expect prod
+  Alcotest.(check (array int)) "negacyclic convolution" expect (Rv.to_array prod)
 
 let test_ntt_round_trip_chain () =
   (* Round trip under every prime of a realistic chain, including 30-bit
@@ -162,11 +163,11 @@ let test_ntt_round_trip_chain () =
     (fun p ->
       let tb = Ntt.make ~n p in
       let a = Array.init n (fun _ -> Random.State.int st p) in
-      let c = Array.copy a in
+      let c = Rv.of_array a in
       Ntt.forward tb c;
-      Array.iter (fun x -> Alcotest.(check bool) "forward reduced" true (x >= 0 && x < p)) c;
+      Array.iter (fun x -> Alcotest.(check bool) "forward reduced" true (x >= 0 && x < p)) (Rv.to_array c);
       Ntt.inverse tb c;
-      Alcotest.(check (array int)) (Printf.sprintf "round trip mod %d" p) a c)
+      Alcotest.(check (array int)) (Printf.sprintf "round trip mod %d" p) a (Rv.to_array c))
     chain
 
 let test_galois_perm_cached () =
@@ -220,13 +221,16 @@ let prop_ntt_linear =
       let p = P.gen ~bits:20 ~two_n:(2 * n) ~avoid:(fun _ -> false) in
       let tb = Ntt.make ~n p in
       let st = Random.State.make [| s1; s2 |] in
-      let a = Array.init n (fun _ -> Random.State.int st p) in
-      let b = Array.init n (fun _ -> Random.State.int st p) in
-      let sum = Array.init n (fun i -> M.add a.(i) b.(i) p) in
+      let a = Rv.init n (fun _ -> Random.State.int st p) in
+      let b = Rv.init n (fun _ -> Random.State.int st p) in
+      let sum = Rv.init n (fun i -> M.add (Rv.get a i) (Rv.get b i) p) in
       Ntt.forward tb a;
       Ntt.forward tb b;
       Ntt.forward tb sum;
-      Array.for_all2 (fun x y -> x = y) sum (Array.init n (fun i -> M.add a.(i) b.(i) p)))
+      Array.for_all2
+        (fun x y -> x = y)
+        (Rv.to_array sum)
+        (Array.init n (fun i -> M.add (Rv.get a i) (Rv.get b i) p)))
 
 let prop_garner_random =
   QCheck2.Test.make ~name:"Garner reconstruction vs direct residues" ~count:100
