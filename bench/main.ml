@@ -966,24 +966,37 @@ let faults () =
   let engine = Executor.prepare ~seed:7 ~ignore_security:true ~log_n c bindings in
   let workers = 4 in
   let reps = if !smoke then 2 else 20 in
-  let time_run ?fault () =
+  (* One plan per run, as in serving (a plan's per-node retry budget is
+     plan-lifetime: reusing one across every rep would charge the whole
+     campaign's transient failures against a single 8-retry budget). *)
+  let time_run ?fault_for () =
+    let retries = ref 0 in
+    let run i =
+      let fault = Option.map (fun f -> f i) fault_for in
+      ignore (Parallel.execute_on ?fault ~workers engine c);
+      Option.iter (fun f -> retries := !retries + (Fault.counters f).Fault.retries) fault
+    in
     (* warm-up *)
-    ignore (Parallel.execute_on ?fault ~workers engine c);
+    run 0;
     let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      ignore (Parallel.execute_on ?fault ~workers engine c)
+    for i = 1 to reps do
+      run i
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int reps
+    ((Unix.gettimeofday () -. t0) /. float_of_int reps, !retries)
   in
-  let off = time_run () in
-  let silent = time_run ~fault:(Fault.none ()) () in
-  let injected_fault = Fault.random ~max_retries:8 ~seed:3 ~death_p:0.0 ~fail_p:0.3 ~corrupt_p:0.0 () in
-  let injected = time_run ~fault:injected_fault () in
+  let off, _ = time_run () in
+  let silent, _ = time_run ~fault_for:(fun _ -> Fault.none ()) () in
+  let injected, inj_retries =
+    time_run
+      ~fault_for:(fun i ->
+        Fault.random ~max_retries:8 ~seed:(3 + i) ~death_p:0.0 ~fail_p:0.3 ~corrupt_p:0.0 ())
+      ()
+  in
   Printf.printf "  %-34s %10.2f ms/run\n" "no fault hook" (off *. 1e3);
   Printf.printf "  %-34s %10.2f ms/run  (%+.1f%% vs off)\n" "silent plan (Fault.none)" (silent *. 1e3)
     (100.0 *. ((silent /. off) -. 1.0));
   Printf.printf "  %-34s %10.2f ms/run  (%d retries injected)\n" "30% transient failures, retried"
-    (injected *. 1e3) (Fault.counters injected_fault).Fault.retries;
+    (injected *. 1e3) inj_retries;
   Printf.printf "\nDisabled-hook overhead target: ~0%% (one option match per instruction).\n"
 
 (* ------------------------------------------------------------------ *)
@@ -1131,6 +1144,308 @@ let serve_bench () =
     rows requests
 
 (* ------------------------------------------------------------------ *)
+(* Chaos soak: graceful degradation under randomized adversity         *)
+(* ------------------------------------------------------------------ *)
+
+(* One daemon, a seeded storm of adversity: injected worker deaths and
+   transient failures, per-node delays, impossible and merely tight
+   deadlines, sustained overload with shedding enabled, then a wave of
+   hostile wire sessions (malformed payloads, corrupt and truncated
+   frames, clients that vanish before reading their responses, live
+   stats probes). The acceptance bar is the ISSUE's: the daemon never
+   crashes, every request is answered exactly once with either outputs
+   or a structured EVA-Exxx error, successful answers are bit-exact
+   against a sequential replay (and within tolerance of the plaintext
+   reference), shed work fails fast, and tail latency stays bounded. *)
+let chaos_bench () =
+  header "Chaos soak: randomized faults, storms and broken clients vs one daemon";
+  let module Serve = Eva_schedule.Serve in
+  let module Fault = Eva_schedule.Fault in
+  let module Wire = Eva_ckks.Wire in
+  let module Diag = Eva_diag.Diag in
+  (* Writes onto vanished clients must surface as EPIPE/Sys_error (which
+     the daemon contains), not as a fatal SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let vs = 16 and log_n = 8 in
+  let n_requests = if !smoke then 300 else 10_000 in
+  let n_sessions = if !smoke then 30 else 200 in
+  let b = B.create ~name:"chaos" ~vec_size:vs () in
+  let x = B.input b ~scale:30 "x" in
+  let s = B.add (B.rotate_left x 1) (B.rotate_left x 2) in
+  B.output b "out" ~scale:30 (B.mul s s);
+  let p = B.program b in
+  let c = Compile.run p in
+  let zero = [ ("x", Reference.Vec (Array.make vs 0.0)) ] in
+  let engine = Executor.prepare ~seed:1 ~ignore_security:true ~log_n c zero in
+  let request_x id = Array.init vs (fun i -> Float.sin (float_of_int ((3 * id) + i)) /. 4.0) in
+  let reference_out id =
+    List.assoc "out" (Reference.execute c.Compile.program [ ("x", Reference.Vec (request_x id)) ])
+  in
+  let close_enough got want =
+    Array.for_all2 (fun g w -> Float.abs (g -. w) < 1e-2 *. (1.0 +. Float.abs w)) got want
+  in
+  let non_inputs =
+    List.filter_map
+      (fun n -> match n.Ir.op with Ir.Input _ -> None | _ -> Some n.Ir.id)
+      c.Compile.program.Ir.all_nodes
+  in
+  let st = Random.State.make [| 0xC4A05 |] in
+  let pick_nodes k =
+    List.filteri (fun i _ -> i < k) (List.sort (fun _ _ -> Random.State.int st 3 - 1) non_inputs)
+  in
+  (* The chaos schedule: each request id draws one adversity class. The
+     whole submission loop is itself a sustained overload burst (tight
+     loop against a bounded queue with shedding on). *)
+  let kind_of = Array.make n_requests `Clean in
+  let deadline_of = Array.make n_requests (Some 5000) in
+  let plans = Hashtbl.create 64 in
+  for id = 0 to n_requests - 1 do
+    let r = Random.State.float st 1.0 in
+    if r < 0.06 then begin
+      kind_of.(id) <- `Death;
+      Hashtbl.replace plans id (Fault.plan (List.map (fun n -> (n, [ Fault.Die ])) (pick_nodes 1)))
+    end
+    else if r < 0.12 then begin
+      kind_of.(id) <- `Flaky;
+      Hashtbl.replace plans id (Fault.plan (List.map (fun n -> (n, [ Fault.Fail ])) (pick_nodes 2)))
+    end
+    else if r < 0.18 then begin
+      kind_of.(id) <- `Slowed;
+      Hashtbl.replace plans id
+        (Fault.plan
+           (List.map
+              (fun n -> (n, [ Fault.Delay (0.0005 +. Random.State.float st 0.002) ]))
+              (pick_nodes 2)))
+    end
+    else if r < 0.23 then begin
+      (* Doomed: per-node delays that cannot fit the deadline — the
+         request must be cancelled mid-graph (or shed at admission once
+         the daemon has learned service times). *)
+      kind_of.(id) <- `Doomed;
+      deadline_of.(id) <- Some 25;
+      Hashtbl.replace plans id
+        (Fault.plan (List.map (fun n -> (n, [ Fault.Delay 0.02 ])) non_inputs))
+    end
+    else if r < 0.28 then begin
+      (* Deadline storm: 0ms can never be met; with shedding on, the
+         admission controller must refuse it before it costs anything. *)
+      kind_of.(id) <- `Storm;
+      deadline_of.(id) <- Some 0
+    end
+  done;
+  let retry_budget = max 4 (n_requests / 50) in
+  let config =
+    {
+      Serve.default_config with
+      Serve.pipeline = max 1 (min 2 (Domain.recommended_domain_count () - 1));
+      queue_depth = 8;
+      retry_budget;
+      shed = Serve.Watermarks { high = 6; low = 3 };
+    }
+  in
+  let results = Hashtbl.create n_requests in
+  let results_lock = Mutex.create () in
+  let answered = ref 0 in
+  let respond (r : Wire.response) =
+    Mutex.lock results_lock;
+    incr answered;
+    Hashtbl.replace results r.Wire.resp_id r.Wire.payload;
+    Mutex.unlock results_lock
+  in
+  let t0 = Unix.gettimeofday () in
+  let daemon = Serve.start ~config ~fault_for:(Hashtbl.find_opt plans) ~respond c engine in
+  for id = 0 to n_requests - 1 do
+    Serve.submit daemon
+      { Wire.req_id = id; deadline_ms = deadline_of.(id); req_inputs = [ ("x", request_x id) ] }
+  done;
+  let stats = Serve.drain daemon in
+  let soak_seconds = Unix.gettimeofday () -. t0 in
+  (* Exactly one answer per request, each either outputs or a structured
+     Execute-layer error. *)
+  assert (!answered = n_requests);
+  let count_code = Hashtbl.create 8 in
+  let bump code = Hashtbl.replace count_code code (1 + Option.value ~default:0 (Hashtbl.find_opt count_code code)) in
+  for id = 0 to n_requests - 1 do
+    match Hashtbl.find_opt results id with
+    | None -> failwith (Printf.sprintf "request %d never answered" id)
+    | Some (Ok outputs) ->
+        bump 0;
+        (* Every success is within tolerance of the plaintext reference. *)
+        if not (close_enough (List.assoc "out" outputs) (reference_out id)) then
+          failwith (Printf.sprintf "request %d answered outside tolerance" id)
+    | Some (Error d) ->
+        bump d.Diag.code;
+        if not (d.Diag.layer = Diag.Execute && d.Diag.code >= 500 && d.Diag.code < 510) then
+          failwith (Printf.sprintf "request %d: unstructured failure %s" id (Diag.to_string d))
+  done;
+  let n_of code = Option.value ~default:0 (Hashtbl.find_opt count_code code) in
+  let ok = n_of 0 in
+  (* Per-class outcomes: the only legal degradations are the designed
+     ones. Clean/flaky/slowed requests must succeed (graph-level retries
+     absorb Fail; their generous deadline cannot trip); deaths succeed
+     while the daemon-wide retry budget lasts and fail fast as EVA-E504
+     after; doomed requests are cancelled mid-graph (E505) or shed once
+     service times are learned (E509); storms are always shed. *)
+  Array.iteri
+    (fun id k ->
+      let payload = Hashtbl.find results id in
+      match (k, payload) with
+      | (`Clean | `Flaky | `Slowed), Ok _ -> ()
+      | (`Clean | `Flaky | `Slowed), Error d ->
+          failwith (Printf.sprintf "request %d (benign) failed: %s" id (Diag.to_string d))
+      | `Death, (Ok _ | Error { Diag.code = 504; _ }) -> ()
+      | `Death, Error d ->
+          failwith (Printf.sprintf "request %d (death) failed oddly: %s" id (Diag.to_string d))
+      | `Doomed, Error { Diag.code = 505 | 509; _ } -> ()
+      | `Doomed, Ok _ -> failwith (Printf.sprintf "request %d (doomed) beat an impossible deadline" id)
+      | `Doomed, Error d ->
+          failwith (Printf.sprintf "request %d (doomed) failed oddly: %s" id (Diag.to_string d))
+      | `Storm, Error { Diag.code = 509; _ } -> ()
+      | `Storm, Ok _ -> failwith (Printf.sprintf "request %d (storm) admitted a 0ms deadline" id)
+      | `Storm, Error d ->
+          failwith (Printf.sprintf "request %d (storm) failed oddly: %s" id (Diag.to_string d)))
+    kind_of;
+  (* Bit-exact spot check of successes against the sequential replay
+     (every 37th success; the tolerance check above already covered all
+     of them against the plaintext reference). *)
+  let replay_engine = Executor.prepare ~seed:1 ~ignore_security:true ~log_n c zero in
+  let sampled = ref 0 in
+  for id = 0 to n_requests - 1 do
+    if id mod 37 = 0 then
+      match Hashtbl.find results id with
+      | Ok outputs ->
+          incr sampled;
+          let e =
+            Executor.rebind
+              ~seed:(Serve.request_seed config id)
+              ~reset_cache:false replay_engine c
+              [ ("x", Reference.Vec (request_x id)) ]
+          in
+          let expected, _ = Executor.run_on e c in
+          List.iter
+            (fun (name, v) ->
+              let w = List.assoc name expected in
+              Array.iteri
+                (fun i got ->
+                  if got <> w.(i) then
+                    failwith (Printf.sprintf "request %d: %s slot %d not bit-exact" id name i))
+                v)
+            outputs
+      | Error _ -> ()
+  done;
+  let lat = Serve.latencies_ms daemon in
+  Array.sort compare lat;
+  let pct p =
+    if Array.length lat = 0 then 0.0
+    else lat.(min (Array.length lat - 1) (int_of_float (float_of_int (Array.length lat) *. p)))
+  in
+  (* Tail latency stays bounded: shed work fails fast, cancellations
+     stop within one node, so p99 cannot balloon past queue * service. *)
+  assert (pct 0.99 < 750.0);
+  Printf.printf
+    "Soak: %d requests in %.1fs (%.0f req/s), pipeline %d, retry budget %d\n"
+    n_requests soak_seconds
+    (float_of_int n_requests /. soak_seconds)
+    config.Serve.pipeline retry_budget;
+  Printf.printf "  %-34s %6d\n" "answered Ok (bit-exact sampled)" ok;
+  Printf.printf "  %-34s %6d\n" "shed at admission (EVA-E509)" (n_of 509);
+  Printf.printf "  %-34s %6d\n" "cancelled on deadline (EVA-E505)" (n_of 505);
+  Printf.printf "  %-34s %6d\n" "worker-death fallout (EVA-E504)" (n_of 504);
+  Printf.printf "  retries granted %d (budget left %d), p50 %.1f ms, p99 %.1f ms, %d replay-verified\n"
+    stats.Serve.faults_retried stats.Serve.retry_budget_left (pct 0.50) (pct 0.99) !sampled;
+  assert (n_of 509 > 0);
+  assert (ok > 0);
+  (* ---- hostile wire sessions against the same warm engine ---------- *)
+  let frame payload = Printf.sprintf "frame %d\n%s" (String.length payload) payload in
+  let framed_request ~id ?deadline_ms xs =
+    frame (Wire.to_string (fun buf () -> Wire.write_request buf ~id ?deadline_ms xs) ())
+  in
+  let sessions_survived = ref 0 in
+  let wire_ok = ref 0 and wire_dropped = ref 0 and probes = ref 0 in
+  for session = 0 to n_sessions - 1 do
+    let base = 1_000_000 + (session * 100) in
+    (* Build a random stream: valid requests, malformed payloads, live
+       stats probes; possibly ending in a corrupt header or a mid-frame
+       client disconnect (truncated body). *)
+    let parts = Buffer.create 1024 in
+    let expect_ok = ref [] in
+    let terminal = ref false in
+    let n_parts = 2 + Random.State.int st 4 in
+    for j = 0 to n_parts - 1 do
+      if not !terminal then
+        let r = Random.State.float st 1.0 in
+        if r < 0.55 then begin
+          let id = base + j in
+          expect_ok := id :: !expect_ok;
+          Buffer.add_string parts (framed_request ~id [ ("x", request_x id) ])
+        end
+        else if r < 0.70 then Buffer.add_string parts (frame "these are not the droids")
+        else if r < 0.80 then begin
+          incr probes;
+          Buffer.add_string parts (frame Wire.stats_probe)
+        end
+        else if r < 0.90 then begin
+          Buffer.add_string parts "frame not-a-length\n";
+          terminal := true
+        end
+        else begin
+          (* Client vanishes mid-frame: header promises more bytes than
+             ever arrive. *)
+          Buffer.add_string parts "frame 4096\ntruncated";
+          terminal := true
+        end
+    done;
+    let vanish_reader = session mod 7 = 3 in
+    let req_read, req_write = Unix.pipe () in
+    let resp_read, resp_write = Unix.pipe () in
+    let feeder = Unix.out_channel_of_descr req_write in
+    output_string feeder (Buffer.contents parts);
+    close_out feeder;
+    if vanish_reader then Unix.close resp_read;
+    let ic = Unix.in_channel_of_descr req_read in
+    let oc = Unix.out_channel_of_descr resp_write in
+    let wire_config = { config with Serve.pipeline = 0 } in
+    let session_stats = Serve.run_channels ~config:wire_config c engine ic oc in
+    incr sessions_survived;
+    wire_dropped := !wire_dropped + session_stats.Serve.responses_dropped;
+    (try close_out oc with _ -> ());
+    close_in ic;
+    if not vanish_reader then begin
+      let ic2 = Unix.in_channel_of_descr resp_read in
+      let rec read acc =
+        match Wire.read_frame ic2 with None -> List.rev acc | Some x -> read (x :: acc)
+      in
+      let frames = read [] in
+      close_in ic2;
+      let is_stats x = String.length x >= 6 && String.sub x 0 6 = "stats " in
+      List.iter (fun x -> if is_stats x then ignore (Wire.read_stats x ~pos:(ref 0))) frames;
+      let responses =
+        List.filter_map
+          (fun x -> if is_stats x then None else Some (Wire.read_response x ~pos:(ref 0)))
+          frames
+      in
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (r : Wire.response) -> r.Wire.resp_id = id) responses with
+          | Some { Wire.payload = Ok outputs; _ } ->
+              incr wire_ok;
+              if not (close_enough (List.assoc "out" outputs) (reference_out id)) then
+                failwith (Printf.sprintf "wire request %d outside tolerance" id)
+          | Some { Wire.payload = Error d; _ } ->
+              failwith (Printf.sprintf "wire request %d failed: %s" id (Diag.to_string d))
+          | None -> failwith (Printf.sprintf "wire request %d never answered" id))
+        !expect_ok
+    end
+  done;
+  Printf.printf
+    "Wire chaos: %d/%d hostile sessions survived; %d valid requests answered Ok,\n%d stats probes, %d responses dropped on vanished readers\n"
+    !sessions_survived n_sessions !wire_ok !probes !wire_dropped;
+  assert (!sessions_survived = n_sessions);
+  Printf.printf
+    "\nAcceptance: 0 daemon crashes across %d soak requests + %d hostile sessions;\nevery answer structured (EVA-E504/E505/E509 or Ok), Ok bit-exact vs replay,\np99 %.1f ms bounded.\n"
+    n_requests n_sessions (pct 0.99)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1151,6 +1466,7 @@ let experiments =
     ("relin", relin);
     ("faults", faults);
     ("serve", serve_bench);
+    ("chaos", chaos_bench);
   ]
 
 (* Every experiment reports its wall time in one uniform `name: X.Xs`

@@ -5,7 +5,7 @@
    evac validate PROGRAM.eva [--transformed]
    evac estimate PROGRAM.eva [--log-n K] [--magnitude M] [--waterline K] [--eager-relin] [--optimize]
    evac run PROGRAM.eva [--seed N] [--log-n K] [--reference] [--workers W] [--pool-workers P] [--waterline K] [--eager-relin] [--stats] [--optimize]
-   evac serve PROGRAM.eva [--socket PATH] [--queue-depth D] [--pipeline P] [--workers W] [--pool-workers P]
+   evac serve PROGRAM.eva [--socket PATH] [--queue-depth D] [--pipeline P] [--workers W] [--pool-workers P] [--shed] [--drain-timeout-ms MS]
                           [--deadline-ms MS] [--seed N] [--log-n K] [--waterline K] [--eager-relin] [--optimize]
 *)
 
@@ -280,13 +280,18 @@ let run_cmd =
 
 (* --- serve ------------------------------------------------------------ *)
 
+(* Raised (only ever on the main domain — OCaml runs signal handlers
+   there) to break the blocked read/accept when SIGINT/SIGTERM arrives,
+   after the handler has already closed admission on the live daemon. *)
+exception Shutdown_signal
+
 let serve_cmd =
   (* Compile once, keygen once, then stream framed requests through the
      warm engine. Stdio mode serves one stream on stdin/stdout (stats go
      to stderr so they never corrupt the response stream); socket mode
      binds a Unix socket and serves one stream per accepted connection. *)
   let run path socket queue_depth pipeline workers pool_workers deadline_ms seed log_n waterline
-      eager_relin optimize =
+      eager_relin optimize shed drain_timeout_ms =
     reporting (Some path) @@ fun () ->
     let p = load path in
     (* Every pipeline domain runs graph workers, and each of those
@@ -312,25 +317,63 @@ let serve_cmd =
         pipeline;
         graph_workers = workers;
         default_deadline_ms = deadline_ms;
+        shed =
+          (if shed then
+             Eva_schedule.Serve.Watermarks
+               { high = max 1 (queue_depth - 1); low = min (max 1 (queue_depth - 1) - 1) (queue_depth / 2) }
+           else Eva_schedule.Serve.No_shedding);
         seed;
       }
     in
     let report stats =
       let open Eva_schedule.Serve in
       Printf.eprintf
-        "evac serve: %d served, %d failed, %d fault retries, queue high-water %d, pt-cache hit \
-         rate %.1f%%\n\
+        "evac serve: %d served, %d failed (%d shed, %d cancelled), %d fault retries (budget %d \
+         left), queue high-water %d, pt-cache hit rate %.1f%%\n\
          %!"
-        stats.requests_served stats.requests_failed stats.faults_retried stats.queue_high_water
+        stats.requests_served stats.requests_failed stats.requests_shed stats.requests_cancelled
+        stats.faults_retried stats.retry_budget_left stats.queue_high_water
         (100.0 *. pt_hit_rate stats);
+      if stats.responses_dropped > 0 then
+        Printf.eprintf "evac serve: %d response(s) dropped on broken client streams\n%!"
+          stats.responses_dropped;
       Printf.eprintf
         "evac serve: kernel pool %d lane(s), %d chunked loops, parallel efficiency %.0f%%\n%!"
         stats.pool_lanes stats.pool_chunked_calls (100.0 *. stats.pool_efficiency)
     in
+    (* SIGINT/SIGTERM: close admission on the live daemon (arming the
+       drain timeout, so in-flight work finishes or is cancelled within
+       one node of it), then break the blocked read/accept with
+       [Shutdown_signal] so the main loop can drain and report. *)
+    let daemon : Eva_schedule.Serve.t option ref = ref None in
+    let on_signal =
+      Sys.Signal_handle
+        (fun _ ->
+          (match !daemon with
+          | Some t -> Eva_schedule.Serve.shutdown ?drain_timeout_ms t
+          | None -> ());
+          raise Shutdown_signal)
+    in
+    Sys.set_signal Sys.sigint on_signal;
+    Sys.set_signal Sys.sigterm on_signal;
+    (* A client that hangs up mid-response must surface as EPIPE on the
+       write (contained per connection), not as a fatal SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let on_start t = daemon := Some t in
+    let drain_after_signal () =
+      match !daemon with
+      | Some t ->
+          report (Eva_schedule.Serve.drain ?timeout_ms:drain_timeout_ms t);
+          daemon := None
+      | None -> ()
+    in
     match socket with
-    | None ->
-        let stats = Eva_schedule.Serve.run_channels ~config c engine stdin stdout in
-        report stats
+    | None -> (
+        match Eva_schedule.Serve.run_channels ~config ~on_start c engine stdin stdout with
+        | stats -> report stats
+        | exception Shutdown_signal ->
+            Printf.eprintf "evac serve: shutdown signal, draining\n%!";
+            drain_after_signal ())
     | Some sock_path ->
         (* Refuse to unlink anything that is not a stale socket. *)
         (match Unix.lstat sock_path with
@@ -341,21 +384,36 @@ let serve_cmd =
         Unix.bind srv (Unix.ADDR_UNIX sock_path);
         Unix.listen srv 8;
         Printf.eprintf "evac serve: listening on %s (^C to stop)\n%!" sock_path;
-        let rec accept_loop () =
-          let conn, _ = Unix.accept srv in
-          let ic = Unix.in_channel_of_descr conn and oc = Unix.out_channel_of_descr conn in
-          (* One stream per connection; the engine (and its warm encode
-             cache) is shared across connections. *)
-          let stats =
-            try Eva_schedule.Serve.run_channels ~config c engine ic oc
-            with e ->
-              (try Unix.close conn with _ -> ());
-              raise e
-          in
-          report stats;
+        let close_conn ic oc =
           (try close_out oc with _ -> ());
-          (try close_in ic with _ -> ());
-          accept_loop ()
+          try close_in ic with _ -> ()
+        in
+        let rec accept_loop () =
+          match Unix.accept srv with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | exception Shutdown_signal ->
+              Printf.eprintf "evac serve: shutdown signal, exiting\n%!"
+          | conn, _ -> (
+              let ic = Unix.in_channel_of_descr conn and oc = Unix.out_channel_of_descr conn in
+              (* One stream per connection; the engine (and its warm
+                 encode cache) is shared across connections. A
+                 connection that errors out — even mid-frame — is
+                 closed and logged; the daemon keeps accepting. *)
+              match Eva_schedule.Serve.run_channels ~config ~on_start c engine ic oc with
+              | stats ->
+                  daemon := None;
+                  report stats;
+                  close_conn ic oc;
+                  accept_loop ()
+              | exception Shutdown_signal ->
+                  Printf.eprintf "evac serve: shutdown signal, draining\n%!";
+                  drain_after_signal ();
+                  close_conn ic oc
+              | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+                  drain_after_signal ();
+                  Printf.eprintf "evac serve: connection lost, continuing\n%!";
+                  close_conn ic oc;
+                  accept_loop ())
         in
         Fun.protect ~finally:(fun () -> try Unix.unlink sock_path with _ -> ()) accept_loop
   in
@@ -387,11 +445,30 @@ let serve_cmd =
   let log_n =
     Arg.(value & opt (some int) None & info [ "log-n" ] ~docv:"K" ~doc:"Serve at degree 2^K (insecure; for testing)")
   in
+  let shed =
+    Arg.(
+      value & flag
+      & info [ "shed" ]
+          ~doc:
+            "Enable overload shedding: requests predicted to miss their deadline (calibrated cost \
+             model) are refused immediately with EVA-E509, and no-deadline requests are shed by \
+             queue-depth watermarks while the daemon is in overload")
+  in
+  let drain_timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGINT/SIGTERM, give in-flight and queued requests this long to finish; past it \
+             they are cancelled at their next node checkpoint (EVA-E505). Default: drain fully")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Compile and keygen once, then serve framed evaluation requests")
     Term.(
       const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ pool_workers_flag
-      $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag)
+      $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag $ shed
+      $ drain_timeout_ms)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in

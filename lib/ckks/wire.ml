@@ -343,6 +343,50 @@ let read_response s ~pos =
   | t -> wire_error s ~at:at_status ~code:Diag.wire_token "expected \"ok\" or \"error\", got %S" t
 
 (* ------------------------------------------------------------------ *)
+(* Live daemon stats: the health probe of the serving protocol         *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame whose payload is exactly the probe token asks the daemon for
+   its counters without shutting anything down; the reply is a [stats]
+   frame. Latency quantiles travel as hex floats like every other float
+   on this wire. *)
+
+type daemon_stats = {
+  st_served : int;
+  st_failed : int;
+  st_shed : int;
+  st_retried : int;
+  st_queue : int;
+  st_p50_ms : float;
+  st_p99_ms : float;
+}
+
+let stats_probe = "stats?"
+
+let write_stats buf s =
+  Printf.bprintf buf "stats %d %d %d %d %d %h %h\n" s.st_served s.st_failed s.st_shed s.st_retried
+    s.st_queue s.st_p50_ms s.st_p99_ms
+
+let read_stats s ~pos =
+  expect s ~pos "stats";
+  let count what = read_int_in s ~pos ~what ~lo:0 ~hi:max_int in
+  let st_served = count "served count" in
+  let st_failed = count "failed count" in
+  let st_shed = count "shed count" in
+  let st_retried = count "retry count" in
+  let st_queue = count "queue depth" in
+  let quantile what =
+    let at = !pos in
+    let v = read_float s ~pos in
+    if not (Float.is_finite v && v >= 0.0) then
+      wire_error s ~at ~code:Diag.wire_length "%s %h is not finite and non-negative" what v;
+    v
+  in
+  let st_p50_ms = quantile "p50 latency" in
+  let st_p99_ms = quantile "p99 latency" in
+  { st_served; st_failed; st_shed; st_retried; st_queue; st_p50_ms; st_p99_ms }
+
+(* ------------------------------------------------------------------ *)
 (* Stream framing                                                      *)
 (* ------------------------------------------------------------------ *)
 

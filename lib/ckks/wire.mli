@@ -74,6 +74,28 @@ val read_request : string -> pos:int ref -> request
 val write_response : Buffer.t -> response -> unit
 val read_response : string -> pos:int ref -> response
 
+(** {2 Live health probe}
+
+    A frame whose payload is exactly {!stats_probe} asks a serving
+    daemon for its counters mid-stream — health is observable without
+    draining anything. The reply frame carries a [stats] payload. *)
+
+type daemon_stats = {
+  st_served : int;
+  st_failed : int;  (** errors of every kind, shed and cancelled included *)
+  st_shed : int;  (** EVA-E509 refusals at admission *)
+  st_retried : int;  (** request-level retries granted *)
+  st_queue : int;  (** admission-queue depth at probe time *)
+  st_p50_ms : float;  (** over the daemon's latency window; 0 when idle *)
+  st_p99_ms : float;
+}
+
+(** The probe payload a client frames to request {!daemon_stats}. *)
+val stats_probe : string
+
+val write_stats : Buffer.t -> daemon_stats -> unit
+val read_stats : string -> pos:int ref -> daemon_stats
+
 (** {2 Stream framing}
 
     [frame N] header line, then exactly [N] payload bytes. *)

@@ -1,0 +1,56 @@
+module Diag = Eva_diag.Diag
+
+type reason = Deadline | Shutdown
+
+(* [flag] holds the sticky explicit-cancellation reason; [deadline_at]
+   is mutable so a drain timeout can be armed after the token is already
+   threaded through in-flight requests. Both are read without the lock
+   on the hot path: the flag is an [Atomic.t] and a torn read of the
+   deadline option is impossible in OCaml (it is one word). *)
+type token = {
+  flag : reason option Atomic.t;
+  mutable deadline_at : float option;
+  mutable deadline_reason : reason;
+  parent : token option;
+}
+
+let never = { flag = Atomic.make None; deadline_at = None; deadline_reason = Deadline; parent = None }
+
+let make ?deadline_at ?parent () =
+  { flag = Atomic.make None; deadline_at; deadline_reason = Deadline; parent }
+
+let cancel ?(reason = Shutdown) t = ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let set_deadline ?(reason = Deadline) t d =
+  t.deadline_reason <- reason;
+  t.deadline_at <- d
+
+let rec cancelled t =
+  match Atomic.get t.flag with
+  | Some _ as r -> r
+  | None -> (
+      match t.deadline_at with
+      | Some d when Unix.gettimeofday () > d -> Some t.deadline_reason
+      | _ -> ( match t.parent with Some p -> cancelled p | None -> None))
+
+let remaining_ms t =
+  let rec nearest t acc =
+    let acc =
+      match t.deadline_at with
+      | Some d -> Some (match acc with Some a -> Float.min a d | None -> d)
+      | None -> acc
+    in
+    match t.parent with Some p -> nearest p acc | None -> acc
+  in
+  Option.map (fun d -> (d -. Unix.gettimeofday ()) *. 1000.0) (nearest t None)
+
+let to_diag ?node_id ?op reason =
+  Diag.make ?node_id ?op ~layer:Diag.Execute ~code:Diag.exec_timeout
+    (match reason with
+    | Deadline -> "request cancelled: deadline exceeded mid-execution"
+    | Shutdown -> "request cancelled: daemon draining")
+
+let check ?node_id ?op t =
+  match cancelled t with
+  | None -> ()
+  | Some reason -> raise (Diag.Error (to_diag ?node_id ?op reason))

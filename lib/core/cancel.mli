@@ -1,0 +1,58 @@
+(** Cooperative cancellation tokens for graph execution.
+
+    A token is the degradation layer's one signalling primitive: a
+    request that must stop — its deadline passed, the daemon is
+    draining, a client vanished — carries a token, and every execution
+    loop checks it at node granularity ({!Eva_core.Executor.run_graph}
+    and [Parallel.execute_on] consult it before each node they
+    evaluate), so a blown deadline stops the request within one node
+    instead of occupying a worker domain to completion.
+
+    Tokens are hierarchical: a request token created with [parent] set
+    to the daemon's shutdown token observes both its own deadline and
+    the daemon-wide drain deadline without any timer thread — deadlines
+    are compared against the clock at check time, and explicit
+    cancellation is one atomic flag. All operations are thread-safe and
+    cheap enough for a per-node checkpoint (two atomic loads and a
+    float compare on the not-cancelled path). *)
+
+type reason =
+  | Deadline  (** the token's own deadline passed *)
+  | Shutdown  (** the daemon is draining and cancelled in-flight work *)
+
+type token
+
+(** A token that is never cancelled; the absent-token default. *)
+val never : token
+
+(** [make ?deadline_at ?parent ()] — [deadline_at] is an absolute
+    [Unix.gettimeofday] instant; the token reads cancelled once the
+    clock passes it. A cancelled [parent] cancels this token too. *)
+val make : ?deadline_at:float -> ?parent:token -> unit -> token
+
+(** Cancel explicitly (reason {!Shutdown} by default). Idempotent; the
+    first reason sticks. *)
+val cancel : ?reason:reason -> token -> unit
+
+(** Move the token's deadline (e.g. arm a drain timeout at shutdown
+    time). [None] clears it. [reason] (default {!Deadline}) is what the
+    token reports once the clock passes the deadline — a daemon arming
+    its drain timeout passes {!Shutdown}. *)
+val set_deadline : ?reason:reason -> token -> float option -> unit
+
+(** [cancelled t] is [Some reason] once the token is cancelled —
+    explicitly, by its deadline, or through its parent chain. *)
+val cancelled : token -> reason option
+
+(** Milliseconds until the nearest deadline in the chain ([None] when
+    unbounded). Negative once expired. *)
+val remaining_ms : token -> float option
+
+(** [check t] raises a structured [Eva_diag.Diag.Error] (Execute layer,
+    EVA-E505) when the token is cancelled; the per-node checkpoint.
+    [node_id]/[op] anchor the error to the node that observed it. *)
+val check : ?node_id:int -> ?op:string -> token -> unit
+
+(** The EVA-E505 error a cancelled token produces, for callers that
+    want the value rather than the raise. *)
+val to_diag : ?node_id:int -> ?op:string -> reason -> Eva_diag.Diag.t

@@ -36,6 +36,7 @@ let exec_timeout = 505
 let exec_retry_exhausted = 506
 let exec_node_failed = 507
 let exec_config = 508
+let exec_overload = 509
 let crypto_level = 601
 let crypto_scale = 602
 let crypto_size = 603

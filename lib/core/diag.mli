@@ -91,6 +91,11 @@ val exec_node_failed : int  (** 507: node evaluation raised (wrapped) *)
 
 val exec_config : int  (** 508: engine configuration unusable *)
 
+val exec_overload : int
+(** 509: request shed at admission — the estimated queue wait plus
+    execution already exceeds its deadline, or the daemon is past its
+    overload watermark; the work was refused {e before} queueing *)
+
 (* Crypto (6xx) *)
 val crypto_level : int  (** 601: ciphertext level mismatch *)
 

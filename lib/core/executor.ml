@@ -203,6 +203,7 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
 let input_values e = e.inputs
 let engine_context_seconds e = e.context_seconds
 let engine_encrypt_seconds e = e.encrypt_seconds
+let engine_degree e = Ctx.degree e.ctx
 
 let rebind ?seed ?(reset_cache = true) ?encrypt_workers e compiled bindings =
   let p = compiled.Compile.program in
@@ -435,8 +436,16 @@ type run_stats = {
    computed via the shared decomposition and parked; each later member
    consumes its parked value. An [interpose] retry of a member before
    its value is consumed re-computes the entire group from the (still
-   live) source — bit-exact, since grouped evaluation is. *)
-let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
+   live) source — bit-exact, since grouped evaluation is.
+
+   [cancel] is the cooperative-cancellation checkpoint, riding the same
+   per-node seam as [interpose]: the token is checked before every node
+   evaluation, so a request whose deadline passes (or whose daemon is
+   draining) stops within one node as a structured EVA-E505, and its
+   live intermediate ciphertexts are dropped with this frame instead of
+   being carried to graph completion. *)
+let run_graph ?(record_per_node = false) ?interpose ?(cancel = Cancel.never) ?(hoist = true) e
+    compiled =
   let p = compiled.Compile.program in
   let t0 = now () in
   let group_of : (int, Optimize.hoist_group) Hashtbl.t = Hashtbl.create 8 in
@@ -464,6 +473,7 @@ let run_graph ?(record_per_node = false) ?interpose ?(hoist = true) e compiled =
       match n.Ir.op with
       | Ir.Input _ -> ()
       | _ ->
+          Cancel.check ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op) cancel;
           let tn = if record_per_node then now () else 0.0 in
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find values m.Ir.id) n.Ir.parms) in
           let eval () =

@@ -96,13 +96,16 @@ type run_stats = {
     [interpose n eval] (when given) is called instead of [eval] for
     every non-input node and must return the node's value — the seam
     fault-injection harnesses use to kill, delay, fail or corrupt
-    individual node evaluations without the executor knowing. [hoist]
-    (default true) evaluates {!Optimize.rotation_groups} as units —
-    decompose once, rotate many — bit-identical to ungrouped
-    evaluation; disable it to measure the naive path. *)
+    individual node evaluations without the executor knowing. [cancel]
+    (default {!Cancel.never}) is checked before every node on the same
+    seam: a cancelled token stops the run within one node as EVA-E505,
+    releasing the request's live intermediates. [hoist] (default true)
+    evaluates {!Optimize.rotation_groups} as units — decompose once,
+    rotate many — bit-identical to ungrouped evaluation; disable it to
+    measure the naive path. *)
 val run_graph :
-  ?record_per_node:bool -> ?interpose:(Ir.node -> (unit -> value) -> value) -> ?hoist:bool ->
-  engine -> Compile.compiled -> run_stats
+  ?record_per_node:bool -> ?interpose:(Ir.node -> (unit -> value) -> value) ->
+  ?cancel:Cancel.token -> ?hoist:bool -> engine -> Compile.compiled -> run_stats
 
 (** Run a compiled program on a prepared engine (single-threaded),
     returning decrypted outputs and the execute wall time. *)
@@ -126,6 +129,11 @@ val eval_rotation_group :
 
 val engine_context_seconds : engine -> float
 val engine_encrypt_seconds : engine -> float
+
+(** The ring degree the engine's context was built at (the serving
+    tier's admission-control cost estimates price the program at this
+    size, which may be a [log_n]-overridden test size). *)
+val engine_degree : engine -> int
 
 (** Plaintext-encoding cache counters (hits, misses) accumulated on this
     engine since {!prepare} (or the last cache-resetting {!rebind}). *)

@@ -27,31 +27,48 @@ type t = {
   max_retries : int;
   counters : counters;
   retry_counts : (int, int) Hashtbl.t;
+  backoff : Backoff.t;
 }
 
 let fresh_counters () = { deaths = 0; failures = 0; delays = 0; timeouts = 0; corruptions = 0; retries = 0 }
 
-let make ?(max_retries = 3) source =
+(* Retries granted by this plan pace themselves on a decorrelated-jitter
+   schedule instead of re-attempting back to back; the default bounds
+   keep test plans fast while still de-syncing concurrent retriers. *)
+let default_backoff () = Backoff.make ~base_ms:0.2 ~cap_ms:20.0 ~seed:0 ()
+
+let make ?(max_retries = 3) ?backoff source =
   {
     lock = Mutex.create ();
     source;
     max_retries;
     counters = fresh_counters ();
     retry_counts = Hashtbl.create 16;
+    backoff = (match backoff with Some b -> b | None -> default_backoff ());
   }
 
-let plan ?max_retries actions =
+let plan ?max_retries ?backoff actions =
   let tbl = Hashtbl.create 16 in
   List.iter (fun (id, acts) -> Hashtbl.replace tbl id (ref acts)) actions;
-  make ?max_retries (Scripted tbl)
+  make ?max_retries ?backoff (Scripted tbl)
 
-let random ?max_retries ~seed ~death_p ~fail_p ~corrupt_p () =
-  make ?max_retries (Random { rng = Random.State.make [| seed |]; death_p; fail_p; corrupt_p })
+let random ?max_retries ?backoff ~seed ~death_p ~fail_p ~corrupt_p () =
+  make ?max_retries ?backoff
+    (Random { rng = Random.State.make [| seed |]; death_p; fail_p; corrupt_p })
 
 let none () = make Silent
 
 let max_retries t = t.max_retries
 let counters t = t.counters
+
+(* Advance the jitter schedule under the plan's lock, sleep outside it:
+   a pausing retrier must never hold up other workers drawing actions. *)
+let retry_pause ?limit_ms t =
+  Mutex.lock t.lock;
+  let d = Backoff.next_ms t.backoff in
+  Mutex.unlock t.lock;
+  let d = match limit_ms with Some l -> Float.min d (Float.max 0.0 l) | None -> d in
+  if d > 0.0 then Unix.sleepf (d /. 1000.0)
 
 let record t = function
   | Proceed -> ()
@@ -128,12 +145,16 @@ let interpose t n eval =
         (* Idempotent node evaluation: a failed attempt left no state, so
            re-running is exact. Sequential death degenerates to retry. *)
         match note_retry t ~node_id:n.Ir.id with
-        | `Retry -> attempt ()
+        | `Retry ->
+            retry_pause t;
+            attempt ()
         | `Exhausted -> retry_error t n ~code:Diag.exec_retry_exhausted "transient failure")
     | Timeout dt -> (
         Unix.sleepf dt;
         match note_retry t ~node_id:n.Ir.id with
-        | `Retry -> attempt ()
+        | `Retry ->
+            retry_pause t;
+            attempt ()
         | `Exhausted -> retry_error t n ~code:Diag.exec_timeout "timeout")
   in
   attempt ()

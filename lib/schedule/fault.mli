@@ -44,15 +44,19 @@ type t
 (** [plan actions] is a scripted plan: for node id [i], the [j]-th
     attempt performs the [j]-th action of its list ([Proceed] once the
     list is exhausted, so a single [Fail] means "fail once, then
-    succeed"). [max_retries] (default 3) bounds re-execution per node. *)
-val plan : ?max_retries:int -> (int * action list) list -> t
+    succeed"). [max_retries] (default 3) bounds re-execution per node.
+    [backoff] paces granted retries (default: decorrelated jitter,
+    0.2ms base / 20ms cap, seed 0 — see {!Backoff}); retries are never
+    back to back. *)
+val plan : ?max_retries:int -> ?backoff:Backoff.t -> (int * action list) list -> t
 
 (** A seeded random plan: each attempt independently draws [Die], [Fail]
     or [Corrupt Wrong_scale] with the given probabilities (remaining
     mass proceeds). Deterministic given the seed and the sequence of
     draws. *)
 val random :
-  ?max_retries:int -> seed:int -> death_p:float -> fail_p:float -> corrupt_p:float -> unit -> t
+  ?max_retries:int -> ?backoff:Backoff.t -> seed:int -> death_p:float -> fail_p:float ->
+  corrupt_p:float -> unit -> t
 
 (** A plan that injects nothing — for measuring hook overhead. *)
 val none : unit -> t
@@ -67,6 +71,13 @@ val next_action : t -> node_id:int -> action
 (** [note_retry t ~node_id] records one more re-execution of the node;
     [`Exhausted] once the per-node budget is spent. Thread-safe. *)
 val note_retry : t -> node_id:int -> [ `Retry | `Exhausted ]
+
+(** Sleep the plan's next decorrelated-jitter backoff interval (bounded
+    by [limit_ms] when given). Called after every [`Retry] verdict by
+    both executors so granted retries pace out instead of hammering;
+    the schedule state advances under the plan's lock, the sleep
+    happens outside it. *)
+val retry_pause : ?limit_ms:float -> t -> unit
 
 (** Tamper a value per [kind]. Plain values pass through unchanged —
     only ciphertexts carry level/scale metadata to corrupt. *)

@@ -24,7 +24,8 @@ type shared = {
   mutable failure : exn option;
 }
 
-let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
+let execute_on ?cost ?fault ?(cancel = Eva_core.Cancel.never) ?(hoist = true) ~workers engine
+    compiled =
   if workers < 1 then invalid_arg "Parallel.execute_on: workers >= 1";
   let p = compiled.Eva_core.Compile.program in
   let cost =
@@ -122,6 +123,21 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
       | None ->
           Condition.broadcast sh.cond;
           Mutex.unlock sh.mutex
+      (* The cooperative-cancellation checkpoint: the token is observed
+         between claimed nodes, so a cancelled run stops within one node
+         — the claimed node is abandoned (never evaluated), the failure
+         is the structured EVA-E505, and every worker drains out through
+         the [failure <> None] guard above. *)
+      | Some n when Eva_core.Cancel.cancelled cancel <> None ->
+          (match Eva_core.Cancel.cancelled cancel with
+          | Some reason when sh.failure = None ->
+              sh.failure <-
+                Some
+                  (Diag.Error
+                     (Eva_core.Cancel.to_diag ~node_id:n.Ir.id ~op:(Ir.op_name n.Ir.op) reason))
+          | _ -> ());
+          Condition.broadcast sh.cond;
+          Mutex.unlock sh.mutex
       | Some n ->
           let parents = Array.to_list (Array.map (fun m -> Hashtbl.find sh.values m.Ir.id) n.Ir.parms) in
           Mutex.unlock sh.mutex;
@@ -191,31 +207,62 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
                   with e -> Error (`Fatal (Executor.node_failure action_node e)))
             in
             let dt = Unix.gettimeofday () -. tn in
+            (* Retry verdicts — and their decorrelated-jitter pauses —
+               are decided before the shared lock is taken, so a backing-
+               off retrier never stalls the workers still making
+               progress. *)
+            let result =
+              match result with
+              | Ok vs -> `Publish vs
+              | Error (`Fatal e) -> `Fail e
+              | Error ((`Transient | `Timeout) as what) -> (
+                  let f = Option.get fault in
+                  match Fault.note_retry f ~node_id:action_node.Ir.id with
+                  | `Retry ->
+                      Fault.retry_pause f;
+                      `Requeue
+                  | `Exhausted ->
+                      `Fail
+                        (Diag.Error
+                           (Diag.make ~node_id:action_node.Ir.id
+                              ~op:(Ir.op_name action_node.Ir.op) ~layer:Diag.Execute
+                              ~code:
+                                (match what with
+                                | `Transient -> Diag.exec_retry_exhausted
+                                | `Timeout -> Diag.exec_timeout)
+                              (Printf.sprintf "node %d %s beyond the %d-retry budget"
+                                 action_node.Ir.id
+                                 (match what with
+                                 | `Transient -> "failed transiently"
+                                 | `Timeout -> "timed out")
+                                 (Fault.max_retries f)))))
+            in
             Mutex.lock sh.mutex;
             (match result with
-            | Error (`Fatal e) -> if sh.failure = None then sh.failure <- Some e
-            | Error ((`Transient | `Timeout) as what) -> (
-                let f = Option.get fault in
-                match Fault.note_retry f ~node_id:action_node.Ir.id with
-                | `Retry -> push n
-                | `Exhausted ->
-                    if sh.failure = None then
-                      sh.failure <-
-                        Some
-                          (Diag.Error
-                             (Diag.make ~node_id:action_node.Ir.id
-                                ~op:(Ir.op_name action_node.Ir.op) ~layer:Diag.Execute
-                                ~code:
-                                  (match what with
-                                  | `Transient -> Diag.exec_retry_exhausted
-                                  | `Timeout -> Diag.exec_timeout)
-                                (Printf.sprintf "node %d %s beyond the %d-retry budget"
-                                   action_node.Ir.id
-                                   (match what with
-                                   | `Transient -> "failed transiently"
-                                   | `Timeout -> "timed out")
-                                   (Fault.max_retries f)))))
-            | Ok vs ->
+            | `Fail e -> if sh.failure = None then sh.failure <- Some e
+            | `Requeue -> (
+                match group with
+                | Some g ->
+                    (* A transient failure anywhere in a hoist group
+                       dissolves it: re-running the whole group makes the
+                       retry re-win one fault draw per member, so a wide
+                       fan under a lossy plan would never complete (a
+                       16-member group at 30% per-member failure succeeds
+                       0.7^16 ≈ 0.4% of attempts). Degrade to individual
+                       un-hoisted rotations — bit-exact with the grouped
+                       evaluation by construction — so each node's retry
+                       budget covers only its own hazard. The shared
+                       source is still live (values release only on
+                       completion) and every member's other scheduling
+                       state was initialised per node, so the members are
+                       directly claimable. *)
+                    Hashtbl.remove group_of_leader n.Ir.id;
+                    List.iter
+                      (fun m -> Hashtbl.remove satellite m.Ir.id)
+                      g.Eva_core.Optimize.hoist_rotations;
+                    List.iter push g.Eva_core.Optimize.hoist_rotations
+                | None -> push n)
+            | `Publish vs ->
               (* Publish every produced value under its own node id (one
                  for a plain node, the whole group for a leader); the
                  wall time is attributed to the claimed node. *)
@@ -288,8 +335,8 @@ let execute_on ?cost ?fault ?(hoist = true) ~workers engine compiled =
     peak_live_values = sh.peak_live;
   }
 
-let execute ?seed ?ignore_security ?log_n ?cost ?fault ?hoist ~workers compiled bindings =
+let execute ?seed ?ignore_security ?log_n ?cost ?fault ?cancel ?hoist ~workers compiled bindings =
   let engine =
     Executor.prepare ?seed ?ignore_security ?log_n ~encrypt_workers:workers compiled bindings
   in
-  execute_on ?cost ?fault ?hoist ~workers engine compiled
+  execute_on ?cost ?fault ?cancel ?hoist ~workers engine compiled

@@ -30,6 +30,13 @@ type result = {
     {!Eva_core.Executor.node_failure}. With [fault] absent, no hook
     runs.
 
+    [cancel] (default {!Eva_core.Cancel.never}) is the cooperative
+    cancellation token: every worker observes it between claimed nodes,
+    so a cancelled run stops within one node — the claimed node is
+    abandoned unevaluated and the run raises the token's structured
+    EVA-E505, freeing the request's live ciphertexts with the call
+    frame instead of running the DAG to completion.
+
     [hoist] (default true) executes each RotateMany hoist group
     ({!Eva_core.Optimize.rotation_groups}) as one unit on one worker:
     only the group leader is claimable, and completing it publishes
@@ -40,6 +47,7 @@ type result = {
 val execute_on :
   ?cost:(Eva_core.Ir.node -> float) ->
   ?fault:Fault.t ->
+  ?cancel:Eva_core.Cancel.token ->
   ?hoist:bool ->
   workers:int ->
   Eva_core.Executor.engine ->
@@ -55,6 +63,7 @@ val execute :
   ?log_n:int ->
   ?cost:(Eva_core.Ir.node -> float) ->
   ?fault:Fault.t ->
+  ?cancel:Eva_core.Cancel.token ->
   ?hoist:bool ->
   workers:int ->
   Eva_core.Compile.compiled ->

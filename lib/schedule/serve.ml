@@ -2,6 +2,7 @@ module Ir = Eva_core.Ir
 module Compile = Eva_core.Compile
 module Executor = Eva_core.Executor
 module Reference = Eva_core.Reference
+module Cancel = Eva_core.Cancel
 module Wire = Eva_ckks.Wire
 module Diag = Eva_diag.Diag
 module Pool = Eva_pool.Pool
@@ -17,7 +18,19 @@ module Pool = Eva_pool.Pool
    frame, an unbound input, an injected worker death that exhausts its
    graph-level retries — becomes an error *response* for that one
    request; the daemon and every other in-flight request survive. Only
-   foreign exceptions (bugs) escape. *)
+   foreign exceptions (bugs) escape.
+
+   Degradation is layered on top of containment: every request carries a
+   Cancel token (its own deadline, parented to the daemon's shutdown
+   token) that the executors check per node, admission can shed work it
+   predicts will miss its deadline (EVA-E509) before the work costs
+   anything, and retries pace themselves with decorrelated jitter under
+   a per-daemon budget so a persistent fault degrades into fast
+   structured failures instead of a retry storm. *)
+
+type shed_mode =
+  | No_shedding
+  | Watermarks of { high : int; low : int }
 
 type config = {
   queue_depth : int;  (** admission-queue bound; see submit *)
@@ -26,6 +39,8 @@ type config = {
   encrypt_workers : int;  (** domains for per-request input encryption *)
   default_deadline_ms : int option;  (** applied when a request carries none *)
   max_request_retries : int;  (** request-level retries after worker death *)
+  retry_budget : int;  (** daemon-wide pool of request-level retries *)
+  shed : shed_mode;  (** overload shedding at admission *)
   seed : int;  (** base of the per-request encryption seeds *)
 }
 
@@ -37,6 +52,8 @@ let default_config =
     encrypt_workers = 1;
     default_deadline_ms = None;
     max_request_retries = 2;
+    retry_budget = 64;
+    shed = No_shedding;
     seed = 1;
   }
 
@@ -48,7 +65,11 @@ let request_seed cfg id = cfg.seed + id + 1
 type stats = {
   requests_served : int;
   requests_failed : int;
+  requests_shed : int;
+  requests_cancelled : int;
   faults_retried : int;
+  retry_budget_left : int;
+  responses_dropped : int;
   queue_high_water : int;
   pt_cache_hits : int;
   pt_cache_misses : int;
@@ -61,6 +82,11 @@ let pt_hit_rate s =
   let total = s.pt_cache_hits + s.pt_cache_misses in
   if total = 0 then 0.0 else float_of_int s.pt_cache_hits /. float_of_int total
 
+(* Latencies live in a fixed ring so a long-lived daemon's memory stays
+   bounded no matter how many requests stream through; the window is
+   ample for p99 estimation over recent traffic. *)
+let latency_window = 4096
+
 type t = {
   cfg : config;
   compiled : Compile.compiled;
@@ -70,72 +96,131 @@ type t = {
   lock : Mutex.t;
   not_empty : Condition.t;
   queue : (Wire.request * float) Queue.t;  (** request, admission time *)
+  shutdown_token : Cancel.token;  (** parent of every request token *)
+  est_model_s : float;  (** modeled sequential seconds per request *)
+  mutable ewma_exec_s : float;  (** measured, 0 until the first success *)
+  mutable shedding : bool;  (** watermark hysteresis state *)
   mutable closed : bool;
   mutable served : int;
   mutable failed : int;
+  mutable shed_count : int;
+  mutable cancelled : int;
   mutable retried : int;
+  mutable budget_left : int;
+  mutable dropped : int;  (** responses lost to a broken client stream *)
   mutable high_water : int;
-  mutable latencies : float list;  (** ms, completion order *)
+  lat_ring : float array;
+  mutable lat_count : int;  (** total completions; ring index = count mod window *)
   mutable domains : unit Domain.t list;
   pool_base : Pool.stats;  (** global pool counters at daemon start *)
 }
 
 let now = Unix.gettimeofday
 
-(* Evaluate one admitted request. The deadline (request's own, or the
-   config default) is checked when a worker picks the request up: a
-   request that aged out in the queue is refused as EVA-E505 without
-   paying for encryption or evaluation. Worker death that exhausts the
-   graph executor (EVA-E504) is retried at request level — the scripted
-   plan's remaining actions drive the retry, so a single injected death
-   costs one re-execution, not the daemon. *)
+(* A response the client can no longer receive must not take a worker
+   domain (and with it the daemon) down: writes onto a vanished peer
+   raise EPIPE/ECONNRESET (sockets) or Sys_error (channels); those are
+   counted and dropped, everything else is still a bug and escapes. *)
+let safe_respond t r =
+  try t.respond r with
+  | Sys_error _ | End_of_file | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      Mutex.lock t.lock;
+      t.dropped <- t.dropped + 1;
+      Mutex.unlock t.lock
+
+let take_retry_token t =
+  Mutex.lock t.lock;
+  let ok = t.budget_left > 0 in
+  if ok then begin
+    t.budget_left <- t.budget_left - 1;
+    t.retried <- t.retried + 1
+  end;
+  Mutex.unlock t.lock;
+  ok
+
+let note_exec_time t dt =
+  Mutex.lock t.lock;
+  t.ewma_exec_s <- (if t.ewma_exec_s = 0.0 then dt else (0.8 *. t.ewma_exec_s) +. (0.2 *. dt));
+  Mutex.unlock t.lock
+
+(* Evaluate one admitted request under its cancellation token: the
+   request's own deadline (or the config default) parented to the
+   daemon's shutdown token. The token is checked when a worker picks the
+   request up (a request that aged out in the queue is refused as
+   EVA-E505 without paying for encryption), re-checked after encryption
+   and between retry attempts, and threaded into the executors, which
+   check it per node — so a deadline blown mid-graph stops within one
+   node and the request's live ciphertexts are freed with the frame.
+
+   Worker death that exhausts the graph executor (EVA-E504) is retried
+   at request level, paced by decorrelated jitter (seeded per request,
+   so the schedule is reproducible) and charged against the daemon-wide
+   retry budget — a persistently faulty daemon stops retrying instead of
+   amplifying load. *)
 let process t (req : Wire.request) t_admit =
   let id = req.Wire.req_id in
   let deadline = match req.Wire.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms in
-  let expired () =
-    match deadline with Some d -> (now () -. t_admit) *. 1000.0 > float_of_int d | None -> false
-  in
-  if expired () then
-    Error
-      (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
-         (Printf.sprintf "request %d exceeded its %dms deadline in the admission queue" id
-            (Option.get deadline)))
-  else begin
-    let bindings = List.map (fun (name, v) -> (name, Reference.Vec v)) req.Wire.req_inputs in
-    let fault = t.fault_for id in
-    let rec attempt tries =
-      match
-        let e =
-          Executor.rebind ~seed:(request_seed t.cfg id) ~reset_cache:false
-            ~encrypt_workers:t.cfg.encrypt_workers t.engine t.compiled bindings
-        in
-        (* With one graph worker and no fault plan, the plain executor is
-           the same schedule minus a domain spawn per request — the
-           spawn is pure latency on small programs. *)
-        (match fault with
-        | None when t.cfg.graph_workers = 1 -> fst (Executor.run_on e t.compiled)
-        | _ -> (Parallel.execute_on ?fault ~workers:t.cfg.graph_workers e t.compiled).Parallel.outputs)
-      with
-      | outputs -> Ok outputs
-      | exception Diag.Error d
-        when d.Diag.code = Diag.exec_workers_died && tries < t.cfg.max_request_retries ->
-          Mutex.lock t.lock;
-          t.retried <- t.retried + 1;
-          Mutex.unlock t.lock;
-          attempt (tries + 1)
-      | exception e -> (
-          (* Any classifiable failure — scheme-layer mismatch, unbound
-             input, exhausted retry budget — fails this request only.
-             Foreign exceptions are bugs and still crash the daemon. *)
-          match Diag.classify e with Some d -> Error d | None -> raise e)
-    in
-    attempt 0
-  end
+  let deadline_at = Option.map (fun d -> t_admit +. (float_of_int d /. 1000.0)) deadline in
+  let token = Cancel.make ?deadline_at ~parent:t.shutdown_token () in
+  match Cancel.cancelled token with
+  | Some Cancel.Deadline when deadline <> None ->
+      Error
+        (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
+           (Printf.sprintf "request %d exceeded its %dms deadline in the admission queue" id
+              (Option.get deadline)))
+  | Some reason -> Error (Cancel.to_diag reason)
+  | None ->
+      let bindings = List.map (fun (name, v) -> (name, Reference.Vec v)) req.Wire.req_inputs in
+      let fault = t.fault_for id in
+      let backoff = lazy (Backoff.make ~base_ms:0.5 ~cap_ms:50.0 ~seed:(request_seed t.cfg id) ()) in
+      let t_exec = now () in
+      let rec attempt tries =
+        match
+          Cancel.check token;
+          let e =
+            Executor.rebind ~seed:(request_seed t.cfg id) ~reset_cache:false
+              ~encrypt_workers:t.cfg.encrypt_workers t.engine t.compiled bindings
+          in
+          (* Encryption is the most expensive pre-graph step; a deadline
+             that expired while it ran must not also pay for the graph. *)
+          Cancel.check token;
+          (* With one graph worker and no fault plan, the plain executor
+             is the same schedule minus a domain spawn per request — the
+             spawn is pure latency on small programs. *)
+          match fault with
+          | None when t.cfg.graph_workers = 1 ->
+              let s = Executor.run_graph ~cancel:token e t.compiled in
+              List.map (fun (name, v) -> (name, Executor.read_output e v)) s.Executor.raw_outputs
+          | _ ->
+              (Parallel.execute_on ?fault ~cancel:token ~workers:t.cfg.graph_workers e t.compiled)
+                .Parallel.outputs
+        with
+        | outputs ->
+            note_exec_time t (now () -. t_exec);
+            Ok outputs
+        | exception Diag.Error d
+          when d.Diag.code = Diag.exec_workers_died
+               && tries < t.cfg.max_request_retries
+               && take_retry_token t ->
+            Backoff.sleep ?limit_ms:(Cancel.remaining_ms token) (Lazy.force backoff);
+            attempt (tries + 1)
+        | exception e -> (
+            (* Any classifiable failure — scheme-layer mismatch, unbound
+               input, exhausted retry budget — fails this request only.
+               Foreign exceptions are bugs and still crash the daemon. *)
+            match Diag.classify e with Some d -> Error d | None -> raise e)
+      in
+      attempt 0
 
 let finish t payload t_admit =
   Mutex.lock t.lock;
-  (match payload with Ok _ -> t.served <- t.served + 1 | Error _ -> t.failed <- t.failed + 1);
-  t.latencies <- ((now () -. t_admit) *. 1000.0) :: t.latencies;
+  (match payload with
+  | Ok _ -> t.served <- t.served + 1
+  | Error d ->
+      t.failed <- t.failed + 1;
+      if d.Diag.code = Diag.exec_timeout then t.cancelled <- t.cancelled + 1);
+  t.lat_ring.(t.lat_count mod latency_window) <- (now () -. t_admit) *. 1000.0;
+  t.lat_count <- t.lat_count + 1;
   Mutex.unlock t.lock
 
 let worker t () =
@@ -156,7 +241,7 @@ let worker t () =
     | Some (req, t_admit) ->
         Mutex.unlock t.lock;
         let payload = process t req t_admit in
-        t.respond { Wire.resp_id = req.Wire.req_id; payload };
+        safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
         finish t payload t_admit;
         loop ()
   in
@@ -165,6 +250,22 @@ let worker t () =
 let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compiled engine =
   if config.queue_depth < 1 || config.pipeline < 0 || config.graph_workers < 1 then
     invalid_arg "Serve.start: queue_depth and graph_workers must be >= 1, pipeline >= 0";
+  (match config.shed with
+  | Watermarks { high; low } when high < 1 || low < 0 || low >= high ->
+      invalid_arg "Serve.start: shed watermarks need 0 <= low < high"
+  | _ -> ());
+  let est_model_s =
+    (* The calibrated analytic model prices one sequential evaluation of
+       the compiled program at the engine's actual ring degree; the
+       admission controller blends it with measured service times. *)
+    let log_n =
+      int_of_float (Float.round (Float.log2 (float_of_int (Executor.engine_degree engine))))
+    in
+    Hashtbl.fold
+      (fun _ c acc -> acc +. c)
+      (Cost.program_costs ~log_n Cost.default_coefficients compiled)
+      0.0
+  in
   let t =
     {
       cfg = config;
@@ -175,18 +276,67 @@ let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compi
       lock = Mutex.create ();
       not_empty = Condition.create ();
       queue = Queue.create ();
+      shutdown_token = Cancel.make ();
+      est_model_s;
+      ewma_exec_s = 0.0;
+      shedding = false;
       closed = false;
       served = 0;
       failed = 0;
+      shed_count = 0;
+      cancelled = 0;
       retried = 0;
+      budget_left = config.retry_budget;
+      dropped = 0;
       high_water = 0;
-      latencies = [];
+      lat_ring = Array.make latency_window 0.0;
+      lat_count = 0;
       domains = [];
       pool_base = Pool.stats ();
     }
   in
   t.domains <- List.init config.pipeline (fun _ -> Domain.spawn (worker t));
   t
+
+(* Admission control, called with the lock held. A request the daemon
+   predicts it cannot serve is cheapest to refuse before it costs
+   anything: with a deadline, the predicted completion time (queue ahead
+   of it draining through the pipeline, plus its own execution, both at
+   the blended cost estimate) is compared against the deadline; without
+   one, a high/low-watermark hysteresis on queue depth sheds sustained
+   overload while letting bursts through. *)
+let est_service_s t = if t.ewma_exec_s > 0.0 then t.ewma_exec_s else t.est_model_s
+
+let shed_check t (req : Wire.request) =
+  match t.cfg.shed with
+  | No_shedding -> None
+  | Watermarks { high; low } -> (
+      let qlen = Queue.length t.queue in
+      let deadline =
+        match req.Wire.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+      in
+      match deadline with
+      | Some d ->
+          let est_s = est_service_s t in
+          let lanes = float_of_int (max 1 t.cfg.pipeline) in
+          let eta_ms = ((float_of_int qlen *. est_s /. lanes) +. est_s) *. 1000.0 in
+          if eta_ms > float_of_int d then
+            Some
+              (Diag.make ~layer:Diag.Execute ~code:Diag.exec_overload
+                 (Printf.sprintf
+                    "request %d shed: estimated completion %.1fms exceeds its %dms deadline (queue \
+                     %d, %.1fms/request)"
+                    req.Wire.req_id eta_ms d qlen (est_s *. 1000.0)))
+          else None
+      | None ->
+          if qlen >= high then t.shedding <- true
+          else if qlen <= low then t.shedding <- false;
+          if t.shedding then
+            Some
+              (Diag.make ~layer:Diag.Execute ~code:Diag.exec_overload
+                 (Printf.sprintf "request %d shed: admission queue at %d past high watermark %d"
+                    req.Wire.req_id qlen high))
+          else None)
 
 (* Admission backpressure is caller-runs: when the queue is full the
    submitting thread takes the oldest queued request and evaluates it
@@ -199,25 +349,32 @@ let rec submit t (req : Wire.request) =
     Mutex.unlock t.lock;
     invalid_arg "Serve.submit: daemon already drained"
   end;
-  if Queue.length t.queue >= t.cfg.queue_depth then begin
-    let oldest, t_admit = Queue.take t.queue in
-    Mutex.unlock t.lock;
-    let payload = process t oldest t_admit in
-    t.respond { Wire.resp_id = oldest.Wire.req_id; payload };
-    finish t payload t_admit;
-    submit t req
-  end
-  else begin
-    Queue.add (req, now ()) t.queue;
-    if Queue.length t.queue > t.high_water then t.high_water <- Queue.length t.queue;
-    Condition.signal t.not_empty;
-    Mutex.unlock t.lock
-  end
+  match shed_check t req with
+  | Some d ->
+      t.failed <- t.failed + 1;
+      t.shed_count <- t.shed_count + 1;
+      Mutex.unlock t.lock;
+      safe_respond t { Wire.resp_id = req.Wire.req_id; payload = Error d }
+  | None ->
+      if Queue.length t.queue >= t.cfg.queue_depth then begin
+        let oldest, t_admit = Queue.take t.queue in
+        Mutex.unlock t.lock;
+        let payload = process t oldest t_admit in
+        safe_respond t { Wire.resp_id = oldest.Wire.req_id; payload };
+        finish t payload t_admit;
+        submit t req
+      end
+      else begin
+        Queue.add (req, now ()) t.queue;
+        if Queue.length t.queue > t.high_water then t.high_water <- Queue.length t.queue;
+        Condition.signal t.not_empty;
+        Mutex.unlock t.lock
+      end
 
 (* An unparsable request never reaches the queue; it is answered (and
    counted as failed) directly, preserving one-response-per-frame. *)
 let reject t ~id d =
-  t.respond { Wire.resp_id = id; payload = Error d };
+  safe_respond t { Wire.resp_id = id; payload = Error d };
   Mutex.lock t.lock;
   t.failed <- t.failed + 1;
   Mutex.unlock t.lock
@@ -239,7 +396,11 @@ let stats_locked t =
   {
     requests_served = t.served;
     requests_failed = t.failed;
+    requests_shed = t.shed_count;
+    requests_cancelled = t.cancelled;
     faults_retried = t.retried;
+    retry_budget_left = t.budget_left;
+    responses_dropped = t.dropped;
     queue_high_water = t.high_water;
     pt_cache_hits;
     pt_cache_misses;
@@ -248,13 +409,57 @@ let stats_locked t =
     pool_efficiency = Pool.efficiency ~lanes:(max 1 lanes) delta;
   }
 
-let drain t =
+let live_stats t =
+  Mutex.lock t.lock;
+  let s = stats_locked t in
+  Mutex.unlock t.lock;
+  s
+
+let latencies_ms t =
+  Mutex.lock t.lock;
+  let n = min t.lat_count latency_window in
+  let r =
+    if t.lat_count <= latency_window then Array.sub t.lat_ring 0 n
+    else
+      (* The ring wrapped: oldest surviving sample sits at the write
+         cursor; unroll so the result is still in completion order. *)
+      Array.init n (fun i -> t.lat_ring.((t.lat_count + i) mod latency_window))
+  in
+  Mutex.unlock t.lock;
+  r
+
+let latency_percentiles t =
+  let l = latencies_ms t in
+  if Array.length l = 0 then (0.0, 0.0)
+  else begin
+    Array.sort compare l;
+    let at p = l.(min (Array.length l - 1) (int_of_float (p *. float_of_int (Array.length l)))) in
+    (at 0.50, at 0.99)
+  end
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown ?drain_timeout_ms t =
   Mutex.lock t.lock;
   t.closed <- true;
+  (match drain_timeout_ms with
+  | Some ms ->
+      Cancel.set_deadline ~reason:Cancel.Shutdown t.shutdown_token
+        (Some (now () +. (float_of_int ms /. 1000.0)))
+  | None -> ());
   Condition.broadcast t.not_empty;
-  Mutex.unlock t.lock;
+  Mutex.unlock t.lock
+
+let drain ?timeout_ms t =
+  shutdown ?drain_timeout_ms:timeout_ms t;
   (* Help run the queue dry on the calling thread: with pipeline = 0
-     this is the only execution; with workers it is one more hand. *)
+     this is the only execution; with workers it is one more hand. Once
+     the drain deadline passes, every remaining request's token reads
+     cancelled at pickup and is answered EVA-E505 without executing. *)
   let rec help () =
     Mutex.lock t.lock;
     let item = Queue.take_opt t.queue in
@@ -263,7 +468,7 @@ let drain t =
     | None -> ()
     | Some (req, t_admit) ->
         let payload = process t req t_admit in
-        t.respond { Wire.resp_id = req.Wire.req_id; payload };
+        safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
         finish t payload t_admit;
         help ()
   in
@@ -271,8 +476,6 @@ let drain t =
   List.iter Domain.join t.domains;
   t.domains <- [];
   stats_locked t
-
-let latencies_ms t = Array.of_list (List.rev t.latencies)
 
 (* ------------------------------------------------------------------ *)
 (* Channel loop: the daemon's wire face                                *)
@@ -282,7 +485,20 @@ let latencies_ms t = Array.of_list (List.rev t.latencies)
    the error response still correlates with the client's request. *)
 let salvage_id payload = try Scanf.sscanf payload " request %d" (fun i -> i) with _ -> -1
 
-let run_channels ?config ?fault_for ?max_frame compiled engine ic oc =
+let wire_stats t =
+  let s = live_stats t in
+  let p50, p99 = latency_percentiles t in
+  {
+    Wire.st_served = s.requests_served;
+    st_failed = s.requests_failed;
+    st_shed = s.requests_shed;
+    st_retried = s.faults_retried;
+    st_queue = queue_depth t;
+    st_p50_ms = p50;
+    st_p99_ms = p99;
+  }
+
+let run_channels ?config ?fault_for ?max_frame ?(on_start = fun _ -> ()) compiled engine ic oc =
   let out_lock = Mutex.create () in
   let respond r =
     let payload = Wire.to_string Wire.write_response r in
@@ -294,9 +510,25 @@ let run_channels ?config ?fault_for ?max_frame compiled engine ic oc =
     Mutex.unlock out_lock
   in
   let t = start ?config ?fault_for ~respond compiled engine in
+  on_start t;
   let rec loop () =
     match Wire.read_frame ?max_frame ic with
     | None -> ()
+    | Some payload when String.trim payload = Wire.stats_probe ->
+        (* Health is observable mid-stream without draining anything;
+           the reply shares the response stream (and its lock). A probe
+           whose reply cannot be written (client already gone) is
+           dropped like any other response on a broken stream. *)
+        (try
+           let frame = Wire.to_string Wire.write_stats (wire_stats t) in
+           Mutex.lock out_lock;
+           (try Wire.write_frame oc frame
+            with e ->
+              Mutex.unlock out_lock;
+              raise e);
+           Mutex.unlock out_lock
+         with Sys_error _ | End_of_file -> ());
+        loop ()
     | Some payload ->
         (match Wire.read_request payload ~pos:(ref 0) with
         | req -> submit t req
@@ -307,6 +539,12 @@ let run_channels ?config ?fault_for ?max_frame compiled engine ic oc =
            on: answer what we can and stop reading this stream. Queued
            requests still complete below. *)
         reject t ~id:(-1) d
+    | exception (End_of_file | Sys_error _) ->
+        (* The client vanished mid-frame: its stream is over, but the
+           daemon is not — admitted requests still drain below (their
+           responses are dropped by [safe_respond] if the write side is
+           equally dead). *)
+        ()
   in
   loop ();
   drain t

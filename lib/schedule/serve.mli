@@ -13,7 +13,28 @@
     retry budget) becomes an error {e response} for that one request;
     the daemon and all other in-flight requests survive. Worker death
     that kills a request's graph execution (EVA-E504) is retried whole,
-    up to {!config.max_request_retries} times. *)
+    up to {!config.max_request_retries} times, paced by decorrelated
+    jitter and bounded by the daemon-wide {!config.retry_budget}.
+
+    Degradation: every request carries an {!Eva_core.Cancel} token —
+    its own deadline parented to the daemon's shutdown token — that the
+    executors check per node, so a deadline blown mid-graph stops the
+    request within one node (EVA-E505) instead of occupying a worker to
+    completion. With {!config.shed} enabled, admission predicts each
+    request's completion time from the calibrated {!Cost} model blended
+    with measured service times and refuses requests that cannot make
+    their deadline (EVA-E509) before they cost anything; no-deadline
+    traffic is shed by queue-depth watermarks with hysteresis. *)
+
+(** Overload policy at admission. *)
+type shed_mode =
+  | No_shedding  (** classic caller-runs backpressure only *)
+  | Watermarks of { high : int; low : int }
+      (** Deadline-carrying requests are shed (EVA-E509) when their
+          predicted completion time exceeds the deadline. Requests
+          without a deadline are shed while the admission queue is in
+          overload: shedding starts when depth reaches [high] and stops
+          once it falls back to [low] (hysteresis, [low < high]). *)
 
 type config = {
   queue_depth : int;  (** admission-queue bound; see {!submit} *)
@@ -27,11 +48,17 @@ type config = {
   encrypt_workers : int;  (** domains for per-request input encryption *)
   default_deadline_ms : int option;  (** applied when a request carries none *)
   max_request_retries : int;  (** request-level retries after worker death *)
+  retry_budget : int;
+      (** daemon-wide pool of request-level retries: once spent, further
+          worker deaths answer EVA-E504 immediately instead of
+          re-executing — a persistent fault degrades into fast
+          structured failures rather than a retry storm *)
+  shed : shed_mode;  (** overload shedding at admission *)
   seed : int;  (** base of the per-request encryption seeds *)
 }
 
-(** queue 8, pipeline 1, one worker everywhere, no deadline, 2 retries,
-    seed 1. *)
+(** queue 8, pipeline 1, one worker everywhere, no deadline, 2 retries
+    per request from a budget of 64, no shedding, seed 1. *)
 val default_config : config
 
 (** The encryption seed used for request [id] — a pure function, so a
@@ -43,8 +70,18 @@ val request_seed : config -> int -> int
     [Executor.timings]. *)
 type stats = {
   requests_served : int;  (** answered Ok *)
-  requests_failed : int;  (** answered with an error (incl. rejects) *)
-  faults_retried : int;  (** request-level retries after worker death *)
+  requests_failed : int;  (** answered with an error (rejects, shed and
+                              cancelled included) *)
+  requests_shed : int;  (** refused EVA-E509 at admission *)
+  requests_cancelled : int;
+      (** answered EVA-E505: queue-aged, cancelled mid-graph by a
+          deadline or the drain timeout, or timed out beyond a fault
+          plan's budget *)
+  faults_retried : int;  (** request-level retries granted *)
+  retry_budget_left : int;  (** remainder of {!config.retry_budget} *)
+  responses_dropped : int;
+      (** responses lost because the client's stream broke mid-write;
+          the daemon survives and keeps serving other connections *)
   queue_high_water : int;  (** deepest the admission queue ever got *)
   pt_cache_hits : int;
   pt_cache_misses : int;
@@ -65,11 +102,14 @@ type t
 
 (** [start ~respond compiled engine] spawns the worker pool. [respond]
     is called once per request, from worker domains, possibly
-    concurrently — it must be thread-safe. [fault_for id] supplies an
-    optional fault-injection plan for request [id] (worker death,
-    transient failures, ... — see {!Fault}); default none. The engine
-    should be prepared with [reset_cache]-stable bindings; requests
-    rebind it per id with {!request_seed} and share its encode cache. *)
+    concurrently — it must be thread-safe. A [respond] that raises a
+    broken-stream error ([Sys_error], [End_of_file], EPIPE/ECONNRESET)
+    has its response counted as dropped rather than crashing the worker.
+    [fault_for id] supplies an optional fault-injection plan for request
+    [id] (worker death, transient failures, ... — see {!Fault}); default
+    none. The engine should be prepared with [reset_cache]-stable
+    bindings; requests rebind it per id with {!request_seed} and share
+    its encode cache. *)
 val start :
   ?config:config ->
   ?fault_for:(int -> Fault.t option) ->
@@ -78,8 +118,10 @@ val start :
   Eva_core.Executor.engine ->
   t
 
-(** Enqueue one request. Backpressure is caller-runs: while the queue is
-    at [queue_depth], the submitting thread evaluates the oldest queued
+(** Enqueue one request. With {!config.shed} enabled the request may be
+    refused here (EVA-E509 response, counted shed) before touching the
+    queue. Backpressure is otherwise caller-runs: while the queue is at
+    [queue_depth], the submitting thread evaluates the oldest queued
     request itself (responding for it) before enqueuing, so the queue
     stays bounded and the submitter's cycles go into requests rather
     than a blocked wait. Raises [Invalid_argument] after {!drain}. *)
@@ -89,27 +131,55 @@ val submit : t -> Eva_ckks.Wire.request -> unit
     failed to parse) with an error response, counting it as failed. *)
 val reject : t -> id:int -> Eva_diag.Diag.t -> unit
 
-(** Close admission, help run the queue dry on the calling thread, join
-    the workers, and return the daemon's counters. *)
-val drain : t -> stats
+(** Stop admitting ({!submit} raises from now on) and wake the workers;
+    does not wait. [drain_timeout_ms] arms the daemon's shutdown token:
+    once it passes, in-flight requests are cancelled at their next node
+    checkpoint and still-queued ones are answered EVA-E505 at pickup —
+    the drain completes within one node of the deadline. *)
+val shutdown : ?drain_timeout_ms:int -> t -> unit
+
+(** Close admission (arming [timeout_ms] as in {!shutdown}), help run
+    the queue dry on the calling thread, join the workers, and return
+    the daemon's counters. *)
+val drain : ?timeout_ms:int -> t -> stats
+
+(** A point-in-time snapshot of the counters while the daemon is live
+    (thread-safe; does not drain). *)
+val live_stats : t -> stats
+
+(** Admission-queue depth right now. *)
+val queue_depth : t -> int
 
 (** Per-request wall latencies (admission to response) in milliseconds,
-    in completion order. Meaningful after {!drain}. *)
+    in completion order — the most recent [4096] completions (fixed
+    ring, so daemon memory is bounded over an unbounded request
+    stream). *)
 val latencies_ms : t -> float array
+
+(** [(p50, p99)] over {!latencies_ms}; [(0, 0)] when idle. *)
+val latency_percentiles : t -> float * float
 
 (** [run_channels compiled engine ic oc] is the daemon's wire face: read
     framed requests ({!Eva_ckks.Wire.read_frame} /
     [Wire.read_request]) from [ic] until end of stream, answer each
     with a framed response on [oc] (out-of-order under [pipeline] > 1 —
     responses carry the request id), then drain and return the stats.
+    A frame carrying exactly [Wire.stats_probe] is answered with a
+    framed [Wire.daemon_stats] snapshot instead of being enqueued.
     A malformed request payload yields an EVA-E4xx error response and
     the stream continues; a corrupt frame header has no boundary to
     resynchronize on, so it yields one final error response and ends
-    the loop. *)
+    the loop. A client that vanishes mid-frame ([End_of_file] or a
+    broken pipe while reading) likewise just ends the stream — admitted
+    requests still drain, and the daemon survives to serve other
+    streams. [on_start] receives the daemon handle right after the
+    workers spawn, so a caller can route a signal handler at
+    {!shutdown} while the loop owns the thread. *)
 val run_channels :
   ?config:config ->
   ?fault_for:(int -> Fault.t option) ->
   ?max_frame:int ->
+  ?on_start:(t -> unit) ->
   Eva_core.Compile.compiled ->
   Eva_core.Executor.engine ->
   in_channel ->

@@ -245,6 +245,39 @@ let test_rotate_many_under_death () =
         1 (Fault.counters fault).Fault.deaths)
     [ ("group leader", leader); ("group satellite", satellite) ]
 
+(* A transient-fault storm over a hoist group: the plan draws one action
+   per member per group attempt, so a lossy plan makes a wide group
+   nearly impossible to complete whole (0.6^8 ≈ 1.7% per attempt here).
+   The executor must degrade — dissolve the group and run its rotations
+   individually, where each node's retry budget covers only its own
+   hazard — and still produce bit-exact outputs. Single worker keeps the
+   claim order (and so the rng draw sequence) deterministic per seed. *)
+let test_fault_storm_dissolves_group () =
+  let b = B.create ~vec_size:16 () in
+  let x = B.input b ~scale:30 "x" in
+  let rots = List.init 8 (fun i -> B.rotate_left x (i + 1)) in
+  let s = List.fold_left B.add (List.hd rots) (List.tl rots) in
+  B.output b "out" ~scale:30 (B.mul s s);
+  let c = Compile.run (B.program b) in
+  Alcotest.(check int)
+    "eight rotations grouped" 8
+    (List.length (List.hd (Eva_core.Optimize.rotation_groups c.Compile.program)).Eva_core.Optimize.hoist_rotations);
+  let engine = Executor.prepare ~seed:7 ~ignore_security:true ~log_n:10 c bindings in
+  let baseline = Parallel.execute_on ~workers:1 engine c in
+  let stormed = ref 0 in
+  List.iter
+    (fun seed ->
+      let fault =
+        Fault.random ~max_retries:6
+          ~backoff:(Eva_schedule.Backoff.make ~base_ms:0.01 ~cap_ms:0.1 ~seed:0 ())
+          ~seed ~death_p:0.0 ~fail_p:0.4 ~corrupt_p:0.0 ()
+      in
+      let r = Parallel.execute_on ~fault ~workers:1 engine c in
+      check_outputs_equal (Printf.sprintf "storm seed %d" seed) baseline.Parallel.outputs r.Parallel.outputs;
+      if (Fault.counters fault).Fault.failures > 0 then incr stormed)
+    [ 0; 1; 2; 3; 4 ];
+  if !stormed = 0 then Alcotest.fail "no transient failure fired across any seed"
+
 let () =
   Alcotest.run "fault"
     [
@@ -261,5 +294,7 @@ let () =
           Alcotest.test_case "silent plan invisible" `Quick test_silent_plan_is_invisible;
           Alcotest.test_case "random plans never crash" `Quick test_random_plans_never_crash;
           Alcotest.test_case "RotateMany group under death" `Quick test_rotate_many_under_death;
+          Alcotest.test_case "fault storm dissolves hoist group" `Quick
+            test_fault_storm_dissolves_group;
         ] );
     ]

@@ -161,8 +161,8 @@ let test_expired_deadline_is_refused () =
 (* --- the wire face ---------------------------------------------------- *)
 
 (* Feed framed payloads (pre-rendered bytes) to run_channels through a
-   pipe; collect the framed responses from the other pipe. *)
-let run_wire ?config raw_stream =
+   pipe; collect the raw reply frames from the other pipe. *)
+let run_wire_frames ?config raw_stream =
   let c = compiled () in
   let engine = fresh_engine c in
   let req_read, req_write = Unix.pipe () in
@@ -177,13 +177,15 @@ let run_wire ?config raw_stream =
   close_in ic;
   let ic2 = Unix.in_channel_of_descr resp_read in
   let rec read acc =
-    match Wire.read_frame ic2 with
-    | None -> List.rev acc
-    | Some payload -> read (Wire.read_response payload ~pos:(ref 0) :: acc)
+    match Wire.read_frame ic2 with None -> List.rev acc | Some payload -> read (payload :: acc)
   in
-  let responses = read [] in
+  let frames = read [] in
   close_in ic2;
-  (stats, responses)
+  (stats, frames)
+
+let run_wire ?config raw_stream =
+  let stats, frames = run_wire_frames ?config raw_stream in
+  (stats, List.map (fun payload -> Wire.read_response payload ~pos:(ref 0)) frames)
 
 let frame payload = Printf.sprintf "frame %d\n%s" (String.length payload) payload
 let framed_request id = frame (Wire.to_string (fun buf () -> Wire.write_request buf ~id (request id).Wire.req_inputs) ())
@@ -249,6 +251,212 @@ let test_wire_round_trip_bit_exact () =
       Alcotest.(check bool) "layer" true (d.Diag.layer = Diag.Execute)
   | Ok _ -> Alcotest.fail "error response round-tripped to Ok"
 
+(* --- graceful degradation --------------------------------------------- *)
+
+let non_input_nodes c =
+  List.filter
+    (fun n -> match n.Ir.op with Ir.Input _ -> false | _ -> true)
+    c.Compile.program.Ir.all_nodes
+
+(* A deadline that expires mid-graph stops execution within one node:
+   the token is checked before each node, so with every node slowed to
+   [delay], at most [deadline / delay + 1] nodes ever evaluate, and the
+   raise is the structured EVA-E505 anchored to the node that observed
+   it. *)
+let test_midgraph_cancel_stops_within_one_node () =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let e =
+    Executor.rebind ~seed:2 ~reset_cache:false engine c [ ("x", Reference.Vec (request_x 0)) ]
+  in
+  let evaluated = ref 0 in
+  let interpose _n eval =
+    incr evaluated;
+    Unix.sleepf 0.03;
+    eval ()
+  in
+  let token = Eva_core.Cancel.make ~deadline_at:(Unix.gettimeofday () +. 0.04) () in
+  match Executor.run_graph ~interpose ~cancel:token e c with
+  | _ -> Alcotest.fail "deadline never tripped mid-graph"
+  | exception Diag.Error d ->
+      Alcotest.(check int) "EVA-E505" Diag.exec_timeout d.Diag.code;
+      Alcotest.(check bool) "anchored to a node" true (d.Diag.node_id <> None);
+      let total = List.length (non_input_nodes c) in
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped early (%d of %d nodes)" !evaluated total)
+        true
+        (!evaluated < total)
+
+(* The same property through the daemon: a slowed request with a
+   deadline is answered EVA-E505 (cancelled at a node checkpoint inside
+   Parallel.execute_on), while its neighbors stay bit-exact. *)
+let test_daemon_cancels_slowed_request_midgraph () =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let slow_everywhere =
+    Fault.plan (List.map (fun n -> (n.Ir.id, [ Fault.Delay 0.06 ])) (non_input_nodes c))
+  in
+  let fault_for id = if id = 0 then Some slow_everywhere else None in
+  let results = Hashtbl.create 4 in
+  let respond (r : Wire.response) = Hashtbl.replace results r.Wire.resp_id r.Wire.payload in
+  let config = { Serve.default_config with Serve.pipeline = 0 } in
+  let t = Serve.start ~config ~fault_for ~respond c engine in
+  (* Request 0 is picked up first: its 150ms deadline cannot cover the
+     >= 240ms of injected per-node delay, so it is cancelled mid-graph;
+     1 and 2 never see the fault plan. *)
+  Serve.submit t { Wire.req_id = 0; deadline_ms = Some 150; req_inputs = [ ("x", request_x 0) ] };
+  Serve.submit t (request 1);
+  Serve.submit t (request 2);
+  let stats = Serve.drain t in
+  (match Hashtbl.find results 0 with
+  | Error d -> Alcotest.(check int) "EVA-E505" Diag.exec_timeout d.Diag.code
+  | Ok _ -> Alcotest.fail "slowed request beat an impossible deadline");
+  let baseline, _ = serve_all c (fresh_engine c) [ 1; 2 ] in
+  List.iter
+    (fun id ->
+      check_bit_exact (Printf.sprintf "request %d" id) (outputs_of baseline id) (outputs_of results id))
+    [ 1; 2 ];
+  Alcotest.(check int) "two served" 2 stats.Serve.requests_served;
+  Alcotest.(check int) "one cancelled" 1 stats.Serve.requests_cancelled
+
+(* Overload shedding refuses work before it costs anything: an
+   unmeetable deadline is EVA-E509 at submit (never queued, never
+   encrypted), and no-deadline traffic past the high watermark is shed
+   until the queue falls back to the low one. *)
+let test_overload_is_shed_with_e509 () =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let results = Hashtbl.create 8 in
+  let respond (r : Wire.response) = Hashtbl.replace results r.Wire.resp_id r.Wire.payload in
+  let config =
+    { Serve.default_config with Serve.pipeline = 0; shed = Serve.Watermarks { high = 2; low = 1 } }
+  in
+  let t = Serve.start ~config ~respond c engine in
+  Serve.submit t { Wire.req_id = 9; deadline_ms = Some 0; req_inputs = [ ("x", request_x 9) ] };
+  (match Hashtbl.find_opt results 9 with
+  | Some (Error d) ->
+      Alcotest.(check int) "EVA-E509" Diag.exec_overload d.Diag.code;
+      Alcotest.(check bool) "Execute layer" true (d.Diag.layer = Diag.Execute)
+  | Some (Ok _) -> Alcotest.fail "0ms deadline was admitted"
+  | None -> Alcotest.fail "shed request must be answered synchronously");
+  (* With no worker consuming the queue, ids 0 and 1 are admitted, 2
+     trips the high watermark and 3 is still inside the shed window. *)
+  List.iter (fun id -> Serve.submit t (request id)) [ 0; 1; 2; 3 ];
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt results id with
+      | Some (Error d) -> Alcotest.(check int) "EVA-E509" Diag.exec_overload d.Diag.code
+      | Some (Ok _) -> Alcotest.failf "request %d should have been shed" id
+      | None -> Alcotest.failf "request %d not answered before drain" id)
+    [ 2; 3 ];
+  let stats = Serve.drain t in
+  Alcotest.(check int) "two served" 2 stats.Serve.requests_served;
+  Alcotest.(check int) "three shed" 3 stats.Serve.requests_shed;
+  Alcotest.(check int) "shed count failed too" 3 stats.Serve.requests_failed;
+  ignore (outputs_of results 0);
+  ignore (outputs_of results 1)
+
+(* Decorrelated-jitter backoff is deterministic per seed: the schedule
+   that paced a failing run can be replayed exactly. *)
+let test_backoff_deterministic () =
+  let module Backoff = Eva_schedule.Backoff in
+  let seq t = List.init 32 (fun _ -> Backoff.next_ms t) in
+  let a = Backoff.make ~base_ms:1.0 ~cap_ms:50.0 ~seed:7 () in
+  let b = Backoff.make ~base_ms:1.0 ~cap_ms:50.0 ~seed:7 () in
+  let sa = seq a in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" sa (seq b);
+  List.iter
+    (fun d -> Alcotest.(check bool) "within [base, cap]" true (d >= 1.0 && d <= 50.0))
+    sa;
+  Backoff.reset a;
+  Alcotest.(check (list (float 0.0))) "reset replays the schedule" sa (seq a);
+  let other = Backoff.make ~base_ms:1.0 ~cap_ms:50.0 ~seed:8 () in
+  Alcotest.(check bool) "different seed, different schedule" true (sa <> seq other)
+
+(* drain ~timeout_ms:0 arms the shutdown token immediately: every queued
+   request is answered EVA-E505 at pickup without being evaluated, so a
+   drain under a deadline completes within one node of it. *)
+let test_drain_timeout_cancels_queued () =
+  let c = compiled () in
+  let engine = fresh_engine c in
+  let results = Hashtbl.create 8 in
+  let respond (r : Wire.response) = Hashtbl.replace results r.Wire.resp_id r.Wire.payload in
+  let config = { Serve.default_config with Serve.pipeline = 0 } in
+  let t = Serve.start ~config ~respond c engine in
+  let ids = [ 0; 1; 2; 3 ] in
+  List.iter (fun id -> Serve.submit t (request id)) ids;
+  let stats = Serve.drain ~timeout_ms:0 t in
+  Alcotest.(check int) "none served" 0 stats.Serve.requests_served;
+  Alcotest.(check int) "all cancelled" (List.length ids) stats.Serve.requests_cancelled;
+  List.iter
+    (fun id ->
+      match Hashtbl.find results id with
+      | Error d -> Alcotest.(check int) "EVA-E505" Diag.exec_timeout d.Diag.code
+      | Ok _ -> Alcotest.failf "request %d executed past the drain deadline" id)
+    ids
+
+(* The stats probe answers mid-stream without perturbing the request
+   flow: value round trip, then through the daemon's wire face. *)
+let test_stats_probe () =
+  let s =
+    {
+      Wire.st_served = 5;
+      st_failed = 2;
+      st_shed = 1;
+      st_retried = 3;
+      st_queue = 4;
+      st_p50_ms = 1.25;
+      st_p99_ms = 9.5;
+    }
+  in
+  let back = Wire.read_stats (Wire.to_string Wire.write_stats s) ~pos:(ref 0) in
+  Alcotest.(check bool) "stats round trip bit-exact" true (back = s);
+  let stream = framed_request 0 ^ frame Wire.stats_probe ^ framed_request 2 in
+  let config = { Serve.default_config with Serve.pipeline = 0 } in
+  let stats, frames = run_wire_frames ~config stream in
+  let is_stats p = String.length p >= 6 && String.sub p 0 6 = "stats " in
+  (match List.filter is_stats frames with
+  | [ p ] ->
+      let live = Wire.read_stats p ~pos:(ref 0) in
+      (* pipeline 0: when the probe is handled, request 0 is queued and
+         nothing has been served yet. *)
+      Alcotest.(check int) "queue depth at probe" 1 live.Wire.st_queue;
+      Alcotest.(check int) "served at probe" 0 live.Wire.st_served
+  | l -> Alcotest.failf "expected exactly one stats frame, got %d" (List.length l));
+  let responses =
+    List.filter_map
+      (fun p -> if is_stats p then None else Some (Wire.read_response p ~pos:(ref 0)))
+      frames
+  in
+  (match find_response responses 0 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "request 0 failed: %s" (Diag.to_string d));
+  (match find_response responses 2 with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "request 2 failed: %s" (Diag.to_string d));
+  Alcotest.(check int) "two served" 2 stats.Serve.requests_served
+
+(* With SERVE_FAULTS set (CI's fault-active test pass), every request
+   runs under a seeded random fault plan and must still answer exactly
+   like the clean baseline — faults within the budget are invisible. *)
+let test_faults_under_env () =
+  match Sys.getenv_opt "SERVE_FAULTS" with
+  | None -> ()
+  | Some _ ->
+      let c = compiled () in
+      let ids = List.init 12 Fun.id in
+      let fault_for id =
+        Some (Fault.random ~seed:(100 + id) ~death_p:0.08 ~fail_p:0.15 ~corrupt_p:0.0 ())
+      in
+      let config = { Serve.default_config with Serve.pipeline = 2; graph_workers = 2 } in
+      let baseline, _ = serve_all ~config c (fresh_engine c) ids in
+      let faulted, _ = serve_all ~config ~fault_for c (fresh_engine c) ids in
+      List.iter
+        (fun id ->
+          check_bit_exact (Printf.sprintf "request %d" id) (outputs_of baseline id)
+            (outputs_of faulted id))
+        ids
+
 let () =
   Alcotest.run "serve"
     [
@@ -260,11 +468,25 @@ let () =
             test_death_beyond_budget_fails_one_request;
           Alcotest.test_case "expired deadline refused as E505" `Quick test_expired_deadline_is_refused;
         ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "mid-graph cancel stops within one node" `Quick
+            test_midgraph_cancel_stops_within_one_node;
+          Alcotest.test_case "daemon cancels slowed request mid-graph" `Quick
+            test_daemon_cancels_slowed_request_midgraph;
+          Alcotest.test_case "overload shed with E509 before queueing" `Quick
+            test_overload_is_shed_with_e509;
+          Alcotest.test_case "backoff schedule deterministic per seed" `Quick test_backoff_deterministic;
+          Alcotest.test_case "drain timeout cancels queued as E505" `Quick
+            test_drain_timeout_cancels_queued;
+          Alcotest.test_case "faults under SERVE_FAULTS stay bit-exact" `Quick test_faults_under_env;
+        ] );
       ( "wire",
         [
           Alcotest.test_case "malformed payload answered, not fatal" `Quick
             test_malformed_payload_is_answered_not_fatal;
           Alcotest.test_case "corrupt frame header ends stream" `Quick test_corrupt_frame_header_ends_stream;
           Alcotest.test_case "request/response round trip bit-exact" `Quick test_wire_round_trip_bit_exact;
+          Alcotest.test_case "stats probe answered mid-stream" `Quick test_stats_probe;
         ] );
     ]
