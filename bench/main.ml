@@ -569,6 +569,10 @@ let micro () =
    without paying for a real measurement run. *)
 let smoke = ref false
 
+(* Set by `--max-batch N`: the serve experiment's cross-request slot
+   batching width (1 = unbatched, the historical configuration). *)
+let serve_max_batch = ref 1
+
 (* Residue-parallel scaling: every pooled kernel across pool sizes
    {0, 1, 2, 4}, each result asserted bit-exact against the sequential
    (pool 0) path before any timing. Acceptance target: >= 2.5x on the
@@ -1099,9 +1103,25 @@ let serve_bench () =
      size the pool to the machine. *)
   let c = Compile.run p in
   let zero = [ ("q", Reference.Vec (Array.make vs 0.0)); ("w", Reference.Vec (Array.make vs 0.0)) ] in
-  let engine = Executor.prepare ~seed:1 ~ignore_security:true ~log_n c zero in
+  (* Extra Galois keys for whatever batched variants fit the degree;
+     Serve.start clamps the effective width the same way. *)
+  let max_batch = max 1 !serve_max_batch in
+  let extra_rotations =
+    let slots = (1 lsl log_n) / 2 in
+    let rec widest l = if 2 * l <= max_batch && 2 * l * vs <= slots then widest (2 * l) else l in
+    if widest 1 > 1 then Compile.batch_rotations c ~max_lanes:(widest 1) else []
+  in
+  let engine = Executor.prepare ~seed:1 ~ignore_security:true ~log_n ~extra_rotations c zero in
   let pipeline = max 0 (min 2 (Domain.recommended_domain_count () - 1)) in
-  let config = { Serve.default_config with Serve.pipeline; queue_depth = 8 } in
+  let config =
+    {
+      Serve.default_config with
+      Serve.pipeline;
+      queue_depth = 8;
+      max_batch;
+      batch_linger_ms = (if max_batch > 1 then 1.0 else 0.0);
+    }
+  in
   let results = Hashtbl.create requests in
   let results_lock = Mutex.create () in
   let respond (r : Wire.response) =
@@ -1140,8 +1160,117 @@ let serve_bench () =
     stats.Serve.queue_high_water
     (100.0 *. Serve.pt_hit_rate stats)
     stats.Serve.pt_cache_hits stats.Serve.pt_cache_misses;
+  if max_batch > 1 then
+    Printf.printf
+      "  batching (max %d): %d executions (%.2f req/execution), slot utilization %.1f%%, dissolved %d\n"
+      max_batch stats.Serve.executions
+      (float_of_int stats.Serve.requests_served /. float_of_int (max 1 stats.Serve.executions))
+      (100.0 *. Serve.slot_utilization stats)
+      stats.Serve.batches_dissolved;
   Printf.printf "\nAcceptance: daemon >= 5x naive req/s; pt-cache hit rate > 90%%\n(the %d-row database stays resident across %d requests).\n"
     rows requests
+
+(* ------------------------------------------------------------------ *)
+(* Cross-request slot batching: B requests in one ciphertext           *)
+(* ------------------------------------------------------------------ *)
+
+(* The batching tentpole's acceptance experiment. The same retrieval
+   workload as the serve experiment, driven twice through identical
+   inline daemons (pipeline 0 so the measurement is pure evaluation, not
+   scheduling): once at max-batch 1, once at max-batch 8. An 8-wide
+   batch interleaves eight requests into one ciphertext and pays one
+   evaluation for all of them — the homomorphic op count per execution
+   is unchanged (lane-local rotations are just larger steps), so
+   throughput should approach 8x. Every batched answer is asserted
+   against the member's own plaintext dot product before any number is
+   printed. Acceptance: >= 4x requests/sec at max-batch 8 vs 1, batched
+   p99 <= 1.5x the unbatched p99. *)
+let batch_bench () =
+  header "Cross-request slot batching: 8 requests per ciphertext vs 1";
+  let module Serve = Eva_schedule.Serve in
+  let module Wire = Eva_ckks.Wire in
+  let vs = if !smoke then 16 else 64 in
+  let log_n = if !smoke then 9 else 11 in
+  let requests = if !smoke then 24 else 96 in
+  let rows = 8 in
+  let b = B.create ~name:"retrieval" ~vec_size:vs () in
+  let q = B.input b ~scale:30 "q" in
+  let w = B.vector_input b ~scale:30 "w" in
+  B.output b "score" ~scale:30 (B.sum_slots b ~span:vs (B.mul q w));
+  let p = B.program b in
+  let st = Random.State.make [| 2026 |] in
+  let db = Array.init rows (fun _ -> Array.init vs (fun _ -> Random.State.float st 2.0 -. 1.0)) in
+  let query id = Array.init vs (fun i -> Float.sin (float_of_int (id + i))) in
+  let inputs id = [ ("q", query id); ("w", db.(id mod rows)) ] in
+  let expected id =
+    let q = query id and w = db.(id mod rows) in
+    let s = ref 0.0 in
+    Array.iteri (fun i x -> s := !s +. (x *. w.(i))) q;
+    !s
+  in
+  let c = Compile.run p in
+  let zero = [ ("q", Reference.Vec (Array.make vs 0.0)); ("w", Reference.Vec (Array.make vs 0.0)) ] in
+  Printf.printf
+    "Encrypted dot product, vec %d, N = 2^%d, %d requests; inline daemons\n(pipeline 0), identical seeds, answers asserted against the plaintext\nreference before timing is reported.\n\n"
+    vs log_n requests;
+  let run_daemon ~max_batch =
+    let extra_rotations =
+      if max_batch > 1 then Compile.batch_rotations c ~max_lanes:max_batch else []
+    in
+    let engine = Executor.prepare ~seed:1 ~ignore_security:true ~log_n ~extra_rotations c zero in
+    let config =
+      { Serve.default_config with Serve.pipeline = 0; queue_depth = requests; max_batch }
+    in
+    let results = Hashtbl.create requests in
+    let lock = Mutex.create () in
+    let respond (r : Wire.response) =
+      Mutex.lock lock;
+      Hashtbl.replace results r.Wire.resp_id r.Wire.payload;
+      Mutex.unlock lock
+    in
+    let t0 = Unix.gettimeofday () in
+    let daemon = Serve.start ~config ~respond c engine in
+    for id = 0 to requests - 1 do
+      Serve.submit daemon { Wire.req_id = id; deadline_ms = None; req_inputs = inputs id }
+    done;
+    let stats = Serve.drain daemon in
+    let wall = Unix.gettimeofday () -. t0 in
+    for id = 0 to requests - 1 do
+      match Hashtbl.find results id with
+      | Ok outputs ->
+          assert (
+            Float.abs ((List.assoc "score" outputs).(0) -. expected id)
+            < 1e-2 *. (1.0 +. Float.abs (expected id)))
+      | Error d -> failwith (Eva_diag.Diag.to_string d)
+      | exception Not_found -> failwith (Printf.sprintf "request %d never answered" id)
+    done;
+    let lat = Serve.latencies_ms daemon in
+    Array.sort compare lat;
+    let pct p =
+      lat.(min (Array.length lat - 1) (int_of_float (float_of_int (Array.length lat) *. p)))
+    in
+    (float_of_int requests /. wall, pct 0.99, stats)
+  in
+  let rps1, p99_1, _ = run_daemon ~max_batch:1 in
+  let rps8, p99_8, stats8 = run_daemon ~max_batch:8 in
+  Printf.printf "  %-28s %10.2f req/s   p99 %7.1f ms\n" "max-batch 1 (unbatched)" rps1 p99_1;
+  Printf.printf "  %-28s %10.2f req/s   p99 %7.1f ms  (%.1fx)\n" "max-batch 8" rps8 p99_8
+    (rps8 /. rps1);
+  let hist =
+    stats8.Serve.batch_histogram |> Array.to_list
+    |> List.mapi (fun i n -> (i + 1, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (w, n) -> Printf.sprintf "%dx%d-wide" n w)
+    |> String.concat ", "
+  in
+  Printf.printf "  batched: %d executions (%s), slot utilization %.1f%%, dissolved %d\n"
+    stats8.Serve.executions hist
+    (100.0 *. Serve.slot_utilization stats8)
+    stats8.Serve.batches_dissolved;
+  Printf.printf
+    "\nAcceptance: >= 4x req/s at max-batch 8 vs 1; batched p99 <= 1.5x unbatched p99.\n";
+  assert (rps8 >= 4.0 *. rps1);
+  assert (p99_8 <= 1.5 *. p99_1)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos soak: graceful degradation under randomized adversity         *)
@@ -1466,6 +1595,7 @@ let experiments =
     ("relin", relin);
     ("faults", faults);
     ("serve", serve_bench);
+    ("batch", batch_bench);
     ("chaos", chaos_bench);
   ]
 
@@ -1490,6 +1620,13 @@ let () =
           | Some w when w >= 0 -> Eva_pool.Pool.set_workers w
           | _ ->
               Printf.eprintf "--pool-workers expects a non-negative integer, got %S\n" v;
+              exit 1);
+          strip rest
+      | "--max-batch" :: v :: rest ->
+          (match int_of_string_opt v with
+          | Some w when w >= 1 -> serve_max_batch := w
+          | _ ->
+              Printf.eprintf "--max-batch expects a positive integer, got %S\n" v;
               exit 1);
           strip rest
       | a :: rest -> a :: strip rest

@@ -203,7 +203,8 @@ let estimate_cmd =
     Term.(const run $ file_arg $ log_n $ magnitude $ waterline_flag $ eager_relin_flag $ optimize_flag)
 
 let run_cmd =
-  let run path seed log_n reference workers pool_workers waterline eager_relin stats optimize =
+  let run path seed log_n reference workers pool_workers waterline eager_relin stats optimize batch
+      =
     reporting (Some path) @@ fun () ->
     let p = load path in
     let lanes = apply_pool_workers ~domains:(max 1 workers) pool_workers in
@@ -240,6 +241,43 @@ let run_cmd =
         ps.Pool.wall_seconds ps.Pool.busy_seconds
     in
     if reference then show (Reference.execute p bindings)
+    else if batch > 1 then begin
+      (* Slot-batched one-shot: compile widened to [batch] lanes, fill
+         each lane with its own random member (seeds seed, seed+1, ...),
+         run the graph ONCE, then scatter each lane back out and check
+         it against that member's own reference run. *)
+      let c = Compile.run ?waterline ~eager_relin ~optimize ~batch p in
+      Format.printf "%a@." Params.pp c.Compile.params;
+      let members = Array.init batch (fun b -> random_bindings p (seed + b)) in
+      let seeds = Array.init batch (fun b -> seed + b) in
+      let zero_bindings =
+        List.filter_map
+          (fun n ->
+            match n.Ir.op with
+            | Ir.Input (Ir.Scalar, name) -> Some (name, Reference.Scal 0.0)
+            | Ir.Input (_, name) ->
+                Some (name, Reference.Vec (Array.make c.Compile.program.Ir.vec_size 0.0))
+            | _ -> None)
+          (Ir.inputs c.Compile.program)
+      in
+      let engine =
+        Executor.prepare ~seed ~ignore_security:(log_n <> None) ?log_n c zero_bindings
+      in
+      let e = Executor.rebind_batched ~seeds engine c members in
+      let outputs, dt = Executor.run_on e c in
+      Printf.printf "batched execute: %d lanes in one evaluation, %.3fs (%.3fs/request)\n" batch dt
+        (dt /. float_of_int batch);
+      Array.iteri
+        (fun b member ->
+          let lane_out =
+            List.map (fun (name, v) -> (name, Executor.extract_lane ~lanes:batch ~lane:b v)) outputs
+          in
+          if b = 0 then show lane_out;
+          let expect = Reference.execute p member in
+          Printf.printf "lane %d: max |encrypted - reference| = %.3e\n" b
+            (Executor.max_abs_error lane_out expect))
+        members
+    end
     else begin
       let c = Compile.run ?waterline ~eager_relin ~optimize p in
       Format.printf "%a@." Params.pp c.Compile.params;
@@ -272,11 +310,20 @@ let run_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print per-op kernel counts and phase timings")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Slot-batch B independent random requests into one ciphertext (power of two): the \
+             program is widened to B interleaved lanes, evaluated once, and each lane is checked \
+             against its own reference run")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
     Term.(
       const run $ file_arg $ seed $ log_n $ reference $ workers $ pool_workers_flag $ waterline_flag
-      $ eager_relin_flag $ stats $ optimize_flag)
+      $ eager_relin_flag $ stats $ optimize_flag $ batch)
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -291,7 +338,7 @@ let serve_cmd =
      to stderr so they never corrupt the response stream); socket mode
      binds a Unix socket and serves one stream per accepted connection. *)
   let run path socket queue_depth pipeline workers pool_workers deadline_ms seed log_n waterline
-      eager_relin optimize shed drain_timeout_ms =
+      eager_relin optimize shed drain_timeout_ms max_batch batch_linger_ms =
     reporting (Some path) @@ fun () ->
     let p = load path in
     (* Every pipeline domain runs graph workers, and each of those
@@ -309,7 +356,25 @@ let serve_cmd =
           | _ -> None)
         (Ir.inputs p)
     in
-    let engine = Executor.prepare ~seed ~ignore_security:(log_n <> None) ?log_n c zero_bindings in
+    (* With batching the one keyset must also cover every batched
+       variant's rotations (steps scaled by the lane count). Clamp the
+       key generation to the widths that physically fit the ring the
+       daemon will run at, mirroring Serve.start's own clamp. *)
+    let extra_rotations =
+      if max_batch <= 1 then []
+      else begin
+        let eff_log_n = Option.value log_n ~default:c.Compile.params.Params.log_n in
+        let slots = 1 lsl (eff_log_n - 1) in
+        let rec widest l =
+          if 2 * l <= max_batch && 2 * l * p.Ir.vec_size <= slots then widest (2 * l) else l
+        in
+        Compile.batch_rotations c ~max_lanes:(widest 1)
+      end
+    in
+    let engine =
+      Executor.prepare ~seed ~ignore_security:(log_n <> None) ?log_n ~extra_rotations c
+        zero_bindings
+    in
     let config =
       {
         Eva_schedule.Serve.default_config with
@@ -323,6 +388,8 @@ let serve_cmd =
                { high = max 1 (queue_depth - 1); low = min (max 1 (queue_depth - 1) - 1) (queue_depth / 2) }
            else Eva_schedule.Serve.No_shedding);
         seed;
+        max_batch;
+        batch_linger_ms;
       }
     in
     let report stats =
@@ -337,6 +404,18 @@ let serve_cmd =
       if stats.responses_dropped > 0 then
         Printf.eprintf "evac serve: %d response(s) dropped on broken client streams\n%!"
           stats.responses_dropped;
+      if max_batch > 1 then
+        Printf.eprintf
+          "evac serve: %d execution(s) for %d served (%.2f requests/execution), slot utilization \
+           %.1f%%, %d batch(es) dissolved, batch histogram [%s]\n\
+           %!"
+          stats.executions stats.requests_served
+          (if stats.executions = 0 then 0.0
+           else float_of_int stats.requests_served /. float_of_int stats.executions)
+          (100.0 *. slot_utilization stats)
+          stats.batches_dissolved
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_int stats.batch_histogram)));
       Printf.eprintf
         "evac serve: kernel pool %d lane(s), %d chunked loops, parallel efficiency %.0f%%\n%!"
         stats.pool_lanes stats.pool_chunked_calls (100.0 *. stats.pool_efficiency)
@@ -463,12 +542,30 @@ let serve_cmd =
             "On SIGINT/SIGTERM, give in-flight and queued requests this long to finish; past it \
              they are cancelled at their next node checkpoint (EVA-E505). Default: drain fully")
   in
+  let max_batch =
+    Arg.(
+      value & opt int 1
+      & info [ "max-batch" ] ~docv:"B"
+          ~doc:
+            "Slot-batch up to B compatible queued requests into one ciphertext per execution \
+             (power-of-two widths, clamped to what the ring's slots hold). One evaluation then \
+             serves the whole batch; 1 disables batching")
+  in
+  let batch_linger_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "batch-linger-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a worker holding a partial batch waits for more queued requests before \
+             executing anyway; never waits past the point a collected request's deadline requires \
+             the batch to start")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Compile and keygen once, then serve framed evaluation requests")
     Term.(
       const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ pool_workers_flag
       $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag $ shed
-      $ drain_timeout_ms)
+      $ drain_timeout_ms $ max_batch $ batch_linger_ms)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in

@@ -359,13 +359,28 @@ type daemon_stats = {
   st_queue : int;
   st_p50_ms : float;
   st_p99_ms : float;
+  st_executions : int;
+  st_batch_histogram : int array;
+  st_slots_occupied : int;
+  st_slots_available : int;
+  st_pool_efficiency : float;
+  st_pt_hits : int;
+  st_pt_misses : int;
 }
 
 let stats_probe = "stats?"
 
+(* The widest batch any sane daemon reports; bounds the histogram a
+   hostile peer can make us allocate. *)
+let max_batch_histogram = 4096
+
 let write_stats buf s =
-  Printf.bprintf buf "stats %d %d %d %d %d %h %h\n" s.st_served s.st_failed s.st_shed s.st_retried
-    s.st_queue s.st_p50_ms s.st_p99_ms
+  Printf.bprintf buf "stats %d %d %d %d %d %h %h %d %d %d %h %d %d %d" s.st_served s.st_failed
+    s.st_shed s.st_retried s.st_queue s.st_p50_ms s.st_p99_ms s.st_executions s.st_slots_occupied
+    s.st_slots_available s.st_pool_efficiency s.st_pt_hits s.st_pt_misses
+    (Array.length s.st_batch_histogram);
+  Array.iter (fun n -> Printf.bprintf buf " %d" n) s.st_batch_histogram;
+  Buffer.add_char buf '\n'
 
 let read_stats s ~pos =
   expect s ~pos "stats";
@@ -384,7 +399,35 @@ let read_stats s ~pos =
   in
   let st_p50_ms = quantile "p50 latency" in
   let st_p99_ms = quantile "p99 latency" in
-  { st_served; st_failed; st_shed; st_retried; st_queue; st_p50_ms; st_p99_ms }
+  let st_executions = count "execution count" in
+  let st_slots_occupied = count "occupied slots" in
+  let st_slots_available = count "available slots" in
+  let st_pool_efficiency = quantile "pool efficiency" in
+  let st_pt_hits = count "plaintext-cache hits" in
+  let st_pt_misses = count "plaintext-cache misses" in
+  let buckets = read_int_in s ~pos ~what:"histogram length" ~lo:0 ~hi:max_batch_histogram in
+  (* An explicit loop: Array.init's evaluation order is unspecified and
+     every bucket read advances [pos]. *)
+  let st_batch_histogram = Array.make buckets 0 in
+  for i = 0 to buckets - 1 do
+    st_batch_histogram.(i) <- count "histogram bucket"
+  done;
+  {
+    st_served;
+    st_failed;
+    st_shed;
+    st_retried;
+    st_queue;
+    st_p50_ms;
+    st_p99_ms;
+    st_executions;
+    st_batch_histogram;
+    st_slots_occupied;
+    st_slots_available;
+    st_pool_efficiency;
+    st_pt_hits;
+    st_pt_misses;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Stream framing                                                      *)

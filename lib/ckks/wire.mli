@@ -88,6 +88,17 @@ type daemon_stats = {
   st_queue : int;  (** admission-queue depth at probe time *)
   st_p50_ms : float;  (** over the daemon's latency window; 0 when idle *)
   st_p99_ms : float;
+  st_executions : int;  (** completed graph evaluations (any batch width) *)
+  st_batch_histogram : int array;
+      (** [.(i)] = executions that served [i + 1] requests; length is the
+          daemon's effective maximum batch width *)
+  st_slots_occupied : int;  (** lane slots filled across executions *)
+  st_slots_available : int;
+      (** ciphertext slots spent across executions; occupied / available
+          is the daemon's slot utilization *)
+  st_pool_efficiency : float;  (** domain-pool busy fraction, [0, 1] *)
+  st_pt_hits : int;  (** plaintext-encode cache hits since start *)
+  st_pt_misses : int;
 }
 
 (** The probe payload a client frames to request {!daemon_stats}. *)

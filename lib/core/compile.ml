@@ -1,16 +1,55 @@
-type compiled = { program : Ir.program; params : Params.t; policy : Passes.policy; s_f : int }
+type compiled = {
+  program : Ir.program;
+  params : Params.t;
+  policy : Passes.policy;
+  s_f : int;
+  lanes : int;
+}
+
+let batch c ~lanes =
+  if lanes = 1 then c
+  else begin
+    let program = Passes.batch ~lanes c.program in
+    Validate.check_transformed ~s_f:c.s_f program;
+    Validate.check_batched ~lanes:(lanes * c.lanes) program;
+    let params = Params.select ~s_f:c.s_f program in
+    { c with program; params; lanes = lanes * c.lanes }
+  end
+
+(* Rotation steps a compiled program needs, normalized to non-negative
+   slot-space offsets (left rotations; [Params] reports right steps as
+   negative). Batched variants live at a wider vec_size, so their steps
+   must NOT be re-normalized modulo the base program's width. *)
+let slot_rotations c =
+  let vs = c.program.Ir.vec_size in
+  List.sort_uniq compare
+    (List.filter (fun k -> k <> 0)
+       (List.map (fun k -> ((k mod vs) + vs) mod vs) c.params.Params.rotations))
+
+let batch_rotations c ~max_lanes =
+  let rec go acc lanes =
+    if lanes > max_lanes then acc else go (slot_rotations (batch c ~lanes) @ acc) (lanes * 2)
+  in
+  List.sort_uniq compare (go [] 2)
 
 let run ?(s_f = Passes.default_s_f) ?waterline ?(policy = Passes.Eva) ?(eager_relin = false)
-    ?(optimize = false) input =
+    ?(optimize = false) ?(batch = 1) input =
   Validate.check_input_program input;
   let program = Ir.copy input in
   if optimize then Optimize.run program;
   Passes.transform ~s_f ?waterline ~policy ~eager_relin program;
   Validate.check_transformed ~s_f program;
   let params = Params.select ~s_f program in
-  { program; params; policy; s_f }
+  let c = { program; params; policy; s_f; lanes = 1 } in
+  if batch = 1 then c
+  else
+    let program = Passes.batch ~lanes:batch c.program in
+    Validate.check_transformed ~s_f program;
+    Validate.check_batched ~lanes:batch program;
+    let params = Params.select ~s_f program in
+    { c with program; params; lanes = batch }
 
-let run_timed ?s_f ?waterline ?policy ?eager_relin ?optimize input =
+let run_timed ?s_f ?waterline ?policy ?eager_relin ?optimize ?batch input =
   let t0 = Unix.gettimeofday () in
-  let c = run ?s_f ?waterline ?policy ?eager_relin ?optimize input in
+  let c = run ?s_f ?waterline ?policy ?eager_relin ?optimize ?batch input in
   (c, Unix.gettimeofday () -. t0)

@@ -11,7 +11,30 @@ type compiled = {
   params : Params.t;
   policy : Passes.policy;
   s_f : int;
+  lanes : int;
+      (** slot-batching width: the program computes [lanes] independent
+          requests in interleaved lanes; 1 = ordinary single-request
+          compilation *)
 }
+
+(** [batch c ~lanes] widens a compiled program to [lanes] interleaved
+    request lanes ({!Passes.batch}), re-validates it, and re-selects
+    parameters (the rescale chain is unchanged; only the rotation-step
+    set and minimum degree differ). [lanes] must be a power of two;
+    [lanes = 1] is the identity. Widths compose: batching an already
+    [k]-lane program by [lanes] yields [k * lanes] lanes. *)
+val batch : compiled -> lanes:int -> compiled
+
+(** Rotation steps the compiled program needs, as non-negative
+    left-rotation slot offsets (deduplicated, sorted). *)
+val slot_rotations : compiled -> int list
+
+(** [batch_rotations c ~max_lanes] is the union of {!slot_rotations}
+    over the batched variants of [c] at every power-of-two width in
+    [2 .. max_lanes] — the extra Galois steps one keyset needs to serve
+    every batch width (pass to {!Executor.prepare}'s
+    [?extra_rotations]). *)
+val batch_rotations : compiled -> max_lanes:int -> int list
 
 (** Raises [Eva_diag.Diag.Error] in the Validate layer (compiler bug or
     ill-formed input), {!Analysis.Analysis_error}, or
@@ -21,13 +44,16 @@ type compiled = {
     keep compiled graphs predictable for inspection).
     [eager_relin] places a RELINEARIZE at every cipher-cipher multiply
     (the paper's rule) instead of the default lazy dominance-frontier
-    placement. *)
+    placement.
+    [batch] compiles for that many interleaved request lanes (see
+    {!batch}; power of two, default 1). *)
 val run :
   ?s_f:int ->
   ?waterline:int ->
   ?policy:Passes.policy ->
   ?eager_relin:bool ->
   ?optimize:bool ->
+  ?batch:int ->
   Ir.program ->
   compiled
 
@@ -38,5 +64,6 @@ val run_timed :
   ?policy:Passes.policy ->
   ?eager_relin:bool ->
   ?optimize:bool ->
+  ?batch:int ->
   Ir.program ->
   compiled * float

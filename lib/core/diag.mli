@@ -60,6 +60,10 @@ val validate_relin_placement : int
 (** 206: a size-3 ciphertext reaches a ROTATE or OUTPUT (missing
     relinearize on that path) *)
 
+val validate_batch : int
+(** 207: slot-batching lane invariant broken (rotation step or vector
+    length not lane-aligned in a batched program) *)
+
 (* Compile (3xx) *)
 val compile_pass_state : int  (** 301: pass bookkeeping invariant broken *)
 

@@ -104,6 +104,26 @@ let plain_of_binding vs = function
   | Reference.Vec v -> Reference.tile vs v
   | Reference.Scal s -> Array.make vs s
 
+(* Slot-batching layout helpers: lane [b] of a B-lane batch owns the
+   strided slot set {i*B + b}. [interleave] packs per-lane vectors into
+   one full-width vector; [extract_lane] is its inverse for one lane. *)
+let interleave lanes =
+  let b = Array.length lanes in
+  if b = 0 then invalid_arg "Executor.interleave: no lanes";
+  let n = Array.length lanes.(0) in
+  let out = Array.make (b * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to b - 1 do
+      out.((i * b) + j) <- lanes.(j).(i)
+    done
+  done;
+  out
+
+let extract_lane ~lanes ~lane v =
+  if lane < 0 || lane >= lanes || Array.length v mod lanes <> 0 then
+    invalid_arg "Executor.extract_lane";
+  Array.init (Array.length v / lanes) (fun i -> v.((i * lanes) + lane))
+
 (* Order-preserving parallel map on domains; work is claimed from a
    shared atomic counter so uneven item costs still balance. *)
 let parallel_map ~workers f items =
@@ -154,7 +174,37 @@ let encrypt_inputs ctx keyset rng ~vs ~top_level ~workers ~binding all_nodes =
       | None -> (n.Ir.id, Plain v))
     jobs
 
-let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compiled bindings =
+(* The batched sibling of [encrypt_inputs]: [lanes_of name] gives one
+   already-tiled lane vector per batch member; cipher inputs encode all
+   lanes in one strided plaintext, plain inputs carry the interleaved
+   vector. Per-input RNG draws happen in the same order as the unbatched
+   path, so a 1-lane batch is bit-identical to [encrypt_inputs]. *)
+let encrypt_inputs_strided ctx keyset rng ~top_level ~workers ~lanes_of all_nodes =
+  let jobs =
+    List.filter_map
+      (fun n ->
+        match n.Ir.op with
+        | Ir.Input (Ir.Cipher, name) ->
+            let child = Random.State.make [| Random.State.bits rng; Random.State.bits rng |] in
+            Some (n, name, Some child)
+        | Ir.Input (_, name) -> Some (n, name, None)
+        | _ -> None)
+      (List.rev all_nodes)
+  in
+  parallel_map ~workers
+    (fun (n, name, child) ->
+      let lanes = lanes_of name in
+      match child with
+      | Some child_rng ->
+          let pt =
+            Eval.encode_strided ctx ~level:top_level ~scale:(Float.ldexp 1.0 n.Ir.decl_scale) lanes
+          in
+          (n.Ir.id, Ct (Eval.encrypt ctx keyset child_rng pt))
+      | None -> (n.Ir.id, Plain (interleave lanes)))
+    jobs
+
+let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers ?(extra_rotations = [])
+    compiled bindings =
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let params = compiled.Compile.params in
@@ -176,6 +226,16 @@ let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers compi
     List.map
       (fun step -> Ctx.galois_elt_rotate ctx (((step mod vs) + vs) mod vs))
       params.Params.rotations
+  in
+  (* [extra_rotations] are slot-space steps (already lane-normalized by
+     e.g. {!Compile.batch_rotations}); they must not be re-reduced modulo
+     this program's narrower vec_size. Appended after the base list so a
+     caller passing none gets a bit-identical keyset. *)
+  let galois_elts =
+    galois_elts
+    @ List.filter
+        (fun g -> not (List.mem g galois_elts))
+        (List.sort_uniq compare (List.map (Ctx.galois_elt_rotate ctx) extra_rotations))
   in
   let secret, keyset = Keys.generate ctx rng ~galois_elts in
   let context_seconds = now () -. t0 in
@@ -223,6 +283,60 @@ let rebind ?seed ?(reset_cache = true) ?encrypt_workers e compiled bindings =
     encrypt_seconds = now () -. t0;
     pt_cache = (if reset_cache then fresh_pt_cache () else e.pt_cache);
   }
+
+(* Re-aim an engine at a batched (or differently batched) variant of the
+   program it was prepared for: same context, keys and plaintext cache,
+   new width and scale table. Inputs are cleared — callers follow with
+   [rebind_batched]. *)
+let retarget e compiled =
+  let p = compiled.Compile.program in
+  let vs = p.Ir.vec_size in
+  if Ctx.slots e.ctx < vs then
+    Diag.error ~layer:Diag.Execute ~code:Diag.exec_config
+      "Executor.retarget: %d slots cannot hold vector size %d" (Ctx.slots e.ctx) vs;
+  { e with vec_size = vs; node_scales = Analysis.scales p; inputs = [] }
+
+let rebind_batched ?(reset_cache = false) ?encrypt_workers ~seeds e compiled members =
+  let p = compiled.Compile.program in
+  let vs = p.Ir.vec_size in
+  let lanes = compiled.Compile.lanes in
+  let lane_size = vs / lanes in
+  let live = Array.length members in
+  if live = 0 || live > lanes then
+    Diag.error ~layer:Diag.Execute ~code:Diag.exec_config
+      "Executor.rebind_batched: %d members for %d lanes" live lanes;
+  if Array.length seeds <> live then
+    Diag.error ~layer:Diag.Execute ~code:Diag.exec_config
+      "Executor.rebind_batched: %d seeds for %d members" (Array.length seeds) live;
+  let e = retarget e compiled in
+  (* Validate every member's bindings up front (each report names its
+     member), so one bad request cannot poison batch preparation. *)
+  let binding_fns = Array.map (fun bs -> binding_fn p bs) members in
+  let dead_lane = lazy (Array.make lane_size 0.0) in
+  let lanes_of name =
+    Array.init lanes (fun b ->
+        if b < live then plain_of_binding lane_size (binding_fns.(b) name)
+        else Lazy.force dead_lane)
+  in
+  let rng = Random.State.make seeds in
+  let top_level = Ctx.chain_length e.ctx in
+  let workers = Option.value encrypt_workers ~default:(Domain.recommended_domain_count ()) in
+  let t0 = now () in
+  let inputs = encrypt_inputs_strided e.ctx e.keyset rng ~top_level ~workers ~lanes_of p.Ir.all_nodes in
+  {
+    e with
+    inputs;
+    encrypt_seconds = now () -. t0;
+    pt_cache = (if reset_cache then fresh_pt_cache () else e.pt_cache);
+  }
+
+(* Slot-space rotation steps of [compiled] whose Galois keys the engine
+   is missing — non-empty means [prepare] was not given the
+   [extra_rotations] this (typically batched) variant needs. *)
+let missing_rotations e compiled =
+  List.filter
+    (fun step -> Keys.find_galois e.keyset (Ctx.galois_elt_rotate e.ctx step) = None)
+    (Compile.slot_rotations compiled)
 
 (* The encoding cache is keyed by plaintext *content* — the same mask
    vector reaching the executor through different IR nodes (BSGS kernels

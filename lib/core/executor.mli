@@ -59,8 +59,8 @@ type engine
     [log_n]. Unbound input names raise one [Eva_diag.Diag.Error]
     (EVA-E501) listing {e every} missing binding. *)
 val prepare :
-  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int -> Compile.compiled ->
-  (string * Reference.binding) list -> engine
+  ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int ->
+  ?extra_rotations:int list -> Compile.compiled -> (string * Reference.binding) list -> engine
 
 (** Initial values for input nodes (id-indexed). *)
 val input_values : engine -> (int * value) list
@@ -77,6 +77,47 @@ val input_values : engine -> (int * value) list
 val rebind :
   ?seed:int -> ?reset_cache:bool -> ?encrypt_workers:int -> engine -> Compile.compiled ->
   (string * Reference.binding) list -> engine
+
+(** {2 Slot batching}
+
+    A batched program ({!Compile.batch}) computes [lanes] independent
+    requests in one ciphertext under the interleaved layout: request [b]
+    owns the strided slot set [{i*lanes + b}]. [prepare]'s
+    [?extra_rotations] (slot-space left steps, e.g.
+    {!Compile.batch_rotations}) makes one keyset cover every batched
+    variant a server will run. *)
+
+(** [interleave lanes] packs per-lane vectors (equal lengths) into one
+    interleaved full-width vector; {!extract_lane} inverts it for one
+    lane. *)
+val interleave : float array array -> float array
+
+val extract_lane : lanes:int -> lane:int -> float array -> float array
+
+(** [retarget e c] re-aims an engine at a (typically batched) variant of
+    the program it was prepared for: same context, keys and warm
+    plaintext cache, new vector width and scale table, inputs cleared.
+    EVA-E508 if the context's slots cannot hold the variant's width. *)
+val retarget : engine -> Compile.compiled -> engine
+
+(** [rebind_batched ~seeds e c members] is {!rebind} for a batched
+    program [c]: member [b]'s bindings fill lane [b] (vectors tiled or
+    zero-padded to the lane width per {!Reference.tile}, scalars
+    broadcast), lanes beyond [Array.length members] are zeroed, and the
+    whole batch encodes into strided plaintexts
+    ({!Eva_ckks.Eval.encode_strided}). [seeds] gives one seed per member
+    (the batch RNG is [Random.State.make seeds]); a 1-lane batch is
+    bit-identical to [rebind ~seed]. [reset_cache] defaults to [false]
+    (serving keeps the cache warm). Implies {!retarget}. Each member's
+    missing inputs raise EVA-E501 before any encryption work. *)
+val rebind_batched :
+  ?reset_cache:bool -> ?encrypt_workers:int -> seeds:int array -> engine -> Compile.compiled ->
+  (string * Reference.binding) list array -> engine
+
+(** Slot-space rotation steps of [c] lacking Galois keys in the engine's
+    keyset (non-empty means {!prepare} needs [?extra_rotations] to run
+    this variant). *)
+val missing_rotations : engine -> Compile.compiled -> int list
 
 (** Everything one graph evaluation produced: raw (still encrypted)
     outputs, wall time, optional per-node timings, and the high-water

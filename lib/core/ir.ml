@@ -96,15 +96,23 @@ let prune p =
   List.iter (fun dead -> Array.iter (fun parent -> remove_use parent dead) dead.parms) drop;
   p.all_nodes <- keep
 
-let copy p =
-  let q = { p with all_nodes = []; next_id = 0 } in
+let copy ?vec_size ?(map_op = fun op -> op) p =
+  let vec_size =
+    match vec_size with
+    | None -> p.vec_size
+    | Some vs ->
+        if vs < 1 || vs land (vs - 1) <> 0 then
+          invalid_arg "Ir.copy: vec_size must be a power of two";
+        vs
+  in
+  let q = { p with vec_size; all_nodes = []; next_id = 0 } in
   let map = Hashtbl.create 64 in
   let rec clone n =
     match Hashtbl.find_opt map n.id with
     | Some m -> m
     | None ->
         let parms = Array.to_list (Array.map clone n.parms) in
-        let m = add_node ~decl_scale:n.decl_scale q n.op parms in
+        let m = add_node ~decl_scale:n.decl_scale q (map_op n.op) parms in
         Hashtbl.replace map n.id m;
         m
   in

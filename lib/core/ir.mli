@@ -69,8 +69,11 @@ val prune : program -> unit
 
 (** Deep copy (fresh nodes, same structure); the transformation passes
     mutate programs in place, so callers compiling one source under
-    several policies copy first. *)
-val copy : program -> program
+    several policies copy first. [?vec_size] gives the copy a different
+    slot width (must be a power of two); [?map_op] rewrites each node's
+    op during cloning — both are the substrate for the slot-batching
+    rewrite in {!Passes.batch}. *)
+val copy : ?vec_size:int -> ?map_op:(op -> op) -> program -> program
 
 val is_instruction : node -> bool
 val is_fhe_specific : op -> bool

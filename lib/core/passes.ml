@@ -281,6 +281,36 @@ let lazy_relinearize p =
       end
       else false)
 
+(* SLOT-BATCH: widen a program so [lanes] independent requests share one
+   ciphertext. Request [b] owns the strided slot set {i*lanes + b}; under
+   that interleaved layout a per-request rotation by [k] is exactly a
+   global rotation by [k*lanes] — no masks, no extra multiplies, no
+   change to scales or to the rescale chain. Vector constants are
+   stride-expanded so every lane sees the original constant. *)
+let stride_expand ~lanes v =
+  let len = Array.length v in
+  let out = Array.make (len * lanes) 0.0 in
+  for i = 0 to len - 1 do
+    for b = 0 to lanes - 1 do
+      out.((i * lanes) + b) <- v.(i)
+    done
+  done;
+  out
+
+let batch ~lanes p =
+  if lanes < 1 || lanes land (lanes - 1) <> 0 then
+    Diag.error ~layer:Diag.Compile ~code:Diag.compile_pass_state
+      "Passes.batch: lanes must be a power of two (got %d)" lanes;
+  if lanes = 1 then Ir.copy p
+  else
+    Ir.copy ~vec_size:(lanes * p.Ir.vec_size)
+      ~map_op:(function
+        | Ir.Rotate_left k -> Ir.Rotate_left (k * lanes)
+        | Ir.Rotate_right k -> Ir.Rotate_right (k * lanes)
+        | Ir.Constant (Ir.Const_vector v) -> Ir.Constant (Ir.Const_vector (stride_expand ~lanes v))
+        | op -> op)
+      p
+
 type policy = Eva | Lazy_insertion
 
 let transform ?(s_f = default_s_f) ?waterline ?(policy = Eva) ?(eager_relin = false) p =

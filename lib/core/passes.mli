@@ -51,6 +51,22 @@ val relinearize : Ir.program -> bool
     size 3 on validated graphs. *)
 val lazy_relinearize : Ir.program -> bool
 
+(** [stride_expand ~lanes v] is the length [lanes * Array.length v]
+    array [v'] with [v'.(i * lanes + b) = v.(i)] — the plaintext image of
+    a vector under the interleaved slot-batching layout (every lane sees
+    the same constant). *)
+val stride_expand : lanes:int -> float array -> float array
+
+(** [batch ~lanes p] is a fresh program computing [lanes] independent
+    copies of [p] in one ciphertext under the interleaved layout (request
+    [b] owns slots [{i * lanes + b}]): [vec_size] is multiplied by
+    [lanes], every rotation step is multiplied by [lanes] (a lane-local
+    rotation under the stride), and vector constants are stride-expanded.
+    Scales, levels and the rescale chain are unchanged, so a transformed
+    (conforming) program stays conforming. [lanes] must be a power of
+    two; [lanes = 1] degenerates to {!Ir.copy}. *)
+val batch : lanes:int -> Ir.program -> Ir.program
+
 type policy =
   | Eva  (** waterline + eager: the paper's optimizing pipeline *)
   | Lazy_insertion

@@ -12,9 +12,17 @@ let () =
 
 let tile vec_size v =
   let len = Array.length v in
-  if len = 0 || vec_size mod len <> 0 then
-    invalid_arg (Printf.sprintf "Reference: input size %d does not divide vec_size %d" len vec_size);
-  if len = vec_size then Array.copy v else Array.init vec_size (fun i -> v.(i mod len))
+  if len = 0 || len > vec_size then
+    Eva_diag.Diag.error ~layer:Eva_diag.Diag.Execute ~code:Eva_diag.Diag.exec_bad_operands
+      "Reference: input size %d unusable at vec_size %d" len vec_size;
+  if len = vec_size then Array.copy v
+  else if vec_size mod len = 0 then Array.init vec_size (fun i -> v.(i mod len))
+  else
+    (* Non-dividing lengths zero-pad instead of tiling: the slots past
+       [len] are defined to hold 0.0 (and are never returned on the wire
+       — responses carry exactly the requested slots). A dividing length
+       still tiles, so existing programs are unchanged. *)
+    Array.init vec_size (fun i -> if i < len then v.(i) else 0.0)
 
 let execute p bindings =
   let vs = p.Ir.vec_size in

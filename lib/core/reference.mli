@@ -10,11 +10,15 @@ type binding = Vec of float array | Scal of float
 
 exception Missing_input of string
 
-(** [tile vec_size v] repeats [v] to length [vec_size] (Section 3 of the
-    paper); the length of [v] must divide [vec_size]. *)
+(** [tile vec_size v] extends [v] to length [vec_size]: a length that
+    divides [vec_size] repeats (Section 3 of the paper; length 1
+    broadcasts); any other length zero-pads — the padding slots are
+    defined to be 0.0 and are never returned on the wire. Empty vectors
+    and lengths above [vec_size] raise a classified EVA-E502 (so a
+    hostile request degrades to an error response, not a crash). *)
 val tile : int -> float array -> float array
 
 (** [execute p bindings] returns the output values by name, in program
-    order. Vector bindings shorter than [vec_size] are tiled (their
-    length must divide it). *)
+    order. Vector bindings shorter than [vec_size] are extended per
+    {!tile}. *)
 val execute : Ir.program -> (string * binding) list -> (string * float array) list

@@ -120,3 +120,28 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
     (fun id s ->
       if s < 0 then fail ~node_id:id ~code:Diag.validate_scale "node %d: negative scale 2^%d" id s)
     scales
+
+let check_batched ~lanes p =
+  if lanes < 1 || lanes land (lanes - 1) <> 0 then
+    fail ~code:Diag.validate_batch "batched program: lanes %d is not a power of two" lanes;
+  if p.Ir.vec_size mod lanes <> 0 then
+    fail ~code:Diag.validate_batch "batched program: vec_size %d is not a multiple of lanes %d"
+      p.Ir.vec_size lanes;
+  List.iter
+    (fun n ->
+      match n.Ir.op with
+      | Ir.Rotate_left k | Ir.Rotate_right k ->
+          if k mod lanes <> 0 then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_batch
+              "node %d: rotation step %d is not lane-local (not a multiple of %d lanes)" n.Ir.id k
+              lanes
+      | Ir.Constant (Ir.Const_vector v) ->
+          (* Tiling a length-L constant over interleaved lanes keeps lanes
+             independent iff L is lane-aligned (a stride-expanded per-lane
+             constant) or L = 1 (uniform over every slot). *)
+          let len = Array.length v in
+          if len <> 1 && len mod lanes <> 0 then
+            fail ~node_id:n.Ir.id ~code:Diag.validate_batch
+              "node %d: constant vector length %d tiles across %d-lane boundaries" n.Ir.id len lanes
+      | _ -> ())
+    p.Ir.all_nodes

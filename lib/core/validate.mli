@@ -22,3 +22,9 @@ val check_input_program : Ir.program -> unit
 
 (** Check a transformed program against Constraints 1-4. *)
 val check_transformed : ?s_f:int -> Ir.program -> unit
+
+(** Check the slot-batching lane invariants of a program produced by
+    {!Passes.batch}: [vec_size] and every rotation step are multiples of
+    [lanes], and vector constants tile without crossing lane boundaries
+    (length lane-aligned or 1). Violations raise EVA-E207. *)
+val check_batched : lanes:int -> Ir.program -> unit

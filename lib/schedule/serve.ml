@@ -42,6 +42,8 @@ type config = {
   retry_budget : int;  (** daemon-wide pool of request-level retries *)
   shed : shed_mode;  (** overload shedding at admission *)
   seed : int;  (** base of the per-request encryption seeds *)
+  max_batch : int;  (** slot-batch up to this many requests per execution *)
+  batch_linger_ms : float;  (** how long a worker waits to fill a batch *)
 }
 
 let default_config =
@@ -55,6 +57,8 @@ let default_config =
     retry_budget = 64;
     shed = No_shedding;
     seed = 1;
+    max_batch = 1;
+    batch_linger_ms = 0.0;
   }
 
 (* Per-request encryption randomness is a pure function of (base seed,
@@ -76,11 +80,20 @@ type stats = {
   pool_lanes : int;
   pool_chunked_calls : int;
   pool_efficiency : float;
+  executions : int;
+  batches_dissolved : int;
+  batch_histogram : int array;
+  slots_occupied : int;
+  slots_available : int;
 }
 
 let pt_hit_rate s =
   let total = s.pt_cache_hits + s.pt_cache_misses in
   if total = 0 then 0.0 else float_of_int s.pt_cache_hits /. float_of_int total
+
+let slot_utilization s =
+  if s.slots_available = 0 then 0.0
+  else float_of_int s.slots_occupied /. float_of_int s.slots_available
 
 (* Latencies live in a fixed ring so a long-lived daemon's memory stays
    bounded no matter how many requests stream through; the window is
@@ -91,6 +104,12 @@ type t = {
   cfg : config;
   compiled : Compile.compiled;
   engine : Executor.engine;
+  variants : (int * Compile.compiled) array;
+      (** slot-batched widths available to the dispatcher: power-of-two
+          lane counts (ascending, starting at 1) paired with the batched
+          program, bounded by [max_batch] and the context's slots *)
+  eff_max_batch : int;  (** widest variant's lane count *)
+  ctx_slots : int;  (** ciphertext capacity, for slot-utilization stats *)
   fault_for : int -> Fault.t option;
   respond : Wire.response -> unit;
   lock : Mutex.t;
@@ -109,6 +128,11 @@ type t = {
   mutable budget_left : int;
   mutable dropped : int;  (** responses lost to a broken client stream *)
   mutable high_water : int;
+  mutable executions : int;  (** completed graph executions (any width) *)
+  mutable dissolved : int;  (** failed batches re-run as singles *)
+  batch_hist : int array;  (** [i] = executions with [i+1] live members *)
+  mutable slots_occupied : int;
+  mutable slots_available : int;
   lat_ring : float array;
   mutable lat_count : int;  (** total completions; ring index = count mod window *)
   mutable domains : unit Domain.t list;
@@ -142,6 +166,10 @@ let note_exec_time t dt =
   Mutex.lock t.lock;
   t.ewma_exec_s <- (if t.ewma_exec_s = 0.0 then dt else (0.8 *. t.ewma_exec_s) +. (0.2 *. dt));
   Mutex.unlock t.lock
+
+(* Blended per-execution cost: measured once anything has completed,
+   the calibrated analytic model before that. *)
+let est_service_s t = if t.ewma_exec_s > 0.0 then t.ewma_exec_s else t.est_model_s
 
 (* Evaluate one admitted request under its cancellation token: the
    request's own deadline (or the config default) parented to the
@@ -223,6 +251,225 @@ let finish t payload t_admit =
   t.lat_count <- t.lat_count + 1;
   Mutex.unlock t.lock
 
+(* One *completed* graph evaluation served [live] requests: the slot
+   accounting pairs the lane-slots it filled against the ciphertext
+   capacity it spent, so [slot_utilization] reads how much of the
+   packing headroom batching actually used. *)
+let note_batch t live =
+  Mutex.lock t.lock;
+  t.executions <- t.executions + 1;
+  t.batch_hist.(live - 1) <- t.batch_hist.(live - 1) + 1;
+  t.slots_occupied <- t.slots_occupied + (live * t.compiled.Compile.program.Ir.vec_size);
+  t.slots_available <- t.slots_available + t.ctx_slots;
+  Mutex.unlock t.lock
+
+let dispatch_one t ((req : Wire.request), t_admit) =
+  let payload = process t req t_admit in
+  (match payload with Ok _ -> note_batch t 1 | Error _ -> ());
+  safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
+  finish t payload t_admit
+
+(* One slot-batched execution for two or more collected requests
+   (tentpole of the batching work). Per-request degradation semantics
+   survive the shared ciphertext:
+
+   - every member keeps its own cancellation token (its deadline, or the
+     config default, parented to the daemon's shutdown token); members
+     already cancelled at pickup are answered EVA-E505 individually and
+     drop out before costing anything;
+   - the batch itself runs under a token whose deadline is the {e
+     latest} member deadline, and only when every member carries one —
+     an early member must never cancel its batchmates. The early member
+     is re-checked against its own token when results scatter and is
+     answered EVA-E505 while the others get their answers;
+   - a batch-wide cancellation (all deadlines passed, or shutdown)
+     answers each member with its own verdict;
+   - any other classifiable failure — a worker death that exhausted the
+     graph executor, one member's unbound input, a scheme-layer
+     mismatch — dissolves the batch: members re-run individually
+     through [process], restoring per-request retries, fault plans and
+     error verdicts. Foreign exceptions are bugs and still escape. *)
+let process_batch t members =
+  let annotated =
+    List.map
+      (fun ((req : Wire.request), t_admit) ->
+        let deadline =
+          match req.Wire.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+        in
+        let deadline_at = Option.map (fun d -> t_admit +. (float_of_int d /. 1000.0)) deadline in
+        let token = Cancel.make ?deadline_at ~parent:t.shutdown_token () in
+        (req, t_admit, deadline, deadline_at, token))
+      members
+  in
+  let live, dead = List.partition (fun (_, _, _, _, tok) -> Cancel.cancelled tok = None) annotated in
+  List.iter
+    (fun ((req : Wire.request), t_admit, deadline, _, tok) ->
+      let payload =
+        match Cancel.cancelled tok with
+        | Some Cancel.Deadline when deadline <> None ->
+            Error
+              (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
+                 (Printf.sprintf "request %d exceeded its %dms deadline in the admission queue"
+                    req.Wire.req_id (Option.get deadline)))
+        | Some reason -> Error (Cancel.to_diag reason)
+        | None -> assert false
+      in
+      safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
+      finish t payload t_admit)
+    dead;
+  match live with
+  | [] -> ()
+  | [ (req, t_admit, _, _, _) ] -> dispatch_one t (req, t_admit)
+  | live -> (
+      let n = List.length live in
+      let lanes, vcompiled =
+        (* Smallest variant wide enough; [collect] bounds the member
+           count by the widest, so the scan cannot fall off the end.
+           Lanes beyond [n] are zero-padded and never scattered back. *)
+        let rec pick i = if fst t.variants.(i) >= n then t.variants.(i) else pick (i + 1) in
+        pick 0
+      in
+      let seeds =
+        Array.of_list (List.map (fun ((req : Wire.request), _, _, _, _) -> request_seed t.cfg req.Wire.req_id) live)
+      in
+      let member_bindings =
+        Array.of_list
+          (List.map
+             (fun ((req : Wire.request), _, _, _, _) ->
+               List.map (fun (name, v) -> (name, Reference.Vec v)) req.Wire.req_inputs)
+             live)
+      in
+      let batch_deadline =
+        List.fold_left
+          (fun acc (_, _, _, da, _) ->
+            match (acc, da) with Some a, Some d -> Some (Float.max a d) | _ -> None)
+          (Some neg_infinity) live
+      in
+      let btok = Cancel.make ?deadline_at:batch_deadline ~parent:t.shutdown_token () in
+      let fault = List.find_map (fun ((req : Wire.request), _, _, _, _) -> t.fault_for req.Wire.req_id) live in
+      let t_exec = now () in
+      match
+        Cancel.check btok;
+        let e =
+          Executor.rebind_batched ~seeds ~encrypt_workers:t.cfg.encrypt_workers t.engine vcompiled
+            member_bindings
+        in
+        Cancel.check btok;
+        match fault with
+        | None when t.cfg.graph_workers = 1 ->
+            let s = Executor.run_graph ~cancel:btok e vcompiled in
+            List.map (fun (name, v) -> (name, Executor.read_output e v)) s.Executor.raw_outputs
+        | _ ->
+            (Parallel.execute_on ?fault ~cancel:btok ~workers:t.cfg.graph_workers e vcompiled)
+              .Parallel.outputs
+      with
+      | outputs ->
+          note_exec_time t (now () -. t_exec);
+          List.iteri
+            (fun b ((req : Wire.request), t_admit, deadline, _, tok) ->
+              let payload =
+                match Cancel.cancelled tok with
+                | Some Cancel.Deadline when deadline <> None ->
+                    Error
+                      (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
+                         (Printf.sprintf
+                            "request %d exceeded its %dms deadline while its batch completed"
+                            req.Wire.req_id (Option.get deadline)))
+                | Some reason -> Error (Cancel.to_diag reason)
+                | None ->
+                    Ok
+                      (List.map
+                         (fun (name, full) -> (name, Executor.extract_lane ~lanes ~lane:b full))
+                         outputs)
+              in
+              safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
+              finish t payload t_admit)
+            live;
+          note_batch t n
+      | exception Diag.Error d when d.Diag.code = Diag.exec_timeout ->
+          (* Batch-wide cancellation: the batch deadline is the max of
+             the members' (so each member's own has passed too) or the
+             daemon is shutting down. Verdicts stay per member. *)
+          List.iter
+            (fun ((req : Wire.request), t_admit, deadline, _, tok) ->
+              let payload =
+                match Cancel.cancelled tok with
+                | Some Cancel.Deadline when deadline <> None ->
+                    Error
+                      (Diag.make ~layer:Diag.Execute ~code:Diag.exec_timeout
+                         (Printf.sprintf "request %d exceeded its %dms deadline mid-batch"
+                            req.Wire.req_id (Option.get deadline)))
+                | Some reason -> Error (Cancel.to_diag reason)
+                | None -> Error d
+              in
+              safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
+              finish t payload t_admit)
+            live
+      | exception e when Diag.classify e <> None ->
+          Mutex.lock t.lock;
+          t.dissolved <- t.dissolved + 1;
+          Mutex.unlock t.lock;
+          List.iter (fun (req, t_admit, _, _, _) -> dispatch_one t (req, t_admit)) live)
+
+let dispatch t = function
+  | [] -> ()
+  | [ m ] -> dispatch_one t m
+  | members -> process_batch t members
+
+(* Greedily move queued requests into a batch rooted at [first], up to
+   the widest variant; called with the lock held, never waits. *)
+let grab_batch_locked t first =
+  let acc = ref [ first ] and n = ref 1 in
+  while !n < t.eff_max_batch && not (Queue.is_empty t.queue) do
+    acc := Queue.take t.queue :: !acc;
+    incr n
+  done;
+  (List.rev !acc, !n)
+
+(* Gather one batch for a worker, starting from an already-dequeued
+   [first]. Called with the lock held; returns with it released.
+
+   With spare width and a linger budget the worker waits (polling with
+   the lock released, so admission keeps flowing) for the queue to offer
+   more work — but never past the point where any collected member's
+   deadline minus the blended service estimate says the batch must
+   start. A worker therefore trades at most [batch_linger_ms] of p50
+   latency for packing, and nothing at all when deadlines are tight. *)
+let collect t first =
+  let members, n = grab_batch_locked t first in
+  let members = ref members and n = ref n in
+  let linger_s = t.cfg.batch_linger_ms /. 1000.0 in
+  if !n < t.eff_max_batch && linger_s > 0.0 then begin
+    let t0 = now () in
+    let wait_until () =
+      let est = est_service_s t in
+      List.fold_left
+        (fun acc ((req : Wire.request), t_admit) ->
+          let deadline =
+            match req.Wire.deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+          in
+          match deadline with
+          | None -> acc
+          | Some d -> Float.min acc (t_admit +. (float_of_int d /. 1000.0) -. est))
+        (t0 +. linger_s) !members
+    in
+    let rec linger () =
+      if !n < t.eff_max_batch && (not t.closed) && now () < wait_until () then begin
+        Mutex.unlock t.lock;
+        Unix.sleepf 0.0002;
+        Mutex.lock t.lock;
+        while !n < t.eff_max_batch && not (Queue.is_empty t.queue) do
+          members := !members @ [ Queue.take t.queue ];
+          incr n
+        done;
+        linger ()
+      end
+    in
+    linger ()
+  end;
+  Mutex.unlock t.lock;
+  !members
+
 let worker t () =
   let rec loop () =
     Mutex.lock t.lock;
@@ -238,11 +485,9 @@ let worker t () =
     | None ->
         Condition.broadcast t.not_empty;
         Mutex.unlock t.lock
-    | Some (req, t_admit) ->
-        Mutex.unlock t.lock;
-        let payload = process t req t_admit in
-        safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
-        finish t payload t_admit;
+    | Some first ->
+        let members = collect t first in
+        dispatch t members;
         loop ()
   in
   loop ()
@@ -250,10 +495,44 @@ let worker t () =
 let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compiled engine =
   if config.queue_depth < 1 || config.pipeline < 0 || config.graph_workers < 1 then
     invalid_arg "Serve.start: queue_depth and graph_workers must be >= 1, pipeline >= 0";
+  if config.max_batch < 1 || not (Float.is_finite config.batch_linger_ms) || config.batch_linger_ms < 0.0
+  then invalid_arg "Serve.start: max_batch must be >= 1 and batch_linger_ms >= 0";
   (match config.shed with
   | Watermarks { high; low } when high < 1 || low < 0 || low >= high ->
       invalid_arg "Serve.start: shed watermarks need 0 <= low < high"
   | _ -> ());
+  let ctx_slots = Executor.engine_degree engine / 2 in
+  let variants =
+    (* Power-of-two batch widths up to [max_batch], clamped to what the
+       engine's ciphertexts physically hold: lanes * vec_size slots. A
+       max_batch past the slot capacity batches as wide as fits rather
+       than failing — the flag states intent, the context states
+       physics. *)
+    let base_vs = compiled.Compile.program.Ir.vec_size in
+    let rec widths acc l =
+      if l > config.max_batch || l * base_vs > ctx_slots then List.rev acc
+      else widths ((l, if l = 1 then compiled else Compile.batch compiled ~lanes:l) :: acc) (2 * l)
+    in
+    Array.of_list (widths [] 1)
+  in
+  let eff_max_batch = fst variants.(Array.length variants - 1) in
+  (* Fail fast, not per batch: every width the dispatcher may pick must
+     already have its Galois keys in the engine's keyset. *)
+  Array.iter
+    (fun (l, vc) ->
+      if l > 1 then
+        match Executor.missing_rotations engine vc with
+        | [] -> ()
+        | missing ->
+            invalid_arg
+              (Printf.sprintf
+                 "Serve.start: engine lacks Galois keys for %d-lane batching (slot steps %s); \
+                  prepare the engine with \
+                  ~extra_rotations:(Compile.batch_rotations compiled ~max_lanes:%d)"
+                 l
+                 (String.concat ", " (List.map string_of_int missing))
+                 eff_max_batch))
+    variants;
   let est_model_s =
     (* The calibrated analytic model prices one sequential evaluation of
        the compiled program at the engine's actual ring degree; the
@@ -271,6 +550,9 @@ let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compi
       cfg = config;
       compiled;
       engine;
+      variants;
+      eff_max_batch;
+      ctx_slots;
       fault_for;
       respond;
       lock = Mutex.create ();
@@ -289,6 +571,11 @@ let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compi
       budget_left = config.retry_budget;
       dropped = 0;
       high_water = 0;
+      executions = 0;
+      dissolved = 0;
+      batch_hist = Array.make eff_max_batch 0;
+      slots_occupied = 0;
+      slots_available = 0;
       lat_ring = Array.make latency_window 0.0;
       lat_count = 0;
       domains = [];
@@ -301,12 +588,11 @@ let start ?(config = default_config) ?(fault_for = fun _ -> None) ~respond compi
 (* Admission control, called with the lock held. A request the daemon
    predicts it cannot serve is cheapest to refuse before it costs
    anything: with a deadline, the predicted completion time (queue ahead
-   of it draining through the pipeline, plus its own execution, both at
-   the blended cost estimate) is compared against the deadline; without
-   one, a high/low-watermark hysteresis on queue depth sheds sustained
-   overload while letting bursts through. *)
-let est_service_s t = if t.ewma_exec_s > 0.0 then t.ewma_exec_s else t.est_model_s
-
+   of it draining through the pipeline in batches of up to the widest
+   variant, plus its own execution and linger, at the blended cost
+   estimate) is compared against the deadline; without one, a
+   high/low-watermark hysteresis on queue depth sheds sustained overload
+   while letting bursts through. *)
 let shed_check t (req : Wire.request) =
   match t.cfg.shed with
   | No_shedding -> None
@@ -319,7 +605,13 @@ let shed_check t (req : Wire.request) =
       | Some d ->
           let est_s = est_service_s t in
           let lanes = float_of_int (max 1 t.cfg.pipeline) in
-          let eta_ms = ((float_of_int qlen *. est_s /. lanes) +. est_s) *. 1000.0 in
+          let batches_ahead =
+            Float.of_int ((qlen + t.eff_max_batch - 1) / t.eff_max_batch)
+          in
+          let eta_ms =
+            ((batches_ahead *. est_s /. lanes) +. est_s +. (t.cfg.batch_linger_ms /. 1000.0))
+            *. 1000.0
+          in
           if eta_ms > float_of_int d then
             Some
               (Diag.make ~layer:Diag.Execute ~code:Diag.exec_overload
@@ -357,11 +649,11 @@ let rec submit t (req : Wire.request) =
       safe_respond t { Wire.resp_id = req.Wire.req_id; payload = Error d }
   | None ->
       if Queue.length t.queue >= t.cfg.queue_depth then begin
-        let oldest, t_admit = Queue.take t.queue in
+        (* The queue is full, so there is no reason to linger: take a
+           full-width batch straight off the front. *)
+        let members, _ = grab_batch_locked t (Queue.take t.queue) in
         Mutex.unlock t.lock;
-        let payload = process t oldest t_admit in
-        safe_respond t { Wire.resp_id = oldest.Wire.req_id; payload };
-        finish t payload t_admit;
+        dispatch t members;
         submit t req
       end
       else begin
@@ -407,6 +699,11 @@ let stats_locked t =
     pool_lanes = lanes;
     pool_chunked_calls = delta.Pool.chunked_calls;
     pool_efficiency = Pool.efficiency ~lanes:(max 1 lanes) delta;
+    executions = t.executions;
+    batches_dissolved = t.dissolved;
+    batch_histogram = Array.copy t.batch_hist;
+    slots_occupied = t.slots_occupied;
+    slots_available = t.slots_available;
   }
 
 let live_stats t =
@@ -462,14 +759,12 @@ let drain ?timeout_ms t =
      cancelled at pickup and is answered EVA-E505 without executing. *)
   let rec help () =
     Mutex.lock t.lock;
-    let item = Queue.take_opt t.queue in
-    Mutex.unlock t.lock;
-    match item with
-    | None -> ()
-    | Some (req, t_admit) ->
-        let payload = process t req t_admit in
-        safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
-        finish t payload t_admit;
+    match Queue.take_opt t.queue with
+    | None -> Mutex.unlock t.lock
+    | Some first ->
+        let members, _ = grab_batch_locked t first in
+        Mutex.unlock t.lock;
+        dispatch t members;
         help ()
   in
   help ();
@@ -496,6 +791,17 @@ let wire_stats t =
     st_queue = queue_depth t;
     st_p50_ms = p50;
     st_p99_ms = p99;
+    st_executions = s.executions;
+    st_batch_histogram = s.batch_histogram;
+    st_slots_occupied = s.slots_occupied;
+    st_slots_available = s.slots_available;
+    (* The wire quantile validator demands finite non-negative; an idle
+       pool's efficiency can read NaN (0 busy / 0 wall). *)
+    st_pool_efficiency =
+      (let e = s.pool_efficiency in
+       if Float.is_finite e && e > 0.0 then Float.min e 1.0 else 0.0);
+    st_pt_hits = s.pt_cache_hits;
+    st_pt_misses = s.pt_cache_misses;
   }
 
 let run_channels ?config ?fault_for ?max_frame ?(on_start = fun _ -> ()) compiled engine ic oc =

@@ -55,10 +55,31 @@ type config = {
           structured failures rather than a retry storm *)
   shed : shed_mode;  (** overload shedding at admission *)
   seed : int;  (** base of the per-request encryption seeds *)
+  max_batch : int;
+      (** slot-batch up to this many compatible requests into one
+          ciphertext per execution ({!Eva_core.Compile.batch}): request
+          [b] of a [B]-wide batch owns the interleaved slots
+          [{i*B + b}], so one graph evaluation serves the whole batch
+          for roughly the cost of one request. Power-of-two widths up to
+          this bound are used; widths whose slots exceed the engine's
+          ciphertext capacity are clamped away. [1] (the default)
+          disables batching and is bit-identical to the unbatched
+          daemon. The engine must hold Galois keys for every batched
+          rotation — prepare it with
+          [~extra_rotations:(Compile.batch_rotations compiled
+          ~max_lanes:max_batch)]; {!start} fails fast otherwise. *)
+  batch_linger_ms : float;
+      (** how long a worker holding a partial batch waits for more
+          queued work before executing anyway. The wait never extends
+          past the point where a collected member's deadline (minus the
+          blended service estimate) says the batch must start, so
+          lingering trades at most this much p50 latency for packing and
+          nothing when deadlines are tight. [0] never waits. *)
 }
 
 (** queue 8, pipeline 1, one worker everywhere, no deadline, 2 retries
-    per request from a budget of 64, no shedding, seed 1. *)
+    per request from a budget of 64, no shedding, seed 1, no batching
+    (max_batch 1, linger 0). *)
 val default_config : config
 
 (** The encryption seed used for request [id] — a pure function, so a
@@ -93,10 +114,30 @@ type stats = {
       (** fraction of the theoretical [pool_lanes]-way kernel speedup
           realized (busy time / (wall time * lanes)); [1.0] when no
           chunked kernel ran *)
+  executions : int;
+      (** completed graph evaluations of any batch width; with batching,
+          [requests_served / executions] approaches the mean batch *)
+  batches_dissolved : int;
+      (** batched executions that failed with a classifiable,
+          non-cancellation error and were re-run as individual requests
+          (per-request retries, fault plans and verdicts preserved) *)
+  batch_histogram : int array;
+      (** [.(i)] = completed executions that served [i + 1] requests;
+          length is the effective maximum batch width *)
+  slots_occupied : int;  (** lane slots filled across completed executions *)
+  slots_available : int;
+      (** ciphertext slots spent across completed executions *)
 }
 
 (** Hits / (hits + misses), 0 when idle. *)
 val pt_hit_rate : stats -> float
+
+(** [slots_occupied / slots_available], 0 when idle: how much of the
+    ciphertext capacity batching actually packed. An unbatched daemon
+    whose program width is below the ring's slot count reads low here —
+    that gap is exactly what {!config.max_batch} converts into
+    throughput. *)
+val slot_utilization : stats -> float
 
 type t
 

@@ -1,0 +1,68 @@
+(** Cross-request slot-batching layout (CHET-style packing for serving).
+
+    [B] independent requests share one ciphertext: request [b] owns the
+    {e interleaved} (strided) slot set [{i*B + b | 0 <= i < S}], where
+    [S] is the per-request vector width. Under this layout a per-request
+    rotation by [k] is exactly a global rotation by [k*B]
+    ({!rewrite_step}; applied program-wide by
+    {!Eva_core.Passes.batch}) — lane-locality costs no masks, no extra
+    multiplies and no modulus-chain growth, which is what makes batched
+    serving ~[B] times cheaper per request rather than merely wider.
+
+    The module carries both the data plumbing (interleave on encode,
+    scatter + mask on decode) and homomorphic {e fans} — mask-and-rotate
+    trees over {!Kernels.rotate_shared}, so each distinct rotation is
+    emitted once and the executor's RotateMany hoisting evaluates a fan
+    from one digit decomposition. *)
+
+type t
+
+(** [make ~lanes ~lane_size] describes [lanes] requests of [lane_size]
+    slots each (both powers of two). *)
+val make : lanes:int -> lane_size:int -> t
+
+val lanes : t -> int
+val lane_size : t -> int
+
+(** [lanes * lane_size], the batched program's vector width. *)
+val vec_size : t -> int
+
+(** Physical slot of logical element [i] of request [lane]. *)
+val slot : t -> lane:int -> int -> int
+
+(** A request-local rotation step as a global step: [k * lanes]. *)
+val rewrite_step : t -> int -> int
+
+(** Pack one tiled [lane_size] vector per request into the full-width
+    interleaved vector (member count must equal [lanes]). *)
+val interleave : t -> float array array -> float array
+
+(** Read request [lane]'s [lane_size] values back out of a full-width
+    vector — the scatter-decode half of a batched response. *)
+val scatter : t -> lane:int -> float array -> float array
+
+(** [lane_mask t ~lane ?len] is the 0/1 output mask holding 1.0 exactly
+    on [lane]'s first [len] slots (default: the whole lane). Padding
+    slots of short request vectors and every other request's lanes are
+    0 — one request's result never leaks into another's response. *)
+val lane_mask : ?len:int -> t -> lane:int -> float array
+
+(** Mask a decrypted full-width vector down to one request's valid
+    slots (zeroes everywhere else). *)
+val apply_mask : ?len:int -> t -> lane:int -> float array -> float array
+
+(** {2 Homomorphic fans} *)
+
+(** Multiply by {!lane_mask}: keep one request's slots, zero the rest
+    (one plaintext multiply at the kernel context's mask scale). *)
+val extract : Kernels.ctx -> t -> lane:int -> Eva_core.Builder.expr -> Eva_core.Builder.expr
+
+(** Broadcast request [lane]'s values to every lane: mask, shift to lane
+    0, then [log2 lanes] doubling shifts. All rotations share the fan's
+    sources via {!Kernels.rotate_shared}. *)
+val replicate_lane : Kernels.ctx -> t -> lane:int -> Eva_core.Builder.expr -> Eva_core.Builder.expr
+
+(** [permute ctx t perm x] routes request [perm.(d)]'s slots to lane [d]
+    for every [d] — a full lane permutation as a mask-rotate-sum fan
+    (balanced addition tree). *)
+val permute : Kernels.ctx -> t -> int array -> Eva_core.Builder.expr -> Eva_core.Builder.expr

@@ -48,6 +48,38 @@ let wire_seeds =
     (`Keys, Wire.to_string Wire.write_eval_keys ks);
   ]
 
+(* Serving-protocol seeds for the batching surfaces: a request whose
+   vector lengths do not divide the program width (the zero-padding
+   encode path) and a daemon-stats frame with a batch histogram. *)
+let serve_seeds =
+  let req =
+    Wire.to_string
+      (fun buf () ->
+        Wire.write_request buf ~id:3 ~deadline_ms:250
+          [ ("x", [| 1.0; -0.5; 0.25 |]); ("w", [| 0.125 |]) ])
+      ()
+  in
+  let stats =
+    Wire.to_string Wire.write_stats
+      {
+        Wire.st_served = 12;
+        st_failed = 2;
+        st_shed = 1;
+        st_retried = 0;
+        st_queue = 3;
+        st_p50_ms = 1.5;
+        st_p99_ms = 12.25;
+        st_executions = 5;
+        st_batch_histogram = [| 1; 0; 1; 3 |];
+        st_slots_occupied = 208;
+        st_slots_available = 640;
+        st_pool_efficiency = 0.5;
+        st_pt_hits = 40;
+        st_pt_misses = 9;
+      }
+  in
+  [ (`Req, req); (`Stats, stats) ]
+
 (* ---------------------------------------------------------------- *)
 (* Mutations                                                         *)
 (* ---------------------------------------------------------------- *)
@@ -148,14 +180,22 @@ let feed kind input =
   | `Ctx -> ignore (Wire.read_context ~ignore_security:true input ~pos)
   | `Ct -> ignore (Wire.read_ciphertext ctx input ~pos)
   | `Keys -> ignore (Wire.read_eval_keys ctx input ~pos)
+  | `Req -> ignore (Wire.read_request input ~pos)
+  | `Stats -> ignore (Wire.read_stats input ~pos)
 
-let kind_name = function `Eva -> "eva" | `Ctx -> "ctx" | `Ct -> "ct" | `Keys -> "keys"
+let kind_name = function
+  | `Eva -> "eva"
+  | `Ctx -> "ctx"
+  | `Ct -> "ct"
+  | `Keys -> "keys"
+  | `Req -> "request"
+  | `Stats -> "stats"
 
 let run ~seed ~count =
   let st = Random.State.make [| seed |] in
   let stats = { accepted = 0; rejected = 0 } in
-  let readers = [| `Eva; `Ctx; `Ct; `Keys |] in
-  let seeds = List.map (fun s -> (`Eva, s)) eva_seeds @ wire_seeds in
+  let readers = [| `Eva; `Ctx; `Ct; `Keys; `Req; `Stats |] in
+  let seeds = List.map (fun s -> (`Eva, s)) eva_seeds @ wire_seeds @ serve_seeds in
   let seeds = Array.of_list seeds in
   let t0 = Unix.gettimeofday () in
   for i = 1 to count do

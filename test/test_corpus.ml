@@ -43,7 +43,8 @@ let feed name body =
     if contains "-ctx-" then ignore (Wire.read_context ~ignore_security:true body ~pos)
     else if contains "-ct-" then ignore (Wire.read_ciphertext (Lazy.force wire_ctx) body ~pos)
     else if contains "-keys-" then ignore (Wire.read_eval_keys (Lazy.force wire_ctx) body ~pos)
-    else Alcotest.failf "corpus file %S: unknown wire kind (want -ctx-/-ct-/-keys-)" name
+    else if contains "-stats-" then ignore (Wire.read_stats body ~pos)
+    else Alcotest.failf "corpus file %S: unknown wire kind (want -ctx-/-ct-/-keys-/-stats-)" name
   end
   else Alcotest.failf "corpus file %S: unknown extension" name
 

@@ -122,11 +122,22 @@ let test_reference_rejects_bad_tiling () =
   let b = B.create ~vec_size:8 () in
   let x = B.input b ~scale:30 "x" in
   B.output b "o" ~scale:30 x;
-  Alcotest.(check bool) "non-dividing size" true
-    (try
-       ignore (Reference.execute (B.program b) [ ("x", Reference.Vec (Array.make 3 0.0)) ]);
-       false
-     with Invalid_argument _ -> true)
+  (* A non-dividing length zero-pads (it cannot tile evenly), so a
+     request vector of any length in [1, vec_size] is well-defined. *)
+  let out = Reference.execute (B.program b) [ ("x", Reference.Vec [| 1.0; 2.0; 3.0 |]) ] in
+  Alcotest.(check (array (float 0.0)))
+    "zero-padded" [| 1.0; 2.0; 3.0; 0.0; 0.0; 0.0; 0.0; 0.0 |] (List.assoc "o" out);
+  (* Empty and oversized vectors have no placement at all; they fail as
+     classified EVA-E502, never a bare Invalid_argument (a daemon must
+     be able to answer them as error responses). *)
+  let rejects v =
+    try
+      ignore (Reference.execute (B.program b) [ ("x", Reference.Vec v) ]);
+      false
+    with Eva_diag.Diag.Error d -> d.Eva_diag.Diag.code = Eva_diag.Diag.exec_bad_operands
+  in
+  Alcotest.(check bool) "empty rejected as E502" true (rejects [||]);
+  Alcotest.(check bool) "oversized rejected as E502" true (rejects (Array.make 9 0.0))
 
 let test_builder_rejects_cross_program () =
   let b1 = B.create ~vec_size:8 () in

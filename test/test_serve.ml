@@ -407,6 +407,13 @@ let test_stats_probe () =
       st_queue = 4;
       st_p50_ms = 1.25;
       st_p99_ms = 9.5;
+      st_executions = 3;
+      st_batch_histogram = [| 1; 0; 0; 2 |];
+      st_slots_occupied = 144;
+      st_slots_available = 512;
+      st_pool_efficiency = 0.75;
+      st_pt_hits = 7;
+      st_pt_misses = 2;
     }
   in
   let back = Wire.read_stats (Wire.to_string Wire.write_stats s) ~pos:(ref 0) in
