@@ -861,7 +861,9 @@ let relin () =
      the reference semantics, then time the evaluation loop alone on a
      prepared engine. Returns (static relins, executed relins, seconds). *)
   let measure ~eager_relin p bindings =
-    let c = Compile.run ~eager_relin p in
+    (* This ablation is about relin placement on the naive accumulation
+       tree; keep auto-vectorization out so the counts stay k vs 1. *)
+    let c = Compile.run ~eager_relin ~vectorize:false p in
     let engine = Executor.prepare ~seed:11 ~ignore_security:true ~log_n c bindings in
     let outputs, _ = Executor.run_on engine c in
     let err = Executor.max_abs_error outputs (Reference.execute p bindings) in
@@ -939,6 +941,119 @@ let relin () =
   Printf.printf "Acceptance: dot-product relins %d -> %d (k = %d), speedup %.2fx (target >= 1.2x);\n"
     dot_eager dot_lazy k dot_speedup;
   Printf.printf "            conv relins %d -> %d, speedup %.2fx.\n" conv_eager conv_lazy conv_speedup
+
+(* ------------------------------------------------------------------ *)
+(* Auto-vectorization: naive scalar IR vs packed rotation trees        *)
+(* ------------------------------------------------------------------ *)
+
+(* A naive scalar program pays one ciphertext per element: a k-element
+   dot product is 2k encrypted inputs, k cipher multiplies and a k-term
+   add chain. Passes.vectorize packs the elements into lanes of one
+   ciphertext and lowers the fold to a log2(span)-step rotate-and-sum,
+   so the packed program encrypts 2 ciphertexts and runs 1 multiply +
+   log2(k) rotations. Measured per request on a warm engine (rebind +
+   evaluate + decrypt — the serving path), both compiles checked
+   against Reference on the same bindings.
+   Acceptance target (k = 64 dot): >= 10x wall-clock, >= 8x fewer
+   input ciphertexts. *)
+let vectorize_bench () =
+  header "Auto-vectorization: packed rotation-tree SIMD vs naive scalar IR";
+  let log_n = if !smoke then 9 else 12 in
+  let reps = if !smoke then 2 else 5 in
+  let time_loop reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let st = Random.State.make [| 53 |] in
+  let cipher_inputs p =
+    count p (function Ir.Input (Ir.Cipher, _) -> true | _ -> false)
+  in
+  (* Per-request wall clock on a warm engine: re-encrypt the inputs,
+     evaluate the graph, decrypt the outputs — everything a served
+     request pays after keygen. *)
+  let measure ~vectorize p bindings =
+    let c = Compile.run ~vectorize p in
+    let engine = Executor.prepare ~seed:11 ~ignore_security:true ~log_n c bindings in
+    let outputs, _ = Executor.run_on engine c in
+    let outputs = Compile.unpack_outputs c outputs in
+    let err = Executor.max_abs_error outputs (Reference.execute p bindings) in
+    assert (err < 0.05);
+    let s = Executor.run_graph engine c in
+    let secs =
+      time_loop reps (fun () ->
+          let e = Executor.rebind ~seed:12 ~reset_cache:false engine c bindings in
+          let outputs, _ = Executor.run_on e c in
+          ignore (Compile.unpack_outputs c outputs))
+    in
+    (c, s.Executor.op_counts, secs, err)
+  in
+  let report title p bindings =
+    Printf.printf "%s\n" title;
+    Printf.printf "  %-10s | %8s | %8s | %7s | %7s | %9s | %9s\n" "pipeline" "ct in" "multiply"
+      "relin" "rotate" "time (ms)" "max err";
+    let cn, on, tn, en = measure ~vectorize:false p bindings in
+    let cv, ov, tv, ev = measure ~vectorize:true p bindings in
+    let line tag c (o : Executor.op_counts) t e =
+      Printf.printf "  %-10s | %8d | %8d | %7d | %7d | %9.2f | %9.1e\n" tag
+        (cipher_inputs c.Compile.program) o.Executor.multiplies o.Executor.relinearizations
+        o.Executor.rotations (t *. 1e3) e
+    in
+    line "naive" cn on tn en;
+    line "vectorized" cv ov tv ev;
+    Printf.printf "  speedup: %.2fx, input ciphertexts %d -> %d\n\n" (tn /. tv)
+      (cipher_inputs cn.Compile.program) (cipher_inputs cv.Compile.program);
+    assert (cv.Compile.packing <> None);
+    (cipher_inputs cn.Compile.program, cipher_inputs cv.Compile.program, tn /. tv)
+  in
+  (* k = 64 scalar dot product: every element its own ciphertext. *)
+  let k = 64 in
+  let b = B.create ~name:"sdot64" ~vec_size:1 () in
+  let term i =
+    B.mul
+      (B.input b ~scale:30 (Printf.sprintf "x%d" i))
+      (B.input b ~scale:30 (Printf.sprintf "y%d" i))
+  in
+  let sum = List.fold_left B.add (term 0) (List.init (k - 1) (fun i -> term (i + 1))) in
+  B.output b "dot" ~scale:30 sum;
+  let dot_p = B.program b in
+  let dot_bindings =
+    List.init (2 * k) (fun i ->
+        ( (if i < k then Printf.sprintf "x%d" i else Printf.sprintf "y%d" (i - k)),
+          Reference.Scal (Random.State.float st 2.0 -. 1.0) ))
+  in
+  let dot_naive, dot_packed, dot_speedup =
+    report (Printf.sprintf "%d-element scalar dot product (N = 2^%d):" k log_n) dot_p dot_bindings
+  in
+  (* Per-element polynomial 0.5 x^2 + x over 16 elements: an output
+     group (no reduction) — 16 chains collapse to one SIMD chain. *)
+  let m = 16 in
+  let b = B.create ~name:"spoly16" ~vec_size:1 () in
+  let half = B.const_scalar b ~scale:30 0.5 in
+  List.iteri
+    (fun i x ->
+      B.output b (Printf.sprintf "y%d" i) ~scale:30 (B.add (B.mul (B.mul x x) half) x))
+    (List.init m (fun i -> B.input b ~scale:30 (Printf.sprintf "x%d" i)));
+  let poly_p = B.program b in
+  let poly_bindings =
+    List.init m (fun i -> (Printf.sprintf "x%d" i, Reference.Scal (Random.State.float st 2.0 -. 1.0)))
+  in
+  let poly_naive, poly_packed, poly_speedup =
+    report
+      (Printf.sprintf "per-element polynomial 0.5x^2 + x, %d elements (N = 2^%d):" m log_n)
+      poly_p poly_bindings
+  in
+  assert (dot_naive >= 8 * dot_packed);
+  assert (!smoke || dot_speedup >= 10.0);
+  Printf.printf
+    "Acceptance: dot input ciphertexts %d -> %d (>= 8x), speedup %.2fx (target >= 10x);\n"
+    dot_naive dot_packed dot_speedup;
+  Printf.printf "            poly input ciphertexts %d -> %d, speedup %.2fx.\n" poly_naive
+    poly_packed poly_speedup
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection hook overhead                                       *)
@@ -1593,6 +1708,7 @@ let experiments =
     ("kernels", kernels);
     ("rotations", rotations);
     ("relin", relin);
+    ("vectorize", vectorize_bench);
     ("faults", faults);
     ("serve", serve_bench);
     ("batch", batch_bench);

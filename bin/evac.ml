@@ -94,9 +94,7 @@ let info_cmd =
       (fun n ->
         match n.Ir.op with
         | Ir.Input (t, name) ->
-            Printf.printf "  %s : %s, scale 2^%d\n" name
-              (match t with Ir.Cipher -> "cipher" | Ir.Vector -> "vector" | Ir.Scalar -> "scalar")
-              n.Ir.decl_scale
+            Printf.printf "  %s : %s, scale 2^%d\n" name (Ir.value_type_name t) n.Ir.decl_scale
         | _ -> ())
       (Ir.inputs p);
     Printf.printf "outputs:\n";
@@ -127,12 +125,27 @@ let eager_relin_flag =
 let waterline_flag =
   Arg.(value & opt (some int) None & info [ "waterline" ] ~docv:"K" ~doc:"Override the waterline (log2)")
 
+let no_vectorize_flag =
+  Arg.(
+    value & flag
+    & info [ "no-vectorize" ]
+        ~doc:
+          "Disable the auto-vectorization pass (on by default): compile the scalar graph as \
+           written instead of packing isomorphic chains into SIMD lanes")
+
 let compile_cmd =
-  let run path out policy waterline eager_relin optimize =
+  let run path out policy waterline eager_relin optimize no_vectorize =
     reporting (Some path) @@ fun () ->
     let p = load path in
-    let c = Compile.run ?waterline ~policy ~eager_relin ~optimize p in
+    let c = Compile.run ?waterline ~policy ~eager_relin ~optimize ~vectorize:(not no_vectorize) p in
     Format.printf "%a@." Params.pp c.Compile.params;
+    (match c.Compile.packing with
+    | Some pk ->
+        Printf.printf "vectorized: %d input group(s), %d output group(s), %d slots\n"
+          (List.length pk.Eva_core.Vectorize.in_groups)
+          (List.length pk.Eva_core.Vectorize.out_groups)
+          c.Compile.program.Ir.vec_size
+    | None -> ());
     match out with
     | Some out ->
         Serialize.to_file out c.Compile.program;
@@ -143,7 +156,9 @@ let compile_cmd =
   let policy = Arg.(value & opt policy_conv Eva_core.Passes.Eva & info [ "policy" ] ~doc:"Insertion policy: eva or lazy") in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an input program: insert FHE instructions, select parameters")
-    Term.(const run $ file_arg $ out $ policy $ waterline_flag $ eager_relin_flag $ optimize_flag)
+    Term.(
+      const run $ file_arg $ out $ policy $ waterline_flag $ eager_relin_flag $ optimize_flag
+      $ no_vectorize_flag)
 
 (* --- validate --------------------------------------------------------- *)
 
@@ -177,14 +192,19 @@ let estimate_cmd =
      the same compilation flags `compile` and `run` honor are threaded
      through here, and the effective policy is printed so a prediction
      is never silently about a differently-compiled graph. *)
-  let run path log_n magnitude waterline eager_relin optimize =
+  let run path log_n magnitude waterline eager_relin optimize no_vectorize batch =
     reporting (Some path) @@ fun () ->
     let p = load path in
-    let c = Compile.run ?waterline ~eager_relin ~optimize p in
+    let c = Compile.run ?waterline ~eager_relin ~optimize ~vectorize:(not no_vectorize) ~batch p in
     let log_n = Option.value log_n ~default:c.Compile.params.Params.log_n in
-    Printf.printf "effective policy: %s relinearization, optimize %s, waterline 2^%d%s\n"
+    Printf.printf
+      "effective policy: %s relinearization, optimize %s, vectorize %s, batch %d, waterline 2^%d%s\n"
       (if eager_relin then "eager" else "lazy")
       (if optimize then "on" else "off")
+      (match c.Compile.packing with
+      | Some _ -> "on (fired)"
+      | None -> if no_vectorize then "off" else "on (no profitable group)")
+      batch
       (Option.value waterline ~default:(Eva_core.Passes.waterline p))
       (match waterline with Some _ -> "" | None -> " (default)");
     Printf.printf "predicted output error at N = 2^%d (input magnitude %.2f):\n" log_n magnitude;
@@ -198,13 +218,21 @@ let estimate_cmd =
   let magnitude =
     Arg.(value & opt float 1.0 & info [ "magnitude" ] ~docv:"M" ~doc:"Bound on |input values|")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Estimate for the B-lane slot-batched variant (power of two; 1 = unbatched)")
+  in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Predict output error statically (no execution)")
-    Term.(const run $ file_arg $ log_n $ magnitude $ waterline_flag $ eager_relin_flag $ optimize_flag)
+    Term.(
+      const run $ file_arg $ log_n $ magnitude $ waterline_flag $ eager_relin_flag $ optimize_flag
+      $ no_vectorize_flag $ batch)
 
 let run_cmd =
   let run path seed log_n reference workers pool_workers waterline eager_relin stats optimize batch
-      =
+      no_vectorize =
     reporting (Some path) @@ fun () ->
     let p = load path in
     let lanes = apply_pool_workers ~domains:(max 1 workers) pool_workers in
@@ -246,7 +274,7 @@ let run_cmd =
          each lane with its own random member (seeds seed, seed+1, ...),
          run the graph ONCE, then scatter each lane back out and check
          it against that member's own reference run. *)
-      let c = Compile.run ?waterline ~eager_relin ~optimize ~batch p in
+      let c = Compile.run ?waterline ~eager_relin ~optimize ~vectorize:(not no_vectorize) ~batch p in
       Format.printf "%a@." Params.pp c.Compile.params;
       let members = Array.init batch (fun b -> random_bindings p (seed + b)) in
       let seeds = Array.init batch (fun b -> seed + b) in
@@ -270,7 +298,10 @@ let run_cmd =
       Array.iteri
         (fun b member ->
           let lane_out =
-            List.map (fun (name, v) -> (name, Executor.extract_lane ~lanes:batch ~lane:b v)) outputs
+            Compile.unpack_outputs c
+              (List.map
+                 (fun (name, v) -> (name, Executor.extract_lane ~lanes:batch ~lane:b v))
+                 outputs)
           in
           if b = 0 then show lane_out;
           let expect = Reference.execute p member in
@@ -279,7 +310,7 @@ let run_cmd =
         members
     end
     else begin
-      let c = Compile.run ?waterline ~eager_relin ~optimize p in
+      let c = Compile.run ?waterline ~eager_relin ~optimize ~vectorize:(not no_vectorize) p in
       Format.printf "%a@." Params.pp c.Compile.params;
       let outputs =
         if workers > 1 then begin
@@ -323,7 +354,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a program on random inputs under RNS-CKKS")
     Term.(
       const run $ file_arg $ seed $ log_n $ reference $ workers $ pool_workers_flag $ waterline_flag
-      $ eager_relin_flag $ stats $ optimize_flag $ batch)
+      $ eager_relin_flag $ stats $ optimize_flag $ batch $ no_vectorize_flag)
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -338,13 +369,13 @@ let serve_cmd =
      to stderr so they never corrupt the response stream); socket mode
      binds a Unix socket and serves one stream per accepted connection. *)
   let run path socket queue_depth pipeline workers pool_workers deadline_ms seed log_n waterline
-      eager_relin optimize shed drain_timeout_ms max_batch batch_linger_ms =
+      eager_relin optimize no_vectorize shed drain_timeout_ms max_batch batch_linger_ms =
     reporting (Some path) @@ fun () ->
     let p = load path in
     (* Every pipeline domain runs graph workers, and each of those
        submits kernel loops to the one shared pool. *)
     ignore (apply_pool_workers ~domains:(max 1 pipeline * workers) pool_workers);
-    let c = Compile.run ?waterline ~eager_relin ~optimize p in
+    let c = Compile.run ?waterline ~eager_relin ~optimize ~vectorize:(not no_vectorize) p in
     (* Keygen against zero bindings: the shapes (and therefore the
        context and keys) depend only on the program, not the values. *)
     let zero_bindings =
@@ -564,8 +595,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Compile and keygen once, then serve framed evaluation requests")
     Term.(
       const run $ file_arg $ socket $ queue_depth $ pipeline $ workers $ pool_workers_flag
-      $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag $ shed
-      $ drain_timeout_ms $ max_batch $ batch_linger_ms)
+      $ deadline_ms $ seed $ log_n $ waterline_flag $ eager_relin_flag $ optimize_flag
+      $ no_vectorize_flag $ shed $ drain_timeout_ms $ max_batch $ batch_linger_ms)
 
 let () =
   let doc = "EVA: encrypted vector arithmetic compiler" in

@@ -45,8 +45,7 @@ let rec power e k =
 let sum_slots b ~span e =
   if span < 1 || span land (span - 1) <> 0 then invalid_arg "Builder.sum_slots: span must be a power of two";
   ignore b;
-  let rec go acc step = if step >= span then acc else go (add acc (rotate_left acc step)) (step * 2) in
-  go e 1
+  Simd.rotate_and_sum ~add ~rotate:rotate_left ~count:span ~step:1 e
 
 let polynomial b ~scale coeffs x =
   let terms = List.mapi (fun i c -> (i, c)) coeffs |> List.filter (fun (_, c) -> c <> 0.0) in

@@ -4,6 +4,7 @@ type compiled = {
   policy : Passes.policy;
   s_f : int;
   lanes : int;
+  packing : Vectorize.packing option;
 }
 
 let batch c ~lanes =
@@ -33,14 +34,18 @@ let batch_rotations c ~max_lanes =
   List.sort_uniq compare (go [] 2)
 
 let run ?(s_f = Passes.default_s_f) ?waterline ?(policy = Passes.Eva) ?(eager_relin = false)
-    ?(optimize = false) ?(batch = 1) input =
+    ?(optimize = false) ?(vectorize = true) ?(batch = 1) input =
   Validate.check_input_program input;
   let program = Ir.copy input in
   if optimize then Optimize.run program;
+  let program, packing =
+    if vectorize then Passes.vectorize program else (program, None)
+  in
+  (match packing with Some pk -> Validate.check_packing pk program | None -> ());
   Passes.transform ~s_f ?waterline ~policy ~eager_relin program;
   Validate.check_transformed ~s_f program;
   let params = Params.select ~s_f program in
-  let c = { program; params; policy; s_f; lanes = 1 } in
+  let c = { program; params; policy; s_f; lanes = 1; packing } in
   if batch = 1 then c
   else
     let program = Passes.batch ~lanes:batch c.program in
@@ -49,7 +54,13 @@ let run ?(s_f = Passes.default_s_f) ?waterline ?(policy = Passes.Eva) ?(eager_re
     let params = Params.select ~s_f program in
     { c with program; params; lanes = batch }
 
-let run_timed ?s_f ?waterline ?policy ?eager_relin ?optimize ?batch input =
+let run_timed ?s_f ?waterline ?policy ?eager_relin ?optimize ?vectorize ?batch input =
   let t0 = Unix.gettimeofday () in
-  let c = run ?s_f ?waterline ?policy ?eager_relin ?optimize ?batch input in
+  let c = run ?s_f ?waterline ?policy ?eager_relin ?optimize ?vectorize ?batch input in
   (c, Unix.gettimeofday () -. t0)
+
+(* Scatter a vectorized program's outputs back to the source program's
+   names (and trim to the original width); the identity for programs
+   the pass left alone. *)
+let unpack_outputs c outputs =
+  match c.packing with None -> outputs | Some pk -> Vectorize.unpack_outputs pk outputs

@@ -15,6 +15,10 @@ type compiled = {
       (** slot-batching width: the program computes [lanes] independent
           requests in interleaved lanes; 1 = ordinary single-request
           compilation *)
+  packing : Vectorize.packing option;
+      (** slot layout produced by the auto-vectorization pass, when it
+          fired: how per-element inputs were packed into lanes and
+          which outputs must be scattered back out *)
 }
 
 (** [batch c ~lanes] widens a compiled program to [lanes] interleaved
@@ -45,6 +49,11 @@ val batch_rotations : compiled -> max_lanes:int -> int list
     [eager_relin] places a RELINEARIZE at every cipher-cipher multiply
     (the paper's rule) instead of the default lazy dominance-frontier
     placement.
+    [vectorize] (default on) runs {!Passes.vectorize} first: scalar-
+    shaped groups are packed into SIMD lanes and accumulation folds
+    lowered to rotation trees; the resulting layout is validated and
+    recorded in [packing]. Pass [~vectorize:false] to compile the
+    naive graph unchanged.
     [batch] compiles for that many interleaved request lanes (see
     {!batch}; power of two, default 1). *)
 val run :
@@ -53,6 +62,7 @@ val run :
   ?policy:Passes.policy ->
   ?eager_relin:bool ->
   ?optimize:bool ->
+  ?vectorize:bool ->
   ?batch:int ->
   Ir.program ->
   compiled
@@ -64,6 +74,15 @@ val run_timed :
   ?policy:Passes.policy ->
   ?eager_relin:bool ->
   ?optimize:bool ->
+  ?vectorize:bool ->
   ?batch:int ->
   Ir.program ->
   compiled * float
+
+(** [unpack_outputs c outputs] scatters a vectorized program's packed
+    outputs back to the source program's names and trims the rest to
+    the original width ({!Vectorize.unpack_outputs}); the identity when
+    the pass did not fire. Every execution front end (executor,
+    parallel scheduler, serve, batched lanes) applies this after
+    decryption. *)
+val unpack_outputs : compiled -> (string * float array) list -> (string * float array) list

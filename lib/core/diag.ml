@@ -23,6 +23,7 @@ let validate_rescale = 204
 let validate_structure = 205
 let validate_relin_placement = 206
 let validate_batch = 207
+let validate_packing = 208
 let compile_pass_state = 301
 let compile_selection = 302
 let wire_truncated = 401

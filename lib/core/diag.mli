@@ -64,6 +64,10 @@ val validate_batch : int
 (** 207: slot-batching lane invariant broken (rotation step or vector
     length not lane-aligned in a batched program) *)
 
+val validate_packing : int
+(** 208: auto-vectorization packed layout invalid (span not a power of
+    two, member count out of range, or packed input/output missing) *)
+
 (* Compile (3xx) *)
 val compile_pass_state : int  (** 301: pass bookkeeping invariant broken *)
 

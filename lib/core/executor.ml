@@ -104,6 +104,15 @@ let plain_of_binding vs = function
   | Reference.Vec v -> Reference.tile vs v
   | Reference.Scal s -> Array.make vs s
 
+(* Auto-vectorization shim: callers keep binding the source program's
+   per-element names; packed inputs are synthesized block by block just
+   before encryption ({!Vectorize.pack_bindings}). Identity for
+   programs the pass left alone. *)
+let shim compiled bindings =
+  match compiled.Compile.packing with
+  | None -> bindings
+  | Some pk -> Vectorize.pack_bindings pk bindings
+
 (* Slot-batching layout helpers: lane [b] of a B-lane batch owns the
    strided slot set {i*B + b}. [interleave] packs per-lane vectors into
    one full-width vector; [extract_lane] is its inverse for one lane. *)
@@ -205,6 +214,7 @@ let encrypt_inputs_strided ctx keyset rng ~top_level ~workers ~lanes_of all_node
 
 let prepare ?(seed = 1) ?(ignore_security = false) ?log_n ?encrypt_workers ?(extra_rotations = [])
     compiled bindings =
+  let bindings = shim compiled bindings in
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let params = compiled.Compile.params in
@@ -266,6 +276,7 @@ let engine_encrypt_seconds e = e.encrypt_seconds
 let engine_degree e = Ctx.degree e.ctx
 
 let rebind ?seed ?(reset_cache = true) ?encrypt_workers e compiled bindings =
+  let bindings = shim compiled bindings in
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let top_level = Ctx.chain_length e.ctx in
@@ -297,6 +308,7 @@ let retarget e compiled =
   { e with vec_size = vs; node_scales = Analysis.scales p; inputs = [] }
 
 let rebind_batched ?(reset_cache = false) ?encrypt_workers ~seeds e compiled members =
+  let members = Array.map (shim compiled) members in
   let p = compiled.Compile.program in
   let vs = p.Ir.vec_size in
   let lanes = compiled.Compile.lanes in
@@ -631,7 +643,10 @@ let execute ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings =
   let e = prepare ?seed ?ignore_security ?log_n ?encrypt_workers compiled bindings in
   let s = run_graph ~record_per_node:true e compiled in
   let t1 = now () in
-  let decrypted = List.map (fun (name, v) -> (name, read_output e v)) s.raw_outputs in
+  let decrypted =
+    Compile.unpack_outputs compiled
+      (List.map (fun (name, v) -> (name, read_output e v)) s.raw_outputs)
+  in
   let decrypt_seconds = now () -. t1 in
   let pt_cache_hits, pt_cache_misses = pt_cache_counters e in
   {

@@ -57,7 +57,11 @@ type engine
     private RNG from the seed sequentially, so ciphertexts do not depend
     on the worker count. See {!execute} for [seed], [ignore_security],
     [log_n]. Unbound input names raise one [Eva_diag.Diag.Error]
-    (EVA-E501) listing {e every} missing binding. *)
+    (EVA-E501) listing {e every} missing binding. When [c] carries a
+    vectorization layout ([c.packing]), per-element bindings are first
+    packed into the layout's block-major inputs
+    ({!Vectorize.pack_bindings}) — callers written against the source
+    program's scalar names run unchanged. *)
 val prepare :
   ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int ->
   ?extra_rotations:int list -> Compile.compiled -> (string * Reference.binding) list -> engine
@@ -73,7 +77,8 @@ val input_values : engine -> (int * value) list
     loops use this to make concurrent request preparation deterministic.
     [reset_cache] (default true) gives the derived engine a fresh
     plaintext-encode cache; pass [false] to share the parent's cache
-    (and its counters), keeping it warm across requests. *)
+    (and its counters), keeping it warm across requests. Applies the
+    same vectorization binding shim as {!prepare}. *)
 val rebind :
   ?seed:int -> ?reset_cache:bool -> ?encrypt_workers:int -> engine -> Compile.compiled ->
   (string * Reference.binding) list -> engine
@@ -109,7 +114,9 @@ val retarget : engine -> Compile.compiled -> engine
     (the batch RNG is [Random.State.make seeds]); a 1-lane batch is
     bit-identical to [rebind ~seed]. [reset_cache] defaults to [false]
     (serving keeps the cache warm). Implies {!retarget}. Each member's
-    missing inputs raise EVA-E501 before any encryption work. *)
+    bindings pass through the vectorization shim ({!prepare})
+    independently; each member's missing inputs raise EVA-E501 before
+    any encryption work. *)
 val rebind_batched :
   ?reset_cache:bool -> ?encrypt_workers:int -> seeds:int array -> engine -> Compile.compiled ->
   (string * Reference.binding) list array -> engine
@@ -149,7 +156,10 @@ val run_graph :
   ?cancel:Cancel.token -> ?hoist:bool -> engine -> Compile.compiled -> run_stats
 
 (** Run a compiled program on a prepared engine (single-threaded),
-    returning decrypted outputs and the execute wall time. *)
+    returning decrypted outputs and the execute wall time. Outputs are
+    raw full-width slot vectors — a vectorized or batched program's
+    packed outputs are NOT scattered here; apply
+    {!Compile.unpack_outputs} (and {!extract_lane}) as needed. *)
 val run_on : engine -> Compile.compiled -> (string * float array) list * float
 
 (** [eval_node e n parents] computes one instruction from its parameter
@@ -203,7 +213,9 @@ val read_output : engine -> value -> float array
     controls all randomness (key generation and encryption). [log_n]
     overrides the selected degree — benchmarks use it to execute
     compiled programs at reduced (insecure) sizes; the modulus chain is
-    kept as selected. *)
+    kept as selected. Bindings go through the vectorization shim
+    ({!prepare}) and decrypted outputs are scattered back to the source
+    program's names via {!Compile.unpack_outputs}. *)
 val execute :
   ?seed:int -> ?ignore_security:bool -> ?log_n:int -> ?encrypt_workers:int -> Compile.compiled ->
   (string * Reference.binding) list -> result

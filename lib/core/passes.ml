@@ -238,10 +238,13 @@ let relinearize p =
    Forward size dataflow: Input -> 2, Relinearize -> 2, cipher x cipher
    Multiply -> ka + kb - 1, everything else -> max over cipher parents.
    Since multiply operands are themselves demanded down to size 2, sizes
-   never exceed 3.  A node whose size exceeds 2 gets one RELINEARIZE
-   inserted between it and its demanding uses only — non-demanding uses
-   (further adds, an existing Relinearize) keep consuming the size-3
-   value, which makes the pass idempotent. *)
+   never exceed 3.  A node whose size exceeds 2 and has at least one
+   demanding use gets one RELINEARIZE inserted between it and all its
+   uses (except an already-inserted Relinearize), so additive chains
+   downstream — a rotate-and-sum ladder, say — consume the size-2
+   value and share the single key switch instead of re-demanding one
+   per level.  Idempotent: after the rewire the size-3 node's only use
+   is the Relinearize, so a second run finds no demanding use. *)
 let lazy_relinearize p =
   let is_cipher, register_type = make_type_state p in
   let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -274,7 +277,8 @@ let lazy_relinearize p =
       in
       Hashtbl.replace sizes n.Ir.id k;
       if k > 2 && List.exists demands_size2 n.Ir.uses then begin
-        let nl = Ir.insert_between ~child_filter:demands_size2 p n Ir.Relinearize [] in
+        let keep_raw c = match c.Ir.op with Ir.Relinearize -> true | _ -> false in
+        let nl = Ir.insert_between ~child_filter:(fun c -> not (keep_raw c)) p n Ir.Relinearize [] in
         register_type nl Ir.Cipher;
         Hashtbl.replace sizes nl.Ir.id 2;
         true
@@ -310,6 +314,11 @@ let batch ~lanes p =
         | Ir.Constant (Ir.Const_vector v) -> Ir.Constant (Ir.Const_vector (stride_expand ~lanes v))
         | op -> op)
       p
+
+(* Auto-vectorization lives in its own module (the lane walk, packing
+   layout and binding shim are a subsystem); it is surfaced here because
+   it is a compilation pass like the others. *)
+let vectorize = Vectorize.run
 
 type policy = Eva | Lazy_insertion
 

@@ -45,10 +45,12 @@ val relinearize : Ir.program -> bool
 (** Demand-driven relinearization (LAZY-RELINEARIZE): let size-3
     ciphertexts flow through ADD/SUB/NEGATE/RESCALE/MODSWITCH chains and
     place one RELINEARIZE where a 2-polynomial operand is actually
-    demanded (MULTIPLY and ROTATE operands, OUTPUTs).  Relins that sink
-    to a shared accumulator merge, so a k-term product reduction pays one
-    key switch instead of k.  Idempotent; never grows ciphertexts past
-    size 3 on validated graphs. *)
+    demanded (MULTIPLY and ROTATE operands, OUTPUTs); once demanded, all
+    uses of the value consume the relinearized form, so downstream
+    consumers — a rotate-and-sum ladder's adds included — share it.
+    Relins that sink to a shared accumulator merge, so a k-term product
+    reduction pays one key switch instead of k.  Idempotent; never grows
+    ciphertexts past size 3 on validated graphs. *)
 val lazy_relinearize : Ir.program -> bool
 
 (** [stride_expand ~lanes v] is the length [lanes * Array.length v]
@@ -66,6 +68,14 @@ val stride_expand : lanes:int -> float array -> float array
     (conforming) program stays conforming. [lanes] must be a power of
     two; [lanes = 1] degenerates to {!Ir.copy}. *)
 val batch : lanes:int -> Ir.program -> Ir.program
+
+(** HECO-style auto-vectorization ({!Vectorize.run}): pack isomorphic
+    scalar chains into lanes of one ciphertext and lower accumulation
+    folds to log-depth rotate-and-sum trees. Returns the (possibly
+    widened) program and the slot layout, or the input unchanged with
+    [None] when no profitable group exists. Runs on input programs,
+    before {!transform}. *)
+val vectorize : Ir.program -> Ir.program * Vectorize.packing option
 
 type policy =
   | Eva  (** waterline + eager: the paper's optimizing pipeline *)

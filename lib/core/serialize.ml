@@ -23,9 +23,8 @@ let write_node buf names n =
   let parm i = name n.Ir.parms.(i).Ir.id in
   match n.Ir.op with
   | Ir.Input (t, nm) ->
-      Printf.bprintf buf "  %s = input %s %S scale %d\n" (name n.Ir.id)
-        (match t with Ir.Cipher -> "cipher" | Ir.Vector -> "vector" | Ir.Scalar -> "scalar")
-        nm n.Ir.decl_scale
+      Printf.bprintf buf "  %s = input %s %S scale %d\n" (name n.Ir.id) (Ir.value_type_name t) nm
+        n.Ir.decl_scale
   | Ir.Constant (Ir.Const_vector v) ->
       Printf.bprintf buf "  %s = constant vector [%s] scale %d\n" (name n.Ir.id)
         (String.concat ", " (Array.to_list (Array.map float_repr v)))

@@ -1,0 +1,57 @@
+(* Shared SIMD reduction combinators.
+
+   Polymorphic over the expression representation: the tensor kernels
+   instantiate them over [Builder.expr], the auto-vectorization pass
+   over raw [Ir.node]s, so the log-depth reduction shapes exist exactly
+   once. Keeping them together also keeps their FHE-relevant properties
+   aligned: balanced trees stay shallow for the makespan scheduler and
+   carry size-3 ciphertexts to a single lazy-relin root, and doubling
+   rotate-and-sum reuses each accumulator so the rotation count is
+   log2, not linear. *)
+
+let balanced_sum ~add = function
+  | [] -> invalid_arg "Simd.balanced_sum: empty term list"
+  | [ e ] -> e
+  | terms ->
+      let rec pair = function a :: b :: rest -> add a b :: pair rest | rest -> rest in
+      let rec go = function [ e ] -> e | terms -> go (pair terms) in
+      go terms
+
+(* Sum [count] strided copies of [x] (slots s, s+step, s+2*step, ...)
+   into every slot of its stride class: the classic rotate-and-sum
+   doubling ladder. [count] must be a power of two; the result holds
+   sum_{t<count} x[s + t*step] in slot s for every s (indices mod the
+   vector width, which every EVA value is periodic in). *)
+let rotate_and_sum ~add ~rotate ~count ~step x =
+  if count < 1 || count land (count - 1) <> 0 then
+    invalid_arg "Simd.rotate_and_sum: count must be a power of two";
+  let rec go acc reach = if reach >= count then acc else go (add acc (rotate acc (reach * step))) (reach * 2) in
+  go x 1
+
+(* General [count]: doubling when a power of two, otherwise a linear fan
+   of [count - 1] rotations of the one source — which form a single
+   hoist group for the executor's shared key-switch decomposition. *)
+let sum_offsets ~add ~rotate ~count ~step x =
+  if count < 1 then invalid_arg "Simd.sum_offsets: count must be positive";
+  if count land (count - 1) = 0 then rotate_and_sum ~add ~rotate ~count ~step x
+  else begin
+    let acc = ref x in
+    for t = 1 to count - 1 do
+      acc := add !acc (rotate x (t * step))
+    done;
+    !acc
+  end
+
+(* Baby-step/giant-step split of a width-[m] loop: [n1] baby rotations
+   (one hoist group) by [n2] giant steps, n1 * n2 = m, n1 ~ sqrt m
+   rounded to a power of two. *)
+let bsgs_split m =
+  if m < 1 || m land (m - 1) <> 0 then invalid_arg "Simd.bsgs_split: width must be a power of two";
+  let rec lg k = if k <= 1 then 0 else 1 + lg (k / 2) in
+  let n1 = 1 lsl (lg m / 2) in
+  (n1, m / n1)
+
+let next_pow2 k =
+  if k < 1 then invalid_arg "Simd.next_pow2: argument must be positive";
+  let rec go p = if p >= k then p else go (2 * p) in
+  go 1

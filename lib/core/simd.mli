@@ -1,0 +1,32 @@
+(** Shared SIMD reduction combinators.
+
+    One implementation of the log-depth reduction shapes (balanced
+    trees, rotate-and-sum ladders, BSGS splits) parameterized over the
+    expression type, used by both the hand-written tensor kernels
+    (over [Builder.expr]) and the auto-vectorization pass (over
+    [Ir.node]). *)
+
+(** Sum a non-empty term list as a balanced binary tree: depth log2 k.
+    Raises [Invalid_argument] on an empty list. *)
+val balanced_sum : add:('a -> 'a -> 'a) -> 'a list -> 'a
+
+(** [rotate_and_sum ~add ~rotate ~count ~step x] sums [count] copies of
+    [x] at offsets 0, step, 2*step, ... via the doubling ladder
+    ([log2 count] rotations). Slot [s] of the result holds
+    [sum_t x.(s + t*step)]; [count] must be a power of two. *)
+val rotate_and_sum :
+  add:('a -> 'a -> 'a) -> rotate:('a -> int -> 'a) -> count:int -> step:int -> 'a -> 'a
+
+(** Like {!rotate_and_sum} for any positive [count]: doubling when a
+    power of two, otherwise a linear fan of [count - 1] rotations of
+    the one source (a single hoist group). *)
+val sum_offsets :
+  add:('a -> 'a -> 'a) -> rotate:('a -> int -> 'a) -> count:int -> step:int -> 'a -> 'a
+
+(** [bsgs_split m] = [(n1, n2)] with [n1 * n2 = m], [n1] the power of
+    two nearest sqrt m from below: the baby-step/giant-step factor
+    split. [m] must be a power of two. *)
+val bsgs_split : int -> int * int
+
+(** Smallest power of two >= the (positive) argument. *)
+val next_pow2 : int -> int

@@ -121,6 +121,60 @@ let check_transformed ?(s_f = Passes.default_s_f) p =
       if s < 0 then fail ~node_id:id ~code:Diag.validate_scale "node %d: negative scale 2^%d" id s)
     scales
 
+let check_packing (pk : Vectorize.packing) p =
+  let pow2 k = k >= 1 && k land (k - 1) = 0 in
+  if not (pow2 pk.Vectorize.base) then fail ~code:Diag.validate_packing "packing: base width %d is not a power of two" pk.Vectorize.base;
+  if p.Ir.vec_size mod pk.Vectorize.base <> 0 then
+    fail ~code:Diag.validate_packing "packing: base width %d does not divide vec_size %d" pk.Vectorize.base p.Ir.vec_size;
+  let inputs = Hashtbl.create 16 and outputs = Hashtbl.create 16 in
+  List.iter
+    (fun n -> match n.Ir.op with Ir.Input (t, nm) -> Hashtbl.replace inputs nm t | _ -> ())
+    (Ir.inputs p);
+  List.iter
+    (fun n -> match n.Ir.op with Ir.Output nm -> Hashtbl.replace outputs nm () | _ -> ())
+    (Ir.outputs p);
+  let seen_in = Hashtbl.create 16 and seen_out = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Vectorize.in_group) ->
+      let k = Array.length g.Vectorize.members in
+      if not (pow2 g.Vectorize.in_span) then
+        fail ~code:Diag.validate_packing "packing: input group %S span %d is not a power of two" g.Vectorize.packed_input
+          g.Vectorize.in_span;
+      if g.Vectorize.in_span * pk.Vectorize.base > p.Ir.vec_size then
+        fail ~code:Diag.validate_packing "packing: input group %S needs %d slots but vec_size is %d" g.Vectorize.packed_input
+          (g.Vectorize.in_span * pk.Vectorize.base) p.Ir.vec_size;
+      if k < 1 || k > g.Vectorize.in_span then
+        fail ~code:Diag.validate_packing "packing: input group %S has %d members for span %d" g.Vectorize.packed_input k
+          g.Vectorize.in_span;
+      if Hashtbl.mem seen_in g.Vectorize.packed_input then
+        fail ~code:Diag.validate_packing "packing: duplicate packed input %S" g.Vectorize.packed_input;
+      Hashtbl.replace seen_in g.Vectorize.packed_input ();
+      match Hashtbl.find_opt inputs g.Vectorize.packed_input with
+      | None -> fail ~code:Diag.validate_packing "packing: packed input %S is not an input of the program" g.Vectorize.packed_input
+      | Some t ->
+          if t <> g.Vectorize.in_type then
+            fail ~code:Diag.validate_packing "packing: packed input %S is declared %s but packed as %s" g.Vectorize.packed_input
+              (Ir.value_type_name t) (Ir.value_type_name g.Vectorize.in_type))
+    pk.Vectorize.in_groups;
+  List.iter
+    (fun (g : Vectorize.out_group) ->
+      let k = Array.length g.Vectorize.out_members in
+      if not (pow2 g.Vectorize.out_span) then
+        fail ~code:Diag.validate_packing "packing: output group %S span %d is not a power of two" g.Vectorize.packed_output
+          g.Vectorize.out_span;
+      if g.Vectorize.out_span * pk.Vectorize.base > p.Ir.vec_size then
+        fail ~code:Diag.validate_packing "packing: output group %S needs %d slots but vec_size is %d" g.Vectorize.packed_output
+          (g.Vectorize.out_span * pk.Vectorize.base) p.Ir.vec_size;
+      if k < 1 || k > g.Vectorize.out_span then
+        fail ~code:Diag.validate_packing "packing: output group %S has %d members for span %d" g.Vectorize.packed_output k
+          g.Vectorize.out_span;
+      if Hashtbl.mem seen_out g.Vectorize.packed_output then
+        fail ~code:Diag.validate_packing "packing: duplicate packed output %S" g.Vectorize.packed_output;
+      Hashtbl.replace seen_out g.Vectorize.packed_output ();
+      if not (Hashtbl.mem outputs g.Vectorize.packed_output) then
+        fail ~code:Diag.validate_packing "packing: packed output %S is not an output of the program" g.Vectorize.packed_output)
+    pk.Vectorize.out_groups
+
 let check_batched ~lanes p =
   if lanes < 1 || lanes land (lanes - 1) <> 0 then
     fail ~code:Diag.validate_batch "batched program: lanes %d is not a power of two" lanes;

@@ -23,6 +23,13 @@ val check_input_program : Ir.program -> unit
 (** Check a transformed program against Constraints 1-4. *)
 val check_transformed : ?s_f:int -> Ir.program -> unit
 
+(** Check a packed layout produced by {!Vectorize.run} against the
+    program it describes: spans are powers of two fitting the widened
+    [vec_size], member counts lie in [1, span], and every packed
+    input/output names a real (correctly-typed) node. Violations raise
+    EVA-E208. *)
+val check_packing : Vectorize.packing -> Ir.program -> unit
+
 (** Check the slot-batching lane invariants of a program produced by
     {!Passes.batch}: [vec_size] and every rotation step are multiples of
     [lanes], and vector constants tile without crossing lane boundaries

@@ -339,4 +339,5 @@ let execute ?seed ?ignore_security ?log_n ?cost ?fault ?cancel ?hoist ~workers c
   let engine =
     Executor.prepare ?seed ?ignore_security ?log_n ~encrypt_workers:workers compiled bindings
   in
-  execute_on ?cost ?fault ?cancel ?hoist ~workers engine compiled
+  let r = execute_on ?cost ?fault ?cancel ?hoist ~workers engine compiled in
+  { r with outputs = Eva_core.Compile.unpack_outputs compiled r.outputs }

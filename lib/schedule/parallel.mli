@@ -43,7 +43,11 @@ type result = {
     every member's value under its own node id — so worker death
     mid-group requeues the leader and the group re-executes bit-exactly.
     When a fault plan is given, each claim of a group consults the plan
-    for every member in order and fires the first non-Proceed action. *)
+    for every member in order and fires the first non-Proceed action.
+
+    Outputs are raw full-width slot vectors, as in
+    {!Eva_core.Executor.run_on}; callers unpack vectorized layouts via
+    {!Eva_core.Compile.unpack_outputs}. *)
 val execute_on :
   ?cost:(Eva_core.Ir.node -> float) ->
   ?fault:Fault.t ->
@@ -56,7 +60,9 @@ val execute_on :
 
 (** [execute ~workers c bindings] behaves like
     {!Eva_core.Executor.execute} but evaluates independent instructions
-    on [workers] domains (input encryption included). *)
+    on [workers] domains (input encryption included); like it, bindings
+    pass through the vectorization shim and outputs are scattered back
+    via {!Eva_core.Compile.unpack_outputs}. *)
 val execute :
   ?seed:int ->
   ?ignore_security:bool ->

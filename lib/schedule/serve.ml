@@ -225,7 +225,7 @@ let process t (req : Wire.request) t_admit =
         with
         | outputs ->
             note_exec_time t (now () -. t_exec);
-            Ok outputs
+            Ok (Compile.unpack_outputs t.compiled outputs)
         | exception Diag.Error d
           when d.Diag.code = Diag.exec_workers_died
                && tries < t.cfg.max_request_retries
@@ -378,9 +378,10 @@ let process_batch t members =
                 | Some reason -> Error (Cancel.to_diag reason)
                 | None ->
                     Ok
-                      (List.map
-                         (fun (name, full) -> (name, Executor.extract_lane ~lanes ~lane:b full))
-                         outputs)
+                      (Compile.unpack_outputs t.compiled
+                         (List.map
+                            (fun (name, full) -> (name, Executor.extract_lane ~lanes ~lane:b full))
+                            outputs))
               in
               safe_respond t { Wire.resp_id = req.Wire.req_id; payload };
               finish t payload t_admit)

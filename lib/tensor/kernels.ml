@@ -121,15 +121,10 @@ let finish_kernel ctx img =
    and under lazy relinearization a tree of ADDs carries size-3
    ciphertexts to a single accumulator root — one key switch per
    reduction, however many products feed it. *)
-let rec balanced_sum = function
+let balanced_sum terms =
+  match terms with
   | [] -> invalid_arg "Kernels.balanced_sum: empty term list"
-  | [ e ] -> e
-  | terms ->
-      let rec pair = function
-        | a :: b :: rest -> B.add a b :: pair rest
-        | rest -> rest
-      in
-      balanced_sum (pair terms)
+  | _ -> Eva_core.Simd.balanced_sum ~add:B.add terms
 
 (* Accumulate [rotate_left src rot * mask] terms grouped by
    (src ct, dst ct, rotation), then sum per destination ciphertext. *)
@@ -211,12 +206,8 @@ let conv2d ctx img ~weights ~stride =
    [count - 1] times, so its rotations form one hoist group. *)
 let sum_offsets ctx x ~count ~step =
   if count = 1 then x
-  else if count land (count - 1) = 0 then begin
-    let rec go acc reach =
-      if reach >= count then acc else go (B.add acc (rotate_shared ctx acc (reach * step))) (reach * 2)
-    in
-    go x 1
-  end
+  else if count land (count - 1) = 0 then
+    Eva_core.Simd.rotate_and_sum ~add:B.add ~rotate:(rotate_shared ctx) ~count ~step x
   else begin
     let acc = ref x in
     for t = 1 to count - 1 do
@@ -337,8 +328,7 @@ let global_avg_pool ctx img =
 let bsgs_matvec ctx x ~w ~m ~f =
   let m' = vec_size ctx in
   if m > m' || f > m' then invalid_arg "Kernels.bsgs_matvec: operands exceed the vector";
-  let n1 = 1 lsl ((let rec lg k = if k <= 1 then 0 else 1 + lg (k / 2) in lg m') / 2) in
-  let n2 = m' / n1 in
+  let n1, n2 = Eva_core.Simd.bsgs_split m' in
   let w' i j = if i < f && j < m then w i j else 0.0 in
   (* The giant-step rotation moves slot s of the inner sum to slot
      s - shift, so the diagonal is pre-rotated right by shift. *)

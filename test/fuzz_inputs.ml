@@ -26,6 +26,11 @@ let eva_seeds =
   [
     "program \"fuzz\" vec_size 8 {\n  n0 = input cipher \"x\" scale 30\n  n1 = constant vector [1, 2, 3, 4] scale 10\n  n2 = multiply n0 n1\n  n3 = rotate_left n2 2\n  n4 = add n2 n3\n  output \"o\" n4 scale 30\n}\n";
     "program \"deep\" vec_size 16 {\n  n0 = input cipher \"x\" scale 25\n  n1 = constant scalar 2.25 scale 10\n  n2 = multiply n0 n0\n  n3 = rescale n2 20\n  n4 = modswitch n3\n  n5 = relinearize n2\n  n6 = sub n0 n0\n  n7 = negate n6\n  output \"a\" n7 scale 25\n  output \"b\" n4 scale 30\n}\n";
+    (* Scalar-shaped seeds (mirroring corpus/ok-scalar-*.eva): mutations
+       of these exercise the auto-vectorizer's planning walk — grouping,
+       reduction flattening and the packed-layout builder. *)
+    "program \"sdot\" vec_size 1 {\n  n0 = input cipher \"x0\" scale 30\n  n1 = input cipher \"x1\" scale 30\n  n2 = input cipher \"x2\" scale 30\n  n3 = input cipher \"y0\" scale 30\n  n4 = input cipher \"y1\" scale 30\n  n5 = input cipher \"y2\" scale 30\n  m0 = multiply n0 n3\n  m1 = multiply n1 n4\n  m2 = multiply n2 n5\n  a0 = add m0 m1\n  a1 = add a0 m2\n  output \"dot\" a1 scale 30\n}\n";
+    "program \"spoly\" vec_size 1 {\n  n0 = input cipher \"x0\" scale 30\n  n1 = input cipher \"x1\" scale 30\n  n2 = input cipher \"x2\" scale 30\n  n3 = input cipher \"x3\" scale 30\n  c = constant scalar 0.5 scale 60\n  q0 = multiply n0 n0\n  q1 = multiply n1 n1\n  q2 = multiply n2 n2\n  q3 = multiply n3 n3\n  p0 = add q0 c\n  p1 = add q1 c\n  p2 = add q2 c\n  p3 = add q3 c\n  output \"y0\" p0 scale 30\n  output \"y1\" p1 scale 30\n  output \"y2\" p2 scale 30\n  output \"y3\" p3 scale 30\n}\n";
   ]
 
 (* A tiny real context so the wire seeds are genuine well-formed
@@ -176,7 +181,14 @@ type stats = { mutable accepted : int; mutable rejected : int }
 let feed kind input =
   let pos = ref 0 in
   match kind with
-  | `Eva -> ignore (Serialize.of_string input)
+  | `Eva ->
+      (* Parsed programs continue into the compiler front half: input
+         validation and auto-vectorization must accept, reject with a
+         classified error, or rewrite — never crash. (The vectorizer
+         runs only on programs that validate, as in Compile.run.) *)
+      let p = Serialize.of_string input in
+      Eva_core.Validate.check_input_program p;
+      ignore (Eva_core.Passes.vectorize p)
   | `Ctx -> ignore (Wire.read_context ~ignore_security:true input ~pos)
   | `Ct -> ignore (Wire.read_ciphertext ctx input ~pos)
   | `Keys -> ignore (Wire.read_eval_keys ctx input ~pos)

@@ -48,6 +48,17 @@ let feed name body =
   end
   else Alcotest.failf "corpus file %S: unknown extension" name
 
+(* "ok-" corpus entries are the positive counterpart of the error
+   goldens: well-formed scalar-shaped programs that must parse,
+   validate, and compile cleanly — and, being scalar-shaped, must be
+   picked up by the auto-vectorization pass (a recorded packing). *)
+let feed_ok name body =
+  let p = Eva_core.Serialize.of_string body in
+  Eva_core.Validate.check_input_program p;
+  let c = Eva_core.Compile.run p in
+  if c.Eva_core.Compile.packing = None then
+    Alcotest.failf "%s: auto-vectorization did not fire on a scalar-shaped program" name
+
 let test_corpus () =
   let files = Sys.readdir corpus_dir in
   Array.sort compare files;
@@ -55,6 +66,8 @@ let test_corpus () =
   Array.iter
     (fun name ->
       let body = read_file (Filename.concat corpus_dir name) in
+      if String.length name >= 3 && String.sub name 0 3 = "ok-" then feed_ok name body
+      else
       let want = expected_code name in
       match feed name body with
       | () -> Alcotest.failf "%s: accepted, expected EVA-E%03d" name want

@@ -236,7 +236,7 @@ let test_parallel_propagates_failure () =
   ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "o") [ s ]);
   (* Bypass the compiler: build a fake compiled record. *)
   let params = Eva_core.Params.select p in
-  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60; lanes = 1 } in
+  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60; lanes = 1; packing = None } in
   let bindings = [ ("x", Reference.Vec [| 0.5 |]); ("y", Reference.Vec [| 0.5 |]) ] in
   Alcotest.(check bool) "raises" true
     (try
@@ -259,7 +259,7 @@ let test_parallel_midgraph_failure_no_deadlock () =
   ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "good") [ tail ]);
   ignore (Ir.add_node ~decl_scale:30 p (Ir.Output "poisoned") [ after ]);
   let params = Eva_core.Params.select p in
-  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60; lanes = 1 } in
+  let compiled = { Compile.program = p; params; policy = Eva_core.Passes.Eva; s_f = 60; lanes = 1; packing = None } in
   let bindings = [ ("x", Reference.Vec [| 0.5 |]); ("y", Reference.Vec [| 0.5 |]) ] in
   Alcotest.(check bool) "raises without deadlock" true
     (try
